@@ -1,0 +1,324 @@
+// Package repro is the public face of the reproduction of "Fast and
+// Flexible Instruction Selection with On-Demand Tree-Parsing Automata"
+// (Ertl, Casey, Gregg; PLDI 2006): BURS instruction selection with three
+// interchangeable labeling engines —
+//
+//   - KindDP: iburg/lburg-style dynamic programming at selection time
+//     (flexible, supports dynamic costs, slow per node);
+//   - KindStatic: a burg-style offline automaton (fast per node, no
+//     dynamic costs, tables built ahead of time);
+//   - KindOnDemand: the paper's contribution — the automaton is built
+//     lazily at selection time, giving (warm) static-automaton speed
+//     *and* dynamic costs.
+//
+// Typical use:
+//
+//	m, _ := repro.LoadMachine("x86")
+//	sel, _ := m.NewSelector(repro.KindOnDemand, repro.Options{})
+//	unit, _ := m.CompileMinC(src)           // or m.ParseTree("ADD(REG[1], CNST[2])")
+//	out, _ := sel.Compile(unit.Funcs[0].Forest)
+//	fmt.Println(out.Asm, out.Cost)
+//
+// The packages under internal/ hold the substrates (grammar model, IR,
+// engines, reducer, emitter, machine descriptions, MinC front end,
+// workload corpus, experiment harness); this package wires them together.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/frontend"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/metrics"
+	"repro/internal/reduce"
+)
+
+// Re-exported core types, so API users can name them.
+type (
+	// Grammar is a validated, normal-form tree grammar.
+	Grammar = grammar.Grammar
+	// Cost is a rule or derivation cost.
+	Cost = grammar.Cost
+	// DynEnv binds dynamic-cost function names to implementations.
+	DynEnv = grammar.DynEnv
+	// DynNode is the node view dynamic-cost functions receive.
+	DynNode = grammar.DynNode
+	// Forest is a compilation unit of IR trees (or DAGs).
+	Forest = ir.Forest
+	// Node is an IR node.
+	Node = ir.Node
+	// Unit is a lowered MinC compilation unit.
+	Unit = frontend.Unit
+	// Counters are the deterministic work counters engines maintain.
+	Counters = metrics.Counters
+	// Builder constructs IR forests programmatically (trees, and DAGs via
+	// NewDAGBuilder-style sharing through Machine.NewDAGBuilder).
+	Builder = ir.Builder
+)
+
+// Inf is the infinite cost (rule not applicable).
+const Inf = grammar.Inf
+
+// Kind selects a labeling engine.
+type Kind string
+
+// The three engines of the paper's comparison.
+const (
+	KindDP       Kind = "dp"
+	KindStatic   Kind = "static"
+	KindOnDemand Kind = "ondemand"
+)
+
+// Kinds lists the engine kinds.
+func Kinds() []Kind { return []Kind{KindDP, KindStatic, KindOnDemand} }
+
+// Machine is a loaded machine description: grammar plus dynamic-cost
+// bindings.
+type Machine struct {
+	Name    string
+	Grammar *Grammar
+	Env     DynEnv
+}
+
+// Machines lists the built-in machine descriptions.
+func Machines() []string { return md.Names() }
+
+// LoadMachine loads a built-in machine description by name
+// ("x86", "mips", "sparc", "alpha", "jit64", "demo").
+func LoadMachine(name string) (*Machine, error) {
+	d, err := md.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Name: name, Grammar: d.Grammar, Env: d.Env}, nil
+}
+
+// NewMachine builds a machine from a burg-style grammar source and an
+// environment for its dynamic-cost names (env may be nil if the grammar
+// has none).
+func NewMachine(name, grammarSrc string, env DynEnv) (*Machine, error) {
+	g, err := grammar.Parse(grammarSrc)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Bind(g); err != nil {
+		return nil, err
+	}
+	if name != "" {
+		g.Name = name
+	}
+	return &Machine{Name: g.Name, Grammar: g, Env: env}, nil
+}
+
+// ParseTree parses textual IR trees (see ir.ParseTrees syntax) against the
+// machine's operator vocabulary.
+func (m *Machine) ParseTree(src string) (*Forest, error) {
+	return ir.ParseTrees(m.Grammar, src)
+}
+
+// NewBuilder returns a tree builder over the machine's operators.
+func (m *Machine) NewBuilder() *Builder { return ir.NewBuilder(m.Grammar) }
+
+// NewDAGBuilder returns a builder that value-numbers pure subtrees, so
+// structurally identical subtrees are shared (DAG construction).
+func (m *Machine) NewDAGBuilder() *Builder { return ir.NewDAGBuilder(m.Grammar) }
+
+// CompileMinC parses and lowers a MinC program to IR forests (one per
+// function).
+func (m *Machine) CompileMinC(src string) (*Unit, error) {
+	prog, err := frontend.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return frontend.Lower(prog, m.Grammar)
+}
+
+// Options tunes selector construction.
+type Options struct {
+	// Metrics, when non-nil, receives the engine's event counts.
+	Metrics *Counters
+	// DeltaCap bounds relative costs in automaton states (default
+	// automaton.DefaultDeltaCap). Only meaningful for the automaton kinds.
+	DeltaCap Cost
+	// ForceHash routes all on-demand transitions through the hash table
+	// (the table-layout ablation). Only meaningful for KindOnDemand.
+	ForceHash bool
+}
+
+// Selector is an instruction selector: a labeling engine plus the shared
+// reducer and emitter. Selectors persist across Compile calls — for
+// KindOnDemand that is the point: the automaton warms up over a
+// compilation session. Selectors are not safe for concurrent use.
+type Selector struct {
+	kind    Kind
+	machine *Machine
+	m       *Counters
+
+	dpl *dp.Labeler
+	st  *automaton.Static
+	od  *core.Engine
+	rd  *reduce.Reducer
+}
+
+// NewSelector builds a selector of the given kind.
+//
+// KindStatic fails for grammars with dynamic-cost rules — that is the
+// limitation the paper lifts; use StripDynamic (via NewSelectorFixed) or
+// KindOnDemand.
+func (m *Machine) NewSelector(kind Kind, opt Options) (*Selector, error) {
+	s := &Selector{kind: kind, machine: m, m: opt.Metrics}
+	rd, err := reduce.New(m.Grammar, m.Env, opt.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	s.rd = rd
+	switch kind {
+	case KindDP:
+		l, err := dp.New(m.Grammar, m.Env, opt.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.dpl = l
+	case KindStatic:
+		a, err := automaton.Generate(m.Grammar, automaton.StaticConfig{
+			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.st = a
+	case KindOnDemand:
+		e, err := core.New(m.Grammar, m.Env, core.Config{
+			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics, ForceHash: opt.ForceHash,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.od = e
+	default:
+		return nil, fmt.Errorf("repro: unknown selector kind %q", kind)
+	}
+	return s, nil
+}
+
+// FixedMachine returns a copy of the machine with all dynamic-cost rules
+// removed — the grammar an offline automaton can tabulate, and the
+// baseline for the code-quality experiment.
+func (m *Machine) FixedMachine() (*Machine, error) {
+	g, err := m.Grammar.StripDynamic()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Name: m.Name + ".fixed", Grammar: g, Env: nil}, nil
+}
+
+// Kind returns the selector's engine kind.
+func (s *Selector) Kind() Kind { return s.kind }
+
+// Machine returns the selector's machine.
+func (s *Selector) Machine() *Machine { return s.machine }
+
+// Output is the result of compiling one forest.
+type Output struct {
+	// Asm is the emitted assembly text.
+	Asm string
+	// Instructions is the number of emitted instructions.
+	Instructions int
+	// Cost is the total cost of the selected derivation.
+	Cost Cost
+}
+
+// Label runs only the labeling pass and returns the labeling for use with
+// lower-level tooling. Most callers want Compile.
+func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
+	switch s.kind {
+	case KindDP:
+		return s.dpl.Label(f), nil
+	case KindStatic:
+		return s.st.Label(f, s.m), nil
+	default:
+		return s.od.Label(f), nil
+	}
+}
+
+// Compile selects instructions for f: label, reduce, emit.
+func (s *Selector) Compile(f *Forest) (*Output, error) {
+	lab, err := s.Label(f)
+	if err != nil {
+		return nil, err
+	}
+	em := emitterFor(s.machine.Grammar)
+	cost, err := s.rd.Cover(f, lab, em.Visit)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Asm: em.Asm(), Instructions: em.Instructions(), Cost: cost}, nil
+}
+
+// SelectCost labels and reduces without emitting, returning only the
+// derivation cost — the cheap path for experiments.
+func (s *Selector) SelectCost(f *Forest) (Cost, error) {
+	lab, err := s.Label(f)
+	if err != nil {
+		return 0, err
+	}
+	return s.rd.Cover(f, lab, nil)
+}
+
+// States reports the number of automaton states (materialized so far for
+// KindOnDemand, total for KindStatic, 0 for KindDP).
+func (s *Selector) States() int {
+	switch s.kind {
+	case KindStatic:
+		return s.st.NumStates()
+	case KindOnDemand:
+		return s.od.NumStates()
+	}
+	return 0
+}
+
+// Transitions reports memoized/tabulated transition entries (0 for DP).
+func (s *Selector) Transitions() int {
+	switch s.kind {
+	case KindStatic:
+		return s.st.NumTransitions()
+	case KindOnDemand:
+		return s.od.NumTransitions()
+	}
+	return 0
+}
+
+// MemoryBytes estimates the engine's table footprint (0 for DP).
+func (s *Selector) MemoryBytes() int {
+	switch s.kind {
+	case KindStatic:
+		return s.st.MemoryBytes()
+	case KindOnDemand:
+		return s.od.MemoryBytes()
+	}
+	return 0
+}
+
+// SaveAutomaton persists an on-demand selector's automaton so a later run
+// can start warm (see core.Engine.Save). Only KindOnDemand supports it.
+func (s *Selector) SaveAutomaton(w io.Writer) error {
+	if s.kind != KindOnDemand {
+		return fmt.Errorf("repro: SaveAutomaton requires an on-demand selector")
+	}
+	return s.od.Save(w)
+}
+
+// LoadAutomaton restores a saved automaton into a freshly created
+// on-demand selector for the same machine description.
+func (s *Selector) LoadAutomaton(r io.Reader) error {
+	if s.kind != KindOnDemand {
+		return fmt.Errorf("repro: LoadAutomaton requires an on-demand selector")
+	}
+	return s.od.Load(r)
+}

@@ -1,0 +1,270 @@
+// Root benchmarks: one testing.B entry per experiment table/figure (see
+// DESIGN.md §3 and EXPERIMENTS.md). Work-unit tables come from
+// cmd/iselbench; these benchmarks supply the wall-clock and allocation
+// analogues (`go test -bench=. -benchmem`).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/emit"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/reduce"
+	"repro/internal/workload"
+)
+
+// corpus caches lowered workloads per grammar name.
+var corpusCache = map[string][]*ir.Forest{}
+
+func corpus(b *testing.B, gname string) []*ir.Forest {
+	b.Helper()
+	if fs, ok := corpusCache[gname]; ok {
+		return fs
+	}
+	d := md.MustLoad(gname)
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(d.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	corpusCache[gname] = fs
+	return fs
+}
+
+func corpusNodes(fs []*ir.Forest) int {
+	n := 0
+	for _, f := range fs {
+		n += f.NumNodes()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// E1 — offline automaton generation cost (the price burg pays up front)
+
+func benchStaticGen(b *testing.B, gname string) {
+	d := md.MustLoad(gname)
+	fixed, err := d.Grammar.StripDynamic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := automaton.Generate(fixed, automaton.StaticConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.NumStates() == 0 {
+			b.Fatal("no states")
+		}
+	}
+}
+
+func BenchmarkE1StaticGenDemo(b *testing.B)  { benchStaticGen(b, "demo") }
+func BenchmarkE1StaticGenX86(b *testing.B)   { benchStaticGen(b, "x86") }
+func BenchmarkE1StaticGenMips(b *testing.B)  { benchStaticGen(b, "mips") }
+func BenchmarkE1StaticGenSparc(b *testing.B) { benchStaticGen(b, "sparc") }
+func BenchmarkE1StaticGenAlpha(b *testing.B) { benchStaticGen(b, "alpha") }
+func BenchmarkE1StaticGenJit64(b *testing.B) { benchStaticGen(b, "jit64") }
+
+// ---------------------------------------------------------------------------
+// E2/E3 — on-demand automaton construction over a whole corpus (cold)
+
+func benchOnDemandBuild(b *testing.B, gname string) {
+	d := md.MustLoad(gname)
+	fs := corpus(b, gname)
+	nodes := corpusNodes(fs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(d.Grammar, d.Env, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fs {
+			e.Label(f)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func BenchmarkE2OnDemandBuildX86(b *testing.B)   { benchOnDemandBuild(b, "x86") }
+func BenchmarkE2OnDemandBuildMips(b *testing.B)  { benchOnDemandBuild(b, "mips") }
+func BenchmarkE2OnDemandBuildSparc(b *testing.B) { benchOnDemandBuild(b, "sparc") }
+func BenchmarkE2OnDemandBuildAlpha(b *testing.B) { benchOnDemandBuild(b, "alpha") }
+func BenchmarkE2OnDemandBuildJit64(b *testing.B) { benchOnDemandBuild(b, "jit64") }
+
+// BenchmarkE3Convergence measures the cold pass including the state
+// constructions the convergence curve records (same work as E2, kept as a
+// named anchor for the figure).
+func BenchmarkE3Convergence(b *testing.B) { benchOnDemandBuild(b, "x86") }
+
+// ---------------------------------------------------------------------------
+// E4 — labeling per node: dp vs warm on-demand vs static
+
+func benchLabelDP(b *testing.B, gname string) {
+	d := md.MustLoad(gname)
+	fs := corpus(b, gname)
+	nodes := corpusNodes(fs)
+	l, err := dp.New(d.Grammar, d.Env, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			l.Label(f)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func benchLabelOnDemandWarm(b *testing.B, gname string) {
+	d := md.MustLoad(gname)
+	fs := corpus(b, gname)
+	nodes := corpusNodes(fs)
+	e, err := core.New(d.Grammar, d.Env, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range fs { // warm up
+		e.Label(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			e.Label(f)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func benchLabelStatic(b *testing.B, gname string) {
+	d := md.MustLoad(gname)
+	fixed, err := d.Grammar.StripDynamic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := automaton.Generate(fixed, automaton.StaticConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(fixed) {
+		fs = append(fs, c.Forests()...)
+	}
+	nodes := corpusNodes(fs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			a.Label(f, nil)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func BenchmarkE4LabelDPX86(b *testing.B)            { benchLabelDP(b, "x86") }
+func BenchmarkE4LabelDPMips(b *testing.B)           { benchLabelDP(b, "mips") }
+func BenchmarkE4LabelDPSparc(b *testing.B)          { benchLabelDP(b, "sparc") }
+func BenchmarkE4LabelDPAlpha(b *testing.B)          { benchLabelDP(b, "alpha") }
+func BenchmarkE4LabelDPJit64(b *testing.B)          { benchLabelDP(b, "jit64") }
+func BenchmarkE4LabelOnDemandWarmX86(b *testing.B)  { benchLabelOnDemandWarm(b, "x86") }
+func BenchmarkE4LabelOnDemandWarmMips(b *testing.B) { benchLabelOnDemandWarm(b, "mips") }
+func BenchmarkE4LabelOnDemandWarmJit64(b *testing.B) {
+	benchLabelOnDemandWarm(b, "jit64")
+}
+func BenchmarkE4LabelStaticX86(b *testing.B)   { benchLabelStatic(b, "x86") }
+func BenchmarkE4LabelStaticJit64(b *testing.B) { benchLabelStatic(b, "jit64") }
+
+// ---------------------------------------------------------------------------
+// E5 — the speedup figure's two bars, directly comparable
+
+func BenchmarkE5SpeedupDPBar(b *testing.B)       { benchLabelDP(b, "x86") }
+func BenchmarkE5SpeedupOnDemandBar(b *testing.B) { benchLabelOnDemandWarm(b, "x86") }
+
+// ---------------------------------------------------------------------------
+// E6 — dynamic-cost evaluation on the warm fast path
+
+func BenchmarkE6DynamicFastPath(b *testing.B) {
+	// sparc has the highest dynamic-rule density per node in the corpus.
+	benchLabelOnDemandWarm(b, "sparc")
+}
+
+// ---------------------------------------------------------------------------
+// E7 — end-to-end selection (label+reduce+emit), dynamic vs stripped
+
+func benchCompile(b *testing.B, gname string, stripped bool) {
+	d := md.MustLoad(gname)
+	g := d.Grammar
+	env := d.Env
+	if stripped {
+		fixed, err := g.StripDynamic()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, env = fixed, nil
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(g) {
+		fs = append(fs, c.Forests()...)
+	}
+	e, err := core.New(g, env, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd, err := reduce.New(g, env, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			em := emit.New(g)
+			if _, err := rd.Cover(f, e.Label(f), em.Visit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE7CompileDynX86(b *testing.B)   { benchCompile(b, "x86", false) }
+func BenchmarkE7CompileFixedX86(b *testing.B) { benchCompile(b, "x86", true) }
+
+// ---------------------------------------------------------------------------
+// E8 — memory: allocations of building each automaton flavor
+
+func BenchmarkE8MemoryStaticX86(b *testing.B) { benchStaticGen(b, "x86") }
+
+func BenchmarkE8MemoryOnDemandX86(b *testing.B) { benchOnDemandBuild(b, "x86") }
+
+// ---------------------------------------------------------------------------
+// Ablation — dense direct-lookup arrays vs all-hash transition storage
+
+func benchForceHash(b *testing.B, force bool) {
+	d := md.MustLoad("x86")
+	fs := corpus(b, "x86")
+	nodes := corpusNodes(fs)
+	e, err := core.New(d.Grammar, d.Env, core.Config{ForceHash: force})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range fs {
+		e.Label(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			e.Label(f)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func BenchmarkAblationDenseLookup(b *testing.B) { benchForceHash(b, false) }
+func BenchmarkAblationAllHash(b *testing.B)     { benchForceHash(b, true) }

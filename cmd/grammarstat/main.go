@@ -1,0 +1,87 @@
+// Command grammarstat prints grammar and automaton statistics for the
+// built-in machine descriptions (experiment E1), or for a grammar file.
+//
+// Usage:
+//
+//	grammarstat                 # all built-in machine descriptions
+//	grammarstat -machine x86    # one description, with the full dump
+//	grammarstat -file my.brg    # a burg-style grammar file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/automaton"
+	"repro/internal/bench"
+	"repro/internal/grammar"
+	"repro/internal/md"
+)
+
+func main() {
+	machine := flag.String("machine", "", "print one machine description in detail")
+	file := flag.String("file", "", "analyze a burg-style grammar file")
+	dump := flag.Bool("dump", false, "dump the normal-form grammar")
+	flag.Parse()
+
+	if err := run(*machine, *file, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "grammarstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machine, file string, dump bool) error {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		g, err := grammar.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		return describe(g, dump)
+	case machine != "":
+		d, err := md.Load(machine)
+		if err != nil {
+			return err
+		}
+		return describe(d.Grammar, dump)
+	default:
+		_, t, err := bench.RunE1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}
+}
+
+func describe(g *grammar.Grammar, dump bool) error {
+	fmt.Println(g.ComputeStats())
+	if dump {
+		fmt.Print(g.Dump())
+	}
+	if !g.HasAnyDynRules() {
+		a, err := automaton.Generate(g, automaton.StaticConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offline automaton: %d states, %d transition entries, %d representers, ~%d bytes\n",
+			a.NumStates(), a.NumTransitions(), a.Gen.Representers, a.MemoryBytes())
+		return nil
+	}
+	fixed, err := g.StripDynamic()
+	if err != nil {
+		return err
+	}
+	a, err := automaton.Generate(fixed, automaton.StaticConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline automaton (dynamic rules stripped): %d states, %d transition entries, ~%d bytes\n",
+		a.NumStates(), a.NumTransitions(), a.MemoryBytes())
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command iselbench regenerates the evaluation tables and figures of the
+// reproduction (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	iselbench                  # run every experiment
+//	iselbench -experiment E4   # one experiment
+//	iselbench -grammar mips    # grammar for the per-grammar experiments
+//	iselbench -ablations       # also run the design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: E1..E8 or all")
+	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7)")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	flag.Parse()
+
+	if err := run(*exp, *gname, *ablations); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, gname string, ablations bool) error {
+	type step struct {
+		id string
+		fn func() error
+	}
+	steps := []step{
+		{"E1", func() error { _, t, err := bench.RunE1(); show(t, err); return err }},
+		{"E2", func() error { _, t, err := bench.RunE2(); show(t, err); return err }},
+		{"E3", func() error {
+			for _, g := range []string{gname, "jit64"} {
+				_, t, err := bench.RunE3(g)
+				show(t, err)
+				if err != nil {
+					return err
+				}
+				if g == gname && gname == "jit64" {
+					break
+				}
+			}
+			return nil
+		}},
+		{"E4", func() error { _, t, err := bench.RunE4(gname); show(t, err); return err }},
+		{"E5", func() error {
+			_, fig, err := bench.RunE5(gname)
+			if err == nil {
+				fmt.Println(fig)
+			}
+			return err
+		}},
+		{"E6", func() error { _, t, err := bench.RunE6(); show(t, err); return err }},
+		{"E7", func() error { _, t, err := bench.RunE7(gname); show(t, err); return err }},
+		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
+	}
+	ran := false
+	for _, s := range steps {
+		if exp != "all" && exp != s.id {
+			continue
+		}
+		ran = true
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", exp)
+	}
+	if ablations {
+		t, err := bench.RunAblationDeltaCap()
+		show(t, err)
+		if err != nil {
+			return err
+		}
+		t2, err := bench.RunAblationHash(gname)
+		show(t2, err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func show(t *bench.Table, err error) {
+	if err == nil && t != nil {
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,10 @@
+package repro
+
+import (
+	"repro/internal/emit"
+	"repro/internal/grammar"
+)
+
+// emitterFor isolates the emit dependency so api.go stays focused on
+// selector plumbing.
+func emitterFor(g *grammar.Grammar) *emit.Emitter { return emit.New(g) }

@@ -1,0 +1,136 @@
+// Dynamic costs: why they exist and what they cost each engine.
+//
+// Three vignettes:
+//
+//  1. Immediate ranges (mips): the same add selects addiu for a small
+//     constant and a lui/ori sequence for a large one — decided at
+//     instruction-selection time, per node.
+//  2. Read-modify-write (x86): "g += 5" compiles to a single addq-to-
+//     memory only because the load and store share the address node and
+//     the dynamic check sees it.
+//  3. The engine triangle: the offline automaton refuses the grammar
+//     outright (burg's fundamental limitation), DP handles it slowly, the
+//     on-demand automaton handles it at (warm) table-lookup speed with the
+//     dynamic outcomes folded into the transition key.
+//
+// Run with: go run ./examples/dyncost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	immediateRanges()
+	readModifyWrite()
+	engineTriangle()
+}
+
+func immediateRanges() {
+	m, err := repro.LoadMachine("mips")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. immediate ranges on mips: ADD(REG[1], CNST[k])")
+	for _, k := range []int64{5, 32767, 32768, 1 << 20} {
+		f, err := m.ParseTree(fmt.Sprintf("RET(ADD(REG[1], CNST[%d]))", k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sel.Compile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%-8d cost=%d\n%s", k, out.Cost, out.Asm)
+	}
+	fmt.Println()
+}
+
+func readModifyWrite() {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2. read-modify-write on x86: g += 5 vs g = g2 + 5")
+	unit, err := m.CompileMinC(`
+int g;
+int g2;
+int f() {
+	g += 5;
+	g = g2 + 5;
+	return g;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sel.Compile(unit.Funcs[0].Forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out.Asm)
+	fmt.Printf("  (the first statement is one addq-to-memory; the second must load, add, store)\n\n")
+}
+
+func engineTriangle() {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3. the engine triangle on the full (dynamic) x86 grammar:")
+
+	// Offline automaton: impossible with dynamic rules.
+	if _, err := m.NewSelector(repro.KindStatic, repro.Options{}); err != nil {
+		fmt.Printf("  static:    %v\n", err)
+	}
+	// ... and possible only after stripping them (losing code quality).
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fixed.NewSelector(repro.KindStatic, repro.Options{}); err == nil {
+		fmt.Printf("  static:    works on %s — with every dynamic rule stripped\n", fixed.Name)
+	}
+
+	unit, err := m.CompileMinC(`
+int a[64];
+int f(int n) {
+	int i;
+	for (i = 0; i < n; i += 1) { a[i] += i * 8; }
+	return a[0];
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := unit.Funcs[0].Forest
+	for _, kind := range []repro.Kind{repro.KindDP, repro.KindOnDemand} {
+		c := &metrics.Counters{}
+		sel, err := m.NewSelector(kind, repro.Options{Metrics: c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sel.Compile(f) // cold
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Reset()
+		if _, err := sel.Compile(f); err != nil { // warm
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s cost=%d warm work/node=%.1f (dyn evals/node=%.2f)\n",
+			kind, out.Cost, c.PerNode(),
+			float64(c.DynEvals)/float64(c.NodesLabeled))
+	}
+	fmt.Println("  both engines select identical code; only the labeling work differs")
+}

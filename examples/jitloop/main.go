@@ -1,0 +1,77 @@
+// JIT loop: the scenario the paper targets.
+//
+// A JIT compiler cannot afford burg-style offline table generation (and
+// loses dynamic costs if it tries), but pays for dynamic programming on
+// every node of every method it ever compiles. The on-demand automaton
+// splits the difference: the first methods pay a few state constructions,
+// and labeling converges to pure table lookups.
+//
+// This example simulates a JIT session over the workload corpus: one
+// persistent on-demand selector compiles method after method, and we watch
+// states, misses and per-node work converge, then compare the session
+// total against dynamic programming.
+//
+// Run with: go run ./examples/jitloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	m, err := repro.LoadMachine("jit64")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counters := &metrics.Counters{}
+	jit, err := m.NewSelector(repro.KindOnDemand, repro.Options{Metrics: counters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpCounters := &metrics.Counters{}
+	dpSel, err := m.NewSelector(repro.KindDP, repro.Options{Metrics: dpCounters})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("method-by-method JIT session (jit64, on-demand automaton):")
+	fmt.Printf("%-24s %6s %8s %8s %10s\n", "method", "nodes", "states", "misses", "work/node")
+	totalNodes := 0
+	for _, p := range workload.All() {
+		unit, err := m.CompileMinC(p.Src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fn := range unit.Funcs {
+			before := counters.Clone()
+			if _, err := jit.Compile(fn.Forest); err != nil {
+				log.Fatalf("%s.%s: %v", p.Name, fn.Name, err)
+			}
+			nodes := fn.Forest.NumNodes()
+			totalNodes += nodes
+			misses := counters.TableMisses - before.TableMisses
+			work := float64(counters.WorkUnits()-before.WorkUnits()) / float64(nodes)
+			fmt.Printf("%-24s %6d %8d %8d %10.1f\n",
+				p.Name+"."+fn.Name, nodes, jit.States(), misses, work)
+
+			// The DP baseline compiles the same method for comparison.
+			if _, err := dpSel.Compile(fn.Forest); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Printf("\nsession totals over %d IR nodes:\n", totalNodes)
+	fmt.Printf("  on-demand: %s\n", counters)
+	fmt.Printf("  dp:        %s\n", dpCounters)
+	fmt.Printf("  work ratio dp/on-demand: %.2fx\n",
+		float64(dpCounters.WorkUnits())/float64(counters.WorkUnits()))
+	fmt.Printf("  automaton: %d states, %d transitions, ~%d bytes — built entirely on demand\n",
+		jit.States(), jit.Transitions(), jit.MemoryBytes())
+}

@@ -1,0 +1,300 @@
+package automaton
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dp"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/metrics"
+)
+
+// fixedDemo is the running example without its dynamic rule: the grammar an
+// offline generator can tabulate.
+func fixedDemo(t testing.TB) *grammar.Grammar {
+	t.Helper()
+	d := md.MustLoad("demo")
+	g, err := d.Grammar.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateRejectsDynamic(t *testing.T) {
+	d := md.MustLoad("demo")
+	if _, err := Generate(d.Grammar, StaticConfig{}); err == nil {
+		t.Fatal("offline generation must fail for grammars with dynamic rules")
+	}
+}
+
+func TestGenerateDemo(t *testing.T) {
+	g := fixedDemo(t)
+	a, err := Generate(g, StaticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The running example's automaton has a handful of states (the
+	// literature's figure shows 6 for the constraint-free grammar).
+	if a.NumStates() < 4 || a.NumStates() > 16 {
+		t.Errorf("states = %d, expected a small automaton", a.NumStates())
+	}
+	if a.NumTransitions() == 0 {
+		t.Error("no transitions generated")
+	}
+	if a.Gen.States != a.NumStates() || a.Gen.TableBytes <= 0 {
+		t.Errorf("generation stats inconsistent: %+v", a.Gen)
+	}
+	if a.MemoryBytes() <= 0 {
+		t.Error("memory estimate must be positive")
+	}
+	if a.Table().Len() != a.NumStates() {
+		t.Error("table length mismatch")
+	}
+}
+
+// TestStaticMatchesDPDemo: on the fixed demo grammar, the static automaton
+// must produce exactly the labeling the dynamic-programming oracle does:
+// same optimal rule for every (node, nonterminal), and state deltas equal
+// to DP costs minus the row minimum.
+func TestStaticMatchesDPDemo(t *testing.T) {
+	g := fixedDemo(t)
+	checkStaticAgainstDP(t, g, ir.RandomForest(g, ir.RandomConfig{Seed: 11, Trees: 200, MaxDepth: 8}))
+}
+
+func checkStaticAgainstDP(t *testing.T, g *grammar.Grammar, f *ir.Forest) {
+	t.Helper()
+	a, err := Generate(g, StaticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := dp.New(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Label(f)
+	got := a.Label(f, nil)
+	for _, n := range f.Nodes {
+		s := got.StateAt(n)
+		row := want.Costs[n.Index]
+		min := grammar.Inf
+		for _, c := range row {
+			if c < min {
+				min = c
+			}
+		}
+		for nt := range row {
+			wantRule := want.Rules[n.Index][nt]
+			gotRule := s.Rule[nt]
+			if wantRule != gotRule {
+				t.Fatalf("node %d (%s) nt %s: rule %s != DP rule %s",
+					n.Index, g.OpName(n.Op), g.NTName(grammar.NT(nt)),
+					g.RuleName(int(gotRule)), g.RuleName(int(wantRule)))
+			}
+			wantDelta := grammar.Inf
+			if !row[nt].IsInf() {
+				wantDelta = row[nt] - min
+			}
+			if s.Delta[nt] != wantDelta {
+				t.Fatalf("node %d nt %s: delta %d != DP relative cost %d",
+					n.Index, g.NTName(grammar.NT(nt)), s.Delta[nt], wantDelta)
+			}
+		}
+	}
+}
+
+// TestStaticMatchesDPQuick drives the same oracle check from testing/quick
+// seeds, so tree shapes are adversarial rather than hand-picked.
+func TestStaticMatchesDPQuick(t *testing.T) {
+	g := fixedDemo(t)
+	a, err := Generate(g, StaticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := dp.New(g, nil, nil)
+	prop := func(seed int64, trees uint8) bool {
+		f := ir.RandomForest(g, ir.RandomConfig{Seed: seed, Trees: int(trees%16) + 1, MaxDepth: 7})
+		want := l.Label(f)
+		got := a.Label(f, nil)
+		for _, n := range f.Nodes {
+			for nt := range want.Costs[n.Index] {
+				if want.Rules[n.Index][nt] != got.StateAt(n).Rule[nt] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	delta := []grammar.Cost{5, 3, grammar.Inf, 7}
+	rule := []int32{1, 2, -1, 3}
+	Normalize(delta, rule, DefaultDeltaCap)
+	want := []grammar.Cost{2, 0, grammar.Inf, 4}
+	for i := range want {
+		if delta[i] != want[i] {
+			t.Errorf("delta[%d] = %d, want %d", i, delta[i], want[i])
+		}
+	}
+	if rule[2] != -1 {
+		t.Error("rule of underivable entry must stay -1")
+	}
+}
+
+func TestNormalizeAllInf(t *testing.T) {
+	delta := []grammar.Cost{grammar.Inf, grammar.Inf}
+	rule := []int32{5, 6} // stale rules must be cleared
+	Normalize(delta, rule, DefaultDeltaCap)
+	if rule[0] != -1 || rule[1] != -1 {
+		t.Error("all-Inf state must clear rules for canonical hashing")
+	}
+}
+
+func TestNormalizeDeltaCap(t *testing.T) {
+	delta := []grammar.Cost{0, 3, 100}
+	rule := []int32{1, 2, 3}
+	Normalize(delta, rule, 10)
+	if !delta[2].IsInf() || rule[2] != -1 {
+		t.Error("delta above cap must become underivable")
+	}
+	if delta[1] != 3 {
+		t.Error("delta below cap must survive")
+	}
+}
+
+func TestTableInterning(t *testing.T) {
+	g := fixedDemo(t)
+	tbl := NewTable(g)
+	n := g.NumNonterms()
+	mk := func(base grammar.Cost) ([]grammar.Cost, []int32) {
+		d := make([]grammar.Cost, n)
+		r := make([]int32, n)
+		for i := range d {
+			d[i] = base
+			r[i] = int32(i)
+		}
+		return d, r
+	}
+	d1, r1 := mk(0)
+	s1, created := tbl.Intern(d1, r1, nil)
+	if !created {
+		t.Error("first intern must create")
+	}
+	d2, r2 := mk(0)
+	s2, created := tbl.Intern(d2, r2, nil)
+	if created || s1 != s2 {
+		t.Error("identical vectors must intern to the same state")
+	}
+	d3, r3 := mk(1)
+	s3, created := tbl.Intern(d3, r3, nil)
+	if !created || s3 == s1 {
+		t.Error("different vectors must create a new state")
+	}
+	// Equal costs but different rules must be different states.
+	d4, r4 := mk(0)
+	r4[0] = 99
+	s4, created := tbl.Intern(d4, r4, nil)
+	if !created || s4 == s1 {
+		t.Error("states with different rules must not merge")
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("table len = %d, want 3", tbl.Len())
+	}
+	if tbl.Get(s1.ID) != s1 {
+		t.Error("Get by id failed")
+	}
+	if tbl.MemoryBytes() <= 0 {
+		t.Error("memory estimate must be positive")
+	}
+	if s1.String() == "" {
+		t.Error("state must render")
+	}
+}
+
+func TestStateDerives(t *testing.T) {
+	s := &State{Delta: []grammar.Cost{0, grammar.Inf}, Rule: []int32{1, -1}}
+	if !s.Derives(0) || s.Derives(1) {
+		t.Error("Derives wrong")
+	}
+	if s.RuleAt(0) != 1 || s.RuleAt(1) != -1 {
+		t.Error("RuleAt wrong")
+	}
+}
+
+func TestGenerateMaxStates(t *testing.T) {
+	// A grammar whose costs keep diverging without a bounding chain rule:
+	// x accumulates cost per level while y stays flat, so the relative
+	// cost difference grows without bound and state generation must trip
+	// the MaxStates (or delta-cap) safety valve rather than diverge.
+	g := grammar.MustParse(`
+%term A(0) B(1)
+%start x
+x: A (0)
+y: A (0)
+x: B(x) (5)
+y: B(y) (0)
+`)
+	_, err := Generate(g, StaticConfig{MaxStates: 64})
+	if err == nil {
+		t.Fatal("expected MaxStates abort for diverging grammar")
+	}
+}
+
+func TestGenerateDivergingGrammarWithCap(t *testing.T) {
+	// Same diverging grammar, but a finite delta cap bounds the state
+	// space: generation must terminate.
+	g := grammar.MustParse(`
+%term A(0) B(1)
+%start x
+x: A (0)
+y: A (0)
+x: B(x) (5)
+y: B(y) (0)
+`)
+	a, err := Generate(g, StaticConfig{DeltaCap: 20, MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() == 0 || a.NumStates() > 1000 {
+		t.Errorf("states = %d", a.NumStates())
+	}
+}
+
+func TestGenerationMetrics(t *testing.T) {
+	g := fixedDemo(t)
+	m := &metrics.Counters{}
+	a, err := Generate(g, StaticConfig{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StatesBuilt != int64(a.NumStates()) {
+		t.Errorf("states built %d != states %d", m.StatesBuilt, a.NumStates())
+	}
+	if m.RulesExamined == 0 || m.TransitionsAdded == 0 {
+		t.Errorf("expected generation work: %s", m)
+	}
+}
+
+// TestLabelingMetrics: static labeling is one probe per node, no rule work.
+func TestLabelingMetrics(t *testing.T) {
+	g := fixedDemo(t)
+	a, err := Generate(g, StaticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ir.RandomForest(g, ir.RandomConfig{Seed: 3, Trees: 10, MaxDepth: 6})
+	m := &metrics.Counters{}
+	a.Label(f, m)
+	if m.TableProbes != int64(f.NumNodes()) {
+		t.Errorf("probes = %d, want %d (one per node)", m.TableProbes, f.NumNodes())
+	}
+	if m.RulesExamined != 0 || m.TableMisses != 0 {
+		t.Errorf("static labeling must do no DP work: %s", m)
+	}
+}

@@ -1,0 +1,139 @@
+// Package automaton provides the tree-parsing-automaton substrate shared
+// by the offline (burg-style) generator and the on-demand engine of the
+// paper: cost-normalized states, a hash-consing state table, and the state
+// constructor ("work function") that turns an operator plus child states
+// into a new state by running the dynamic-programming labeling step once.
+//
+// A state is the equivalence class of all subtrees that have, for every
+// nonterminal, the same optimal first rule and the same cost relative to
+// the cheapest nonterminal (Pelegrí-Llopart/Graham BURS theory;
+// Proebsting, TOPLAS '95). Relative ("delta") costs are what make the
+// state space finite.
+package automaton
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/metrics"
+)
+
+// DefaultDeltaCap is the default bound on relative costs. Deltas above the
+// cap are normalized to "not derivable". For realistic grammars (with the
+// chain-rule structure Proebsting assumes) deltas stay tiny and the cap
+// never triggers; it exists as the safety valve that guarantees a finite
+// state space for arbitrary grammars, and as the knob for the delta-cap
+// ablation experiment.
+const DefaultDeltaCap grammar.Cost = 1 << 20
+
+// State is a cost-normalized labeling result.
+type State struct {
+	// ID is the state's index in its Table.
+	ID int32
+	// Delta[nt] is the cost of deriving the represented subtrees from nt,
+	// relative to the cheapest nonterminal (grammar.Inf if underivable).
+	Delta []grammar.Cost
+	// Rule[nt] is the rule index of the first derivation step (-1 if
+	// underivable).
+	Rule []int32
+}
+
+// RuleAt returns the optimal rule index for nt (-1 if underivable).
+func (s *State) RuleAt(nt grammar.NT) int32 { return s.Rule[nt] }
+
+// Derives reports whether the state derives nt.
+func (s *State) Derives(nt grammar.NT) bool { return !s.Delta[nt].IsInf() }
+
+// String renders the state for diagnostics.
+func (s *State) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state %d {", s.ID)
+	first := true
+	for nt, d := range s.Delta {
+		if d.IsInf() {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "nt%d:+%d/r%d", nt, d, s.Rule[nt])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// MemoryBytes estimates the state's memory footprint, for the table-size
+// experiment.
+func (s *State) MemoryBytes() int {
+	return 16 + 4*len(s.Delta) + 4*len(s.Rule)
+}
+
+// Table hash-conses states: structurally identical (delta, rule) vectors
+// map to one *State, so state identity is pointer identity and transition
+// tables can be keyed by small dense ids.
+type Table struct {
+	g      *grammar.Grammar
+	states []*State
+	index  map[string]*State
+}
+
+// NewTable creates an empty state table for g.
+func NewTable(g *grammar.Grammar) *Table {
+	return &Table{g: g, index: map[string]*State{}}
+}
+
+// Grammar returns the grammar whose states the table holds.
+func (t *Table) Grammar() *grammar.Grammar { return t.g }
+
+// Len returns the number of distinct states.
+func (t *Table) Len() int { return len(t.states) }
+
+// Get returns the state with the given id.
+func (t *Table) Get(id int32) *State { return t.states[id] }
+
+// States returns the interned states in creation order. The slice is the
+// table's own; callers must not modify it.
+func (t *Table) States() []*State { return t.states }
+
+// Intern returns the unique state with the given vectors, creating it if
+// needed; created reports whether a new state was added. Intern takes
+// ownership of the slices when it creates a state.
+func (t *Table) Intern(delta []grammar.Cost, rule []int32, m *metrics.Counters) (s *State, created bool) {
+	key := stateKey(delta, rule)
+	if s, ok := t.index[key]; ok {
+		return s, false
+	}
+	s = &State{ID: int32(len(t.states)), Delta: delta, Rule: rule}
+	t.states = append(t.states, s)
+	t.index[key] = s
+	m.CountState()
+	return s, true
+}
+
+// MemoryBytes estimates the total footprint of all states plus the index.
+func (t *Table) MemoryBytes() int {
+	total := 0
+	for _, s := range t.states {
+		total += s.MemoryBytes()
+		total += len(stateKey(s.Delta, s.Rule)) + 16 // index entry
+	}
+	return total
+}
+
+// stateKey builds the hash-consing key. Rules are part of the key: two
+// labelings with equal costs but different optimal rules must be different
+// states because the reducer reads rules out of states.
+func stateKey(delta []grammar.Cost, rule []int32) string {
+	buf := make([]byte, 0, 8*len(delta))
+	var tmp [4]byte
+	for i := range delta {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(delta[i]))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(rule[i]))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,404 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+)
+
+// Static is an offline-generated tree-parsing automaton, the burg
+// equivalent and Baseline 2 of the reproduction: all states and transitions
+// are computed ahead of time, labeling is pure table lookup, and dynamic
+// costs are impossible.
+//
+// Table compression follows Chase/Proebsting index maps: child states are
+// projected, per operator and child position, onto "representer" classes
+// (only the costs of the nonterminals that the operator's rules actually
+// use at that position matter), and transition tables are indexed by
+// representer ids instead of state ids.
+type Static struct {
+	g        *grammar.Grammar
+	table    *Table
+	deltaCap grammar.Cost
+
+	leaf []int32 // [op] -> state id for arity-0 ops; -1 otherwise
+
+	// mu[op][p][stateID] -> representer id at child position p of op.
+	mu [][2][]int32
+	// nreps[op][p] is the number of representer classes at (op, p).
+	nreps [][2]int32
+	// t1[op][rep0] -> state id (unary ops).
+	t1 [][]int32
+	// t2[op][rep0*nreps[op][1]+rep1] -> state id (binary ops).
+	t2 [][]int32
+
+	// Gen holds generation statistics.
+	Gen GenStats
+}
+
+// GenStats summarizes offline generation.
+type GenStats struct {
+	States              int
+	Representers        int
+	TransitionsComputed int
+	TableBytes          int
+}
+
+// StaticConfig tunes offline generation.
+type StaticConfig struct {
+	// DeltaCap bounds relative costs (DefaultDeltaCap if zero).
+	DeltaCap grammar.Cost
+	// MaxStates aborts generation when exceeded (1<<20 if zero); a safety
+	// valve against pathological grammars.
+	MaxStates int
+	// Metrics receives generation-time event counts (may be nil).
+	Metrics *metrics.Counters
+}
+
+// Generate builds the full automaton for g. It fails for grammars with
+// dynamic-cost rules — precisely the limitation of offline tree-parsing
+// automata that motivates on-demand construction; strip the rules first
+// (grammar.StripDynamic) to tabulate the fixed-cost subset.
+func Generate(g *grammar.Grammar, cfg StaticConfig) (*Static, error) {
+	if g.HasAnyDynRules() {
+		return nil, fmt.Errorf("automaton: grammar %s has dynamic-cost rules; offline generation is impossible (use the on-demand engine or StripDynamic)", g.Name)
+	}
+	if cfg.DeltaCap == 0 {
+		cfg.DeltaCap = DefaultDeltaCap
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 1 << 20
+	}
+	gen := newGenerator(g, cfg)
+	if err := gen.run(); err != nil {
+		return nil, err
+	}
+	return gen.finish(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+
+type repSpace struct {
+	// relevant lists the nonterminals whose child costs the operator's
+	// rules read at this position, in ascending order.
+	relevant []grammar.NT
+	// index maps projection keys to representer ids.
+	index map[string]int32
+	// repOf[stateID] is the state's representer id.
+	repOf []int32
+	// sample[rep] is a state with that projection, used to compute
+	// transitions for the whole class.
+	sample []*State
+}
+
+type workItem struct {
+	op  grammar.OpID
+	pos int
+	rep int32
+}
+
+type generator struct {
+	g     *grammar.Grammar
+	cfg   StaticConfig
+	table *Table
+	leaf  []int32
+	reps  [][2]*repSpace // [op][pos]; nil where arity doesn't reach pos
+	// trans[op] collects transitions during generation, keyed by
+	// rep0<<32|rep1 (rep1=0 for unary ops).
+	trans []map[uint64]int32
+	queue []workItem
+	nTr   int
+}
+
+func newGenerator(g *grammar.Grammar, cfg StaticConfig) *generator {
+	gen := &generator{
+		g:     g,
+		cfg:   cfg,
+		table: NewTable(g),
+		leaf:  make([]int32, g.NumOps()),
+		reps:  make([][2]*repSpace, g.NumOps()),
+		trans: make([]map[uint64]int32, g.NumOps()),
+	}
+	for op := 0; op < g.NumOps(); op++ {
+		gen.leaf[op] = -1
+		arity := g.Ops[op].Arity
+		if arity == 0 {
+			continue
+		}
+		gen.trans[op] = map[uint64]int32{}
+		for p := 0; p < arity; p++ {
+			gen.reps[op][p] = newRepSpace(g, grammar.OpID(op), p)
+		}
+	}
+	return gen
+}
+
+func newRepSpace(g *grammar.Grammar, op grammar.OpID, pos int) *repSpace {
+	seen := map[grammar.NT]bool{}
+	var rel []grammar.NT
+	for _, ri := range g.BaseRules(op) {
+		nt := g.Rules[ri].Kids[pos]
+		if !seen[nt] {
+			seen[nt] = true
+			rel = append(rel, nt)
+		}
+	}
+	// Ascending order makes projection keys canonical.
+	for i := 1; i < len(rel); i++ {
+		for j := i; j > 0 && rel[j] < rel[j-1]; j-- {
+			rel[j], rel[j-1] = rel[j-1], rel[j]
+		}
+	}
+	return &repSpace{relevant: rel, index: map[string]int32{}}
+}
+
+// project computes the representer id of s at (op, pos), creating a new
+// class if the projection is new. It returns (rep, created).
+func (rs *repSpace) project(s *State) (int32, bool) {
+	key := projKey(s, rs.relevant)
+	if rep, ok := rs.index[key]; ok {
+		rs.repOf[s.ID] = rep
+		return rep, false
+	}
+	rep := int32(len(rs.sample))
+	rs.index[key] = rep
+	rs.sample = append(rs.sample, s)
+	rs.repOf[s.ID] = rep
+	return rep, true
+}
+
+// projKey normalizes the relevant cost sub-vector: subtract its minimum so
+// that states differing only by a uniform shift land in one class.
+func projKey(s *State, relevant []grammar.NT) string {
+	if len(relevant) == 0 {
+		return ""
+	}
+	min := grammar.Inf
+	for _, nt := range relevant {
+		if s.Delta[nt] < min {
+			min = s.Delta[nt]
+		}
+	}
+	buf := make([]byte, 0, 5*len(relevant))
+	for _, nt := range relevant {
+		d := s.Delta[nt]
+		if !d.IsInf() && !min.IsInf() {
+			d -= min
+		}
+		buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24), '|')
+	}
+	return string(buf)
+}
+
+func (gen *generator) run() error {
+	// Seed with the leaf-operator states.
+	for op := 0; op < gen.g.NumOps(); op++ {
+		if gen.g.Ops[op].Arity != 0 {
+			continue
+		}
+		delta, rule := Compute(gen.g, grammar.OpID(op), nil, nil, gen.cfg.DeltaCap, gen.cfg.Metrics)
+		s, created := gen.table.Intern(delta, rule, gen.cfg.Metrics)
+		gen.leaf[op] = s.ID
+		if created {
+			gen.addState(s)
+		}
+	}
+	for len(gen.queue) > 0 {
+		item := gen.queue[len(gen.queue)-1]
+		gen.queue = gen.queue[:len(gen.queue)-1]
+		if err := gen.expand(item); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addState registers a newly interned state with every representer space
+// and queues the transition computations its new classes require.
+func (gen *generator) addState(s *State) {
+	for op := 0; op < gen.g.NumOps(); op++ {
+		arity := gen.g.Ops[op].Arity
+		for p := 0; p < arity; p++ {
+			rs := gen.reps[op][p]
+			rs.repOf = append(rs.repOf, -1)
+			if rep, created := rs.project(s); created {
+				gen.queue = append(gen.queue, workItem{grammar.OpID(op), p, rep})
+			}
+		}
+	}
+}
+
+// expand computes all transitions that involve a new representer class.
+func (gen *generator) expand(item workItem) error {
+	g := gen.g
+	op := item.op
+	arity := g.Ops[op].Arity
+	if arity == 1 {
+		return gen.transition(op, item.rep, 0)
+	}
+	// Binary: pair the new class with every class at the other position.
+	if item.pos == 0 {
+		for r1 := int32(0); r1 < int32(len(gen.reps[op][1].sample)); r1++ {
+			if err := gen.transition(op, item.rep, r1); err != nil {
+				return err
+			}
+		}
+	} else {
+		for r0 := int32(0); r0 < int32(len(gen.reps[op][0].sample)); r0++ {
+			if err := gen.transition(op, r0, item.rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (gen *generator) transition(op grammar.OpID, rep0, rep1 int32) error {
+	key := uint64(rep0)<<32 | uint64(uint32(rep1))
+	if _, done := gen.trans[op][key]; done {
+		return nil
+	}
+	g := gen.g
+	var kids []*State
+	if g.Ops[op].Arity == 1 {
+		kids = []*State{gen.reps[op][0].sample[rep0]}
+	} else {
+		kids = []*State{gen.reps[op][0].sample[rep0], gen.reps[op][1].sample[rep1]}
+	}
+	delta, rule := Compute(g, op, kids, nil, gen.cfg.DeltaCap, gen.cfg.Metrics)
+	s, created := gen.table.Intern(delta, rule, gen.cfg.Metrics)
+	gen.trans[op][key] = s.ID
+	gen.nTr++
+	gen.cfg.Metrics.CountTransition()
+	if created {
+		if gen.table.Len() > gen.cfg.MaxStates {
+			return fmt.Errorf("automaton: grammar %s exceeds %d states; the grammar lacks the chain-rule structure that bounds relative costs",
+				g.Name, gen.cfg.MaxStates)
+		}
+		gen.addState(s)
+	}
+	return nil
+}
+
+// finish flattens the generation structures into dense lookup tables.
+func (gen *generator) finish() *Static {
+	g := gen.g
+	a := &Static{
+		g:        g,
+		table:    gen.table,
+		deltaCap: gen.cfg.DeltaCap,
+		leaf:     gen.leaf,
+		mu:       make([][2][]int32, g.NumOps()),
+		nreps:    make([][2]int32, g.NumOps()),
+		t1:       make([][]int32, g.NumOps()),
+		t2:       make([][]int32, g.NumOps()),
+	}
+	totalReps := 0
+	for op := 0; op < g.NumOps(); op++ {
+		arity := g.Ops[op].Arity
+		if arity == 0 {
+			continue
+		}
+		for p := 0; p < arity; p++ {
+			rs := gen.reps[op][p]
+			a.mu[op][p] = rs.repOf
+			a.nreps[op][p] = int32(len(rs.sample))
+			totalReps += len(rs.sample)
+		}
+		if arity == 1 {
+			t := make([]int32, a.nreps[op][0])
+			for key, sid := range gen.trans[op] {
+				t[int32(key>>32)] = sid
+			}
+			a.t1[op] = t
+		} else {
+			n1 := a.nreps[op][1]
+			t := make([]int32, a.nreps[op][0]*n1)
+			for key, sid := range gen.trans[op] {
+				r0 := int32(key >> 32)
+				r1 := int32(uint32(key))
+				t[r0*n1+r1] = sid
+			}
+			a.t2[op] = t
+		}
+	}
+	a.Gen = GenStats{
+		States:              gen.table.Len(),
+		Representers:        totalReps,
+		TransitionsComputed: gen.nTr,
+		TableBytes:          a.MemoryBytes(),
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Labeling with the generated automaton
+
+// Grammar returns the automaton's grammar.
+func (a *Static) Grammar() *grammar.Grammar { return a.g }
+
+// Table returns the automaton's state table.
+func (a *Static) Table() *Table { return a.table }
+
+// NumStates returns the number of states.
+func (a *Static) NumStates() int { return a.table.Len() }
+
+// NumTransitions returns the number of (compressed) transition entries.
+func (a *Static) NumTransitions() int {
+	n := 0
+	for op := range a.t1 {
+		n += len(a.t1[op]) + len(a.t2[op])
+	}
+	return n
+}
+
+// MemoryBytes estimates the automaton's total table footprint: states,
+// index maps, and transition tables.
+func (a *Static) MemoryBytes() int {
+	b := a.table.MemoryBytes()
+	for op := range a.mu {
+		b += 4 * (len(a.mu[op][0]) + len(a.mu[op][1]))
+		b += 4 * (len(a.t1[op]) + len(a.t2[op]))
+	}
+	return b
+}
+
+// Labeling is the per-node state assignment an automaton labeler produces;
+// it implements the rule lookup the reducer needs.
+type Labeling struct {
+	States []*State // indexed by node index
+}
+
+// RuleAt returns the optimal rule for (n, nt), or -1.
+func (l *Labeling) RuleAt(n *ir.Node, nt grammar.NT) int32 {
+	return l.States[n.Index].Rule[nt]
+}
+
+// StateAt returns the state assigned to n.
+func (l *Labeling) StateAt(n *ir.Node) *State { return l.States[n.Index] }
+
+// Label assigns a state to every node of f by pure table lookup: the
+// offline automaton's fast path. m may be nil.
+func (a *Static) Label(f *ir.Forest, m *metrics.Counters) *Labeling {
+	states := make([]*State, len(f.Nodes))
+	for i, n := range f.Nodes {
+		m.CountNode()
+		m.CountProbe(false)
+		op := n.Op
+		switch len(n.Kids) {
+		case 0:
+			states[i] = a.table.Get(a.leaf[op])
+		case 1:
+			rep := a.mu[op][0][states[n.Kids[0].Index].ID]
+			states[i] = a.table.Get(a.t1[op][rep])
+		default:
+			r0 := a.mu[op][0][states[n.Kids[0].Index].ID]
+			r1 := a.mu[op][1][states[n.Kids[1].Index].ID]
+			states[i] = a.table.Get(a.t2[op][r0*a.nreps[op][1]+r1])
+		}
+	}
+	return &Labeling{States: states}
+}

@@ -1,0 +1,296 @@
+// Package core implements the paper's contribution: on-demand (lazy)
+// tree-parsing automata for instruction selection, after Ertl, Casey and
+// Gregg, "Fast and Flexible Instruction Selection with On-Demand
+// Tree-Parsing Automata" (PLDI 2006).
+//
+// The automaton starts empty. When the labeler meets an (operator,
+// child-state tuple, dynamic-cost signature) combination for the first
+// time, it constructs the resulting state by running the iburg-style
+// dynamic-programming step once (automaton.Compute), hash-conses the state
+// and memoizes the transition. Every later occurrence takes the fast path:
+// evaluate the operator's dynamic costs (none, for most operators) and do
+// one table lookup.
+//
+// Operators without dynamic rules get dense transition arrays indexed by
+// child state ids (a direct lookup, like a static automaton); operators
+// with dynamic rules go through a hash table whose key includes the
+// evaluated dynamic-cost signature — the structure the successor literature
+// describes as "computing all the dynamic costs and a hash table lookup per
+// node". Because states are constructed at selection time, dynamic costs
+// work, which no offline automaton can offer.
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/automaton"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+)
+
+// Config tunes the on-demand engine.
+type Config struct {
+	// DeltaCap bounds relative costs in states (automaton.DefaultDeltaCap
+	// if zero).
+	DeltaCap grammar.Cost
+	// Metrics receives event counts (may be nil).
+	Metrics *metrics.Counters
+	// ForceHash disables the dense direct-lookup arrays and routes every
+	// transition through the hash maps; used by the table-layout ablation.
+	ForceHash bool
+}
+
+// Engine is an on-demand tree-parsing automaton. It persists across
+// Label calls — exactly the JIT scenario the paper targets: the automaton
+// warms up as the compiler runs, and per-node labeling cost converges to a
+// table lookup. Engines are not safe for concurrent use.
+type Engine struct {
+	g        *grammar.Grammar
+	dynFns   []grammar.DynFunc
+	table    *automaton.Table
+	deltaCap grammar.Cost
+	m        *metrics.Counters
+	force    bool
+
+	// Fixed-cost fast paths: dense, grown on demand.
+	leaf []*automaton.State   // [op]
+	un   [][]*automaton.State // [op][kidState]
+	bin  [][][]*automaton.State
+
+	// Dynamic-rule (and ForceHash) path: hash maps, keyed by child state
+	// ids plus the dynamic-cost signature.
+	hash []map[transKey]*automaton.State // [op]
+
+	transitions int
+	dynBuf      []grammar.Cost
+	sigBuf      []byte
+}
+
+type transKey struct {
+	l, r int32
+	sig  string
+}
+
+// New creates an empty on-demand automaton for g. env binds the grammar's
+// dynamic-cost function names (nil is fine for grammars without dynamic
+// rules).
+func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
+	dyn, err := env.Bind(g)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DeltaCap == 0 {
+		cfg.DeltaCap = automaton.DefaultDeltaCap
+	}
+	e := &Engine{
+		g:        g,
+		dynFns:   dyn,
+		table:    automaton.NewTable(g),
+		deltaCap: cfg.DeltaCap,
+		m:        cfg.Metrics,
+		force:    cfg.ForceHash,
+		leaf:     make([]*automaton.State, g.NumOps()),
+		un:       make([][]*automaton.State, g.NumOps()),
+		bin:      make([][][]*automaton.State, g.NumOps()),
+		hash:     make([]map[transKey]*automaton.State, g.NumOps()),
+	}
+	return e, nil
+}
+
+// Grammar returns the engine's grammar.
+func (e *Engine) Grammar() *grammar.Grammar { return e.g }
+
+// SetMetrics swaps the engine's counter sink (nil disables instrumenting).
+// The experiment harness uses it to re-instrument a warmed engine without
+// rebuilding its tables.
+func (e *Engine) SetMetrics(m *metrics.Counters) { e.m = m }
+
+// Table exposes the hash-consed state table (for inspection and tests).
+func (e *Engine) Table() *automaton.Table { return e.table }
+
+// NumStates returns the number of states materialized so far.
+func (e *Engine) NumStates() int { return e.table.Len() }
+
+// NumTransitions returns the number of transitions memoized so far.
+func (e *Engine) NumTransitions() int { return e.transitions }
+
+// Label assigns a state to every node of f (topological order, so DAGs are
+// covered), constructing missing states and transitions on demand.
+func (e *Engine) Label(f *ir.Forest) *automaton.Labeling {
+	states := make([]*automaton.State, len(f.Nodes))
+	for i, n := range f.Nodes {
+		states[i] = e.LabelNode(n, states)
+	}
+	return &automaton.Labeling{States: states}
+}
+
+// LabelNode labels one node whose children are already labeled in states
+// (indexed by node index). Exposed so incremental clients (the JIT
+// example) can interleave labeling with other per-node work.
+func (e *Engine) LabelNode(n *ir.Node, states []*automaton.State) *automaton.State {
+	e.m.CountNode()
+	op := n.Op
+
+	// The fast path evaluates the operator's dynamic costs (rarely any)
+	// and performs one lookup.
+	var sig string
+	dynamic := e.g.HasDynRules(op)
+	if dynamic {
+		sig = e.evalDyn(n, states)
+	}
+
+	if dynamic || e.force {
+		return e.lookupHash(op, n, states, sig)
+	}
+	switch len(n.Kids) {
+	case 0:
+		e.m.CountProbe(e.leaf[op] == nil)
+		if s := e.leaf[op]; s != nil {
+			return s
+		}
+		s := e.construct(op, nil, nil)
+		e.leaf[op] = s
+		e.transitions++
+		e.m.CountTransition()
+		return s
+	case 1:
+		k := states[n.Kids[0].Index].ID
+		row := e.un[op]
+		if int(k) < len(row) && row[k] != nil {
+			e.m.CountProbe(false)
+			return row[k]
+		}
+		e.m.CountProbe(true)
+		s := e.construct(op, []*automaton.State{states[n.Kids[0].Index]}, nil)
+		e.un[op] = growRow(e.un[op], int(k))
+		e.un[op][k] = s
+		e.transitions++
+		e.m.CountTransition()
+		return s
+	default:
+		l := states[n.Kids[0].Index].ID
+		r := states[n.Kids[1].Index].ID
+		t := e.bin[op]
+		if int(l) < len(t) {
+			if row := t[l]; row != nil && int(r) < len(row) && row[r] != nil {
+				e.m.CountProbe(false)
+				return row[r]
+			}
+		}
+		e.m.CountProbe(true)
+		s := e.construct(op, []*automaton.State{states[n.Kids[0].Index], states[n.Kids[1].Index]}, nil)
+		if int(l) >= len(e.bin[op]) {
+			t := make([][]*automaton.State, int(l)+1+8)
+			copy(t, e.bin[op])
+			e.bin[op] = t
+		}
+		e.bin[op][l] = growRow(e.bin[op][l], int(r))
+		e.bin[op][l][r] = s
+		e.transitions++
+		e.m.CountTransition()
+		return s
+	}
+}
+
+func growRow(row []*automaton.State, idx int) []*automaton.State {
+	if idx < len(row) {
+		return row
+	}
+	t := make([]*automaton.State, idx+1+8)
+	copy(t, row)
+	return t
+}
+
+// lookupHash handles operators with dynamic rules (and the ForceHash
+// ablation): one map probe keyed by child states and signature.
+func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string) *automaton.State {
+	var key transKey
+	key.sig = sig
+	var kids []*automaton.State
+	switch len(n.Kids) {
+	case 0:
+	case 1:
+		kids = []*automaton.State{states[n.Kids[0].Index]}
+		key.l = kids[0].ID
+	default:
+		kids = []*automaton.State{states[n.Kids[0].Index], states[n.Kids[1].Index]}
+		key.l, key.r = kids[0].ID, kids[1].ID
+	}
+	h := e.hash[op]
+	if h == nil {
+		h = map[transKey]*automaton.State{}
+		e.hash[op] = h
+	}
+	if s, ok := h[key]; ok {
+		e.m.CountProbe(false)
+		return s
+	}
+	e.m.CountProbe(true)
+	s := e.construct(op, kids, e.dynBuf)
+	h[key] = s
+	e.transitions++
+	e.m.CountTransition()
+	return s
+}
+
+// evalDyn evaluates the dynamic rules of n's operator into e.dynBuf and
+// returns the signature string that distinguishes transition outcomes.
+// A dynamic-cost function only runs when its rule is structurally
+// applicable (every kid nonterminal derivable in the kid's state); such
+// functions inspect the matched pattern's shape, so calling them on
+// non-matching nodes would be wrong — and skipping them also keeps the
+// fast path's dynamic-evaluation count low.
+func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State) string {
+	rules := e.g.DynRules(n.Op)
+	e.dynBuf = e.dynBuf[:0]
+	e.sigBuf = e.sigBuf[:0]
+	for _, ri := range rules {
+		r := &e.g.Rules[ri]
+		c := grammar.Inf
+		applicable := true
+		for ki, kid := range n.Kids {
+			if !states[kid.Index].Derives(r.Kids[ki]) {
+				applicable = false
+				break
+			}
+		}
+		if applicable {
+			e.m.CountDyn(1)
+			c = e.dynFns[ri](n)
+			if c >= grammar.Inf {
+				c = grammar.Inf
+			}
+		}
+		e.dynBuf = append(e.dynBuf, c)
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(c))
+		e.sigBuf = append(e.sigBuf, tmp[:]...)
+	}
+	return string(e.sigBuf)
+}
+
+// construct is the slow path: run the DP step once and intern the result.
+func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []grammar.Cost) *automaton.State {
+	delta, rule := automaton.Compute(e.g, op, kids, dynVals, e.deltaCap, e.m)
+	s, _ := e.table.Intern(delta, rule, e.m)
+	return s
+}
+
+// MemoryBytes estimates the engine's current table footprint: interned
+// states plus all memoized transition storage.
+func (e *Engine) MemoryBytes() int {
+	b := e.table.MemoryBytes()
+	for op := range e.un {
+		b += 8 * len(e.un[op])
+		for _, row := range e.bin[op] {
+			b += 8 * len(row)
+		}
+		b += 8 * len(e.bin[op])
+		for k := range e.hash[op] {
+			b += 16 + len(k.sig) + 8
+		}
+	}
+	b += 8 * len(e.leaf)
+	return b
+}

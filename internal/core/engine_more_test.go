@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/dp"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/metrics"
+)
+
+// TestFixedGrammarNoDynWork: on a grammar without dynamic rules, the warm
+// fast path must never call a dynamic function and must be pure dense
+// lookups (no hash maps populated).
+func TestFixedGrammarNoDynWork(t *testing.T) {
+	d := md.MustLoad("demo")
+	g, err := d.Grammar.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &metrics.Counters{}
+	e, err := New(g, nil, Config{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ir.RandomForest(g, ir.RandomConfig{Seed: 4, Trees: 100, MaxDepth: 7})
+	e.Label(f)
+	if m.DynEvals != 0 {
+		t.Errorf("dyn evals = %d on a fixed grammar", m.DynEvals)
+	}
+	for op := range e.hash {
+		if len(e.hash[op]) != 0 {
+			t.Errorf("hash path used for op %s on a fixed grammar", g.OpName(grammar.OpID(op)))
+		}
+	}
+}
+
+// TestForceHashUsesNoDenseTables is the inverse: with ForceHash, dense
+// tables stay empty.
+func TestForceHashUsesNoDenseTables(t *testing.T) {
+	d := md.MustLoad("demo")
+	g, err := d.Grammar.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, nil, Config{ForceHash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ir.RandomForest(g, ir.RandomConfig{Seed: 4, Trees: 50, MaxDepth: 6})
+	e.Label(f)
+	for op := range e.un {
+		if e.leaf[op] != nil || len(e.un[op]) != 0 || len(e.bin[op]) != 0 {
+			t.Fatalf("dense table populated for op %s under ForceHash", g.OpName(grammar.OpID(op)))
+		}
+	}
+	if e.NumStates() == 0 {
+		t.Fatal("nothing labeled")
+	}
+}
+
+// TestDeltaCapMatchesDefaultOnRealGrammar: realistic grammars have tiny
+// relative costs, so even a small cap must not change labeling results
+// (Proebsting's bounded-delta argument).
+func TestDeltaCapMatchesDefaultOnRealGrammar(t *testing.T) {
+	d := md.MustLoad("demo")
+	f := ir.RandomForest(d.Grammar, ir.RandomConfig{Seed: 77, Trees: 200, MaxDepth: 7, Share: true, MaxLeafVal: 3})
+	e1, err := New(d.Grammar, d.Env, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(d.Grammar, d.Env, Config{DeltaCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := e1.Label(f)
+	l2 := e2.Label(f)
+	for _, n := range f.Nodes {
+		for nt := 0; nt < d.Grammar.NumNonterms(); nt++ {
+			if l1.StateAt(n).Rule[nt] != l2.StateAt(n).Rule[nt] {
+				t.Fatalf("node %d nt %d: cap changed the selected rule", n.Index, nt)
+			}
+		}
+	}
+	if e1.NumStates() != e2.NumStates() {
+		t.Errorf("cap changed state count: %d vs %d", e1.NumStates(), e2.NumStates())
+	}
+}
+
+// TestEnginePersistsAcrossGrammarsOfOps: two engines over the same grammar
+// are independent — no shared global state.
+func TestEnginesIndependent(t *testing.T) {
+	d := md.MustLoad("demo")
+	e1, _ := New(d.Grammar, d.Env, Config{})
+	e2, _ := New(d.Grammar, d.Env, Config{})
+	f := ir.MustParseTree(d.Grammar, "Store(Reg, Reg)")
+	e1.Label(f)
+	if e2.NumStates() != 0 || e2.NumTransitions() != 0 {
+		t.Error("engines share state")
+	}
+}
+
+// TestUnaryDenseGrowth: unary transitions indexed by a late (high-id)
+// child state must grow the dense row correctly.
+func TestUnaryDenseGrowth(t *testing.T) {
+	g := grammar.MustParse(`
+%term A(0) B(0) C(0) U(1)
+%start x
+x: A (1)
+x: B (2)
+x: C (3)
+x: U(x) (1)
+`)
+	e, err := New(g, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := dp.New(g, nil, nil)
+	// Touch leaves in an order that makes U's first dense index nonzero.
+	for _, src := range []string{"U(C)", "U(B)", "U(A)", "U(U(U(C)))"} {
+		f := ir.MustParseTree(g, src)
+		got := e.Label(f)
+		want := l.Label(f)
+		for _, n := range f.Nodes {
+			for nt := 0; nt < g.NumNonterms(); nt++ {
+				if want.Rules[n.Index][nt] != got.StateAt(n).Rule[nt] {
+					t.Fatalf("%s: node %d disagrees with DP", src, n.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestOnDemandEqualsStaticStateCount: driving the on-demand engine over
+// inputs that cover the whole tree space of a tiny grammar must
+// materialize exactly the full automaton.
+func TestOnDemandSaturatesTinyGrammar(t *testing.T) {
+	d := md.MustLoad("demo")
+	g, err := d.Grammar.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := automaton.Generate(g, automaton.StaticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep random forests over a 4-operator grammar cover everything.
+	for seed := int64(0); seed < 30; seed++ {
+		e.Label(ir.RandomForest(g, ir.RandomConfig{Seed: seed, Trees: 80, MaxDepth: 9}))
+	}
+	if e.NumStates() != full.NumStates() {
+		t.Errorf("saturated on-demand has %d states, full automaton %d",
+			e.NumStates(), full.NumStates())
+	}
+}
+
+func TestMemoryGrowsMonotonically(t *testing.T) {
+	d := md.MustLoad("demo")
+	e, _ := New(d.Grammar, d.Env, Config{})
+	prev := e.MemoryBytes()
+	for seed := int64(0); seed < 5; seed++ {
+		e.Label(ir.RandomForest(d.Grammar, ir.RandomConfig{Seed: seed, Trees: 30, MaxDepth: 6}))
+		cur := e.MemoryBytes()
+		if cur < prev {
+			t.Fatalf("memory shrank: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}

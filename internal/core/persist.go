@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/automaton"
+	"repro/internal/grammar"
+)
+
+// Save/Load persist an on-demand automaton: the natural extension of lazy
+// construction to a JIT that runs more than once. A saved automaton
+// restores every interned state and memoized transition, so a warmed
+// compiler starts its next run with a fully hot fast path (zero misses on
+// the same workload) instead of re-deriving states it has seen before.
+//
+// The format is tied to the exact grammar: a fingerprint of the
+// normal-form dump is embedded and checked on load, because state vectors
+// index nonterminals and rules by position.
+
+const persistMagic = "ODTA1\n"
+
+// Fingerprint identifies a grammar for persistence compatibility.
+func Fingerprint(g *grammar.Grammar) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, g.Name)
+	io.WriteString(h, g.Dump())
+	return h.Sum64()
+}
+
+// Save writes the engine's automaton (states + transitions) to w.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	put := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	put(Fingerprint(e.g))
+	put(uint64(e.g.NumNonterms()))
+
+	states := e.table.States()
+	put(uint64(len(states)))
+	for _, s := range states {
+		for nt := range s.Delta {
+			put(uint64(uint32(s.Delta[nt])))
+			put(uint64(uint32(s.Rule[nt])))
+		}
+	}
+
+	// Dense transitions.
+	var leaf, un, bin [][3]int64
+	for op := range e.leaf {
+		if e.leaf[op] != nil {
+			leaf = append(leaf, [3]int64{int64(op), int64(e.leaf[op].ID), 0})
+		}
+		for k, s := range e.un[op] {
+			if s != nil {
+				un = append(un, [3]int64{int64(op), int64(k), int64(s.ID)})
+			}
+		}
+		for l, row := range e.bin[op] {
+			for r, s := range row {
+				if s != nil {
+					bin = append(bin, [3]int64{int64(op), int64(l)<<32 | int64(r), int64(s.ID)})
+				}
+			}
+		}
+	}
+	writeTriples := func(ts [][3]int64) {
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t[0]))
+			put(uint64(t[1]))
+			put(uint64(t[2]))
+		}
+	}
+	writeTriples(leaf)
+	writeTriples(un)
+	writeTriples(bin)
+
+	// Hash transitions (dynamic operators and ForceHash).
+	nHash := 0
+	for op := range e.hash {
+		nHash += len(e.hash[op])
+	}
+	put(uint64(nHash))
+	for op := range e.hash {
+		for key, s := range e.hash[op] {
+			put(uint64(op))
+			put(uint64(uint32(key.l)))
+			put(uint64(uint32(key.r)))
+			put(uint64(len(key.sig)))
+			bw.WriteString(key.sig)
+			put(uint64(s.ID))
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a previously saved automaton into a fresh engine for the
+// same grammar. Loading into a non-empty engine is rejected.
+func (e *Engine) Load(r io.Reader) error {
+	if e.table.Len() != 0 {
+		return fmt.Errorf("core: Load requires a fresh engine")
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: reading automaton header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return fmt.Errorf("core: not a saved automaton (bad magic %q)", magic)
+	}
+	get := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	fp, err := get()
+	if err != nil {
+		return err
+	}
+	if fp != Fingerprint(e.g) {
+		return fmt.Errorf("core: saved automaton was built for a different grammar (fingerprint %x != %x)",
+			fp, Fingerprint(e.g))
+	}
+	numNT, err := get()
+	if err != nil {
+		return err
+	}
+	if int(numNT) != e.g.NumNonterms() {
+		return fmt.Errorf("core: nonterminal count mismatch")
+	}
+
+	nStates, err := get()
+	if err != nil {
+		return err
+	}
+	if nStates > 1<<24 {
+		return fmt.Errorf("core: implausible state count %d", nStates)
+	}
+	byID := make([]*automaton.State, nStates)
+	for i := range byID {
+		delta := make([]grammar.Cost, numNT)
+		rule := make([]int32, numNT)
+		for nt := 0; nt < int(numNT); nt++ {
+			d, err := get()
+			if err != nil {
+				return err
+			}
+			rv, err := get()
+			if err != nil {
+				return err
+			}
+			delta[nt] = grammar.Cost(int32(uint32(d)))
+			rule[nt] = int32(uint32(rv))
+			if rule[nt] >= int32(e.g.NumRules()) {
+				return fmt.Errorf("core: state %d references rule %d outside the grammar", i, rule[nt])
+			}
+		}
+		s, _ := e.table.Intern(delta, rule, e.m)
+		if s.ID != int32(i) {
+			return fmt.Errorf("core: duplicate state %d in saved automaton", i)
+		}
+		byID[i] = s
+	}
+	state := func(v uint64) (*automaton.State, error) {
+		if v >= nStates {
+			return nil, fmt.Errorf("core: transition references state %d of %d", v, nStates)
+		}
+		return byID[v], nil
+	}
+
+	readTriples := func(apply func(op, key, sid uint64) error) error {
+		n, err := get()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			op, err := get()
+			if err != nil {
+				return err
+			}
+			key, err := get()
+			if err != nil {
+				return err
+			}
+			sid, err := get()
+			if err != nil {
+				return err
+			}
+			if op >= uint64(e.g.NumOps()) {
+				return fmt.Errorf("core: transition references operator %d", op)
+			}
+			if err := apply(op, key, sid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Leaf triples store (op, stateID, 0).
+	if err := readTriples(func(op, key, _ uint64) error {
+		s, err := state(key)
+		if err != nil {
+			return err
+		}
+		e.leaf[op] = s
+		e.transitions++
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Unary triples store (op, kidStateID, stateID).
+	if err := readTriples(func(op, key, sid uint64) error {
+		s, err := state(sid)
+		if err != nil {
+			return err
+		}
+		e.un[op] = growRow(e.un[op], int(key))
+		e.un[op][key] = s
+		e.transitions++
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Binary triples store (op, left<<32|right, stateID).
+	if err := readTriples(func(op, key, sid uint64) error {
+		s, err := state(sid)
+		if err != nil {
+			return err
+		}
+		l := int(key >> 32)
+		r := int(uint32(key))
+		if l >= len(e.bin[op]) {
+			t := make([][]*automaton.State, l+1+8)
+			copy(t, e.bin[op])
+			e.bin[op] = t
+		}
+		e.bin[op][l] = growRow(e.bin[op][l], r)
+		e.bin[op][l][r] = s
+		e.transitions++
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Hash transitions.
+	nHash, err := get()
+	if err != nil {
+		return err
+	}
+	if nHash > 1<<26 {
+		return fmt.Errorf("core: implausible hash-transition count %d", nHash)
+	}
+	for i := uint64(0); i < nHash; i++ {
+		op, err := get()
+		if err != nil {
+			return err
+		}
+		lv, err := get()
+		if err != nil {
+			return err
+		}
+		rv, err := get()
+		if err != nil {
+			return err
+		}
+		sigLen, err := get()
+		if err != nil {
+			return err
+		}
+		if sigLen > 1<<16 {
+			return fmt.Errorf("core: implausible signature length %d", sigLen)
+		}
+		sig := make([]byte, sigLen)
+		if _, err := io.ReadFull(br, sig); err != nil {
+			return err
+		}
+		sid, err := get()
+		if err != nil {
+			return err
+		}
+		if op >= uint64(e.g.NumOps()) {
+			return fmt.Errorf("core: hash transition references operator %d", op)
+		}
+		s, err := state(sid)
+		if err != nil {
+			return err
+		}
+		h := e.hash[op]
+		if h == nil {
+			h = map[transKey]*automaton.State{}
+			e.hash[op] = h
+		}
+		h[transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}] = s
+		e.transitions++
+	}
+	return nil
+}

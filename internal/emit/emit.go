@@ -1,0 +1,186 @@
+// Package emit turns selected derivations into assembly-like text.
+//
+// Rules carry templates (see grammar.Rule.Template). A template starting
+// with '=' is a *value* template: it names the operand the rule's
+// left-hand-side nonterminal stands for (addressing modes, immediates,
+// registers) and emits no instruction. Any other non-empty template is an
+// *instruction* template: the emitter allocates a fresh virtual register
+// for the result and writes one line of assembly. Empty templates emit
+// nothing and pass the operand of the rule's (single) right-hand-side
+// nonterminal through, which is the common case for chain and helper
+// rules.
+//
+// Substitutions: %0 and %1 expand to the operands of the rule's kid
+// nonterminals, %c to the node's leaf value, %s to its symbol, and %d to
+// the freshly allocated destination register. For multi-node source
+// patterns, dotted paths descend through the helper rules that normal-form
+// conversion introduced: in Store(addr, Plus(Load(addr), reg)) the operand
+// of the inner reg is %1.1 (kid 1 of the Store, kid 1 of the Plus).
+//
+// The emitter exists for two reasons: the examples and CLI produce real
+// output, and the experiments need "emitted target instructions" as their
+// denominator and "identical code out of every engine" as a correctness
+// check.
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/reduce"
+)
+
+// Emitter accumulates assembly for one forest. Use one Emitter per Cover.
+type Emitter struct {
+	g *grammar.Grammar
+	b strings.Builder
+	// operands[key(node, nt)] is the operand text the (node, nonterminal)
+	// result can be referenced by.
+	operands map[int64]string
+	// applied[key(node, nt)] is the rule reduced at (node, nt); dotted
+	// template paths walk through it.
+	applied map[int64]*grammar.Rule
+	nextReg int
+	instrs  int
+}
+
+// New creates an emitter for g.
+func New(g *grammar.Grammar) *Emitter {
+	return &Emitter{g: g, operands: map[int64]string{}, applied: map[int64]*grammar.Rule{}}
+}
+
+// Visit is the reduce.Visitor that drives emission.
+func (e *Emitter) Visit(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
+	key := opKey(n, nt)
+	e.applied[key] = r
+	switch {
+	case r.Template == "":
+		// Pass-through: chain rules forward the RHS nonterminal's operand;
+		// base rules without templates forward their first kid (or render
+		// the leaf payload).
+		if r.IsChain {
+			e.operands[key] = e.operandOf(n, r.ChainRHS)
+		} else if len(n.Kids) > 0 {
+			e.operands[key] = e.operandOf(n.Kids[0], r.Kids[0])
+		} else {
+			e.operands[key] = leafText(n)
+		}
+	case strings.HasPrefix(r.Template, "="):
+		e.operands[key] = e.expand(r.Template[1:], n, r, "")
+	default:
+		dst := fmt.Sprintf("r%d", e.nextReg)
+		e.nextReg++
+		line := e.expand(r.Template, n, r, dst)
+		e.b.WriteByte('\t')
+		e.b.WriteString(line)
+		e.b.WriteByte('\n')
+		e.instrs++
+		e.operands[key] = dst
+	}
+}
+
+// expand substitutes template escapes.
+func (e *Emitter) expand(tmpl string, n *ir.Node, r *grammar.Rule, dst string) string {
+	var out strings.Builder
+	for i := 0; i < len(tmpl); i++ {
+		c := tmpl[i]
+		if c != '%' || i+1 >= len(tmpl) {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		switch tmpl[i] {
+		case '0', '1':
+			ki := int(tmpl[i] - '0')
+			// Collect a dotted path: %1.1 descends through helper rules.
+			var path []int
+			path = append(path, ki)
+			for i+2 < len(tmpl) && tmpl[i+1] == '.' && tmpl[i+2] >= '0' && tmpl[i+2] <= '9' {
+				path = append(path, int(tmpl[i+2]-'0'))
+				i += 2
+			}
+			if r.IsChain {
+				out.WriteString(e.operandOf(n, r.ChainRHS))
+			} else {
+				out.WriteString(e.pathOperand(n, r, path))
+			}
+		case 'c':
+			fmt.Fprintf(&out, "%d", n.Val)
+		case 's':
+			out.WriteString(n.Sym)
+		case 'd':
+			out.WriteString(dst)
+		case '%':
+			out.WriteByte('%')
+		default:
+			out.WriteByte('%')
+			out.WriteByte(tmpl[i])
+		}
+	}
+	return out.String()
+}
+
+// pathOperand resolves a dotted kid path starting at base rule r of node n:
+// each step moves to kid path[k] of the current node, using the rule
+// reduced at the current (node, nonterminal) to find the kid nonterminal.
+func (e *Emitter) pathOperand(n *ir.Node, r *grammar.Rule, path []int) string {
+	for step, ki := range path {
+		if r == nil || r.IsChain || ki >= len(n.Kids) {
+			return "?"
+		}
+		nt := r.Kids[ki]
+		n = n.Kids[ki]
+		// Follow chain rules applied at the kid down to a base rule so a
+		// further path step has kids to descend into.
+		kr := e.applied[opKey(n, nt)]
+		for kr != nil && kr.IsChain {
+			nt = kr.ChainRHS
+			kr = e.applied[opKey(n, nt)]
+		}
+		if step == len(path)-1 {
+			return e.operandOf(n, nt)
+		}
+		r = kr
+	}
+	return "?"
+}
+
+func (e *Emitter) operandOf(n *ir.Node, nt grammar.NT) string {
+	if s, ok := e.operands[opKey(n, nt)]; ok {
+		return s
+	}
+	// A kid whose reduction carried no template at all: render the leaf.
+	return leafText(n)
+}
+
+func leafText(n *ir.Node) string {
+	if n.Sym != "" {
+		return n.Sym
+	}
+	return fmt.Sprintf("%d", n.Val)
+}
+
+func opKey(n *ir.Node, nt grammar.NT) int64 {
+	return int64(n.Index)<<16 | int64(nt)
+}
+
+// Asm returns the emitted assembly text.
+func (e *Emitter) Asm() string { return e.b.String() }
+
+// Instructions returns the number of emitted instruction lines — the
+// "emitted target instructions" denominator of the per-instruction
+// experiment figures.
+func (e *Emitter) Instructions() int { return e.instrs }
+
+// Emit covers f with lab using reducer rd and returns the assembly, the
+// emitted instruction count, and the derivation cost.
+func Emit(rd *reduce.Reducer, f *ir.Forest, lab reduce.Labeling, g *grammar.Grammar) (asm string, instrs int, cost grammar.Cost, err error) {
+	em := New(g)
+	cost, err = rd.Cover(f, lab, em.Visit)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return em.Asm(), em.Instructions(), cost, nil
+}

@@ -1,0 +1,175 @@
+package frontend
+
+// The MinC abstract syntax tree. Nodes are deliberately plain structs with
+// a kind discriminator: the tree is small, short-lived, and consumed by one
+// lowering pass.
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Name string
+	// Elem is the element type: "char", "short", "int" or "long".
+	Elem string
+	// Size is the element count for arrays, 0 for scalars.
+	Size int64
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares a local scalar or array, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Elem string // element type: "char", "short", "int" or "long"
+	Size int64  // element count for arrays, 0 for scalars
+	Init Expr   // scalar initializer, may be nil
+	Line int
+}
+
+// AssignStmt assigns to a variable or array element. Op is "" for plain
+// assignment, or the binary operator for compound forms (x += e).
+type AssignStmt struct {
+	Target *LValue
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns a value (Value may be nil for "return;").
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ForStmt) stmt()    {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Val int64 }
+
+// VarExpr reads a scalar variable.
+type VarExpr struct{ Name string }
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*NumExpr) expr()   {}
+func (*VarExpr) expr()   {}
+func (*IndexExpr) expr() {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*CallExpr) expr()  {}
+
+// LValue is an assignable location: a scalar variable or array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// sameLValue reports whether an expression reads exactly the lvalue l —
+// the syntactic identity that lets lowering share the address node between
+// the load and the store of a read-modify-write statement.
+func sameLValue(l *LValue, e Expr) bool {
+	switch e := e.(type) {
+	case *VarExpr:
+		return l.Index == nil && e.Name == l.Name
+	case *IndexExpr:
+		return l.Index != nil && e.Name == l.Name && sameExpr(l.Index, e.Index)
+	}
+	return false
+}
+
+// sameExpr is structural equality of pure expressions (no calls).
+func sameExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case *NumExpr:
+		b, ok := b.(*NumExpr)
+		return ok && a.Val == b.Val
+	case *VarExpr:
+		b, ok := b.(*VarExpr)
+		return ok && a.Name == b.Name
+	case *IndexExpr:
+		b, ok := b.(*IndexExpr)
+		return ok && a.Name == b.Name && sameExpr(a.Index, b.Index)
+	case *UnaryExpr:
+		b, ok := b.(*UnaryExpr)
+		return ok && a.Op == b.Op && sameExpr(a.X, b.X)
+	case *BinExpr:
+		b, ok := b.(*BinExpr)
+		return ok && a.Op == b.Op && sameExpr(a.L, b.L) && sameExpr(a.R, b.R)
+	}
+	return false
+}

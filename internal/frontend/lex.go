@@ -1,0 +1,85 @@
+package frontend
+
+import "fmt"
+
+// Lexer tokenizes MinC source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// multiCharOps are the multi-byte punctuation tokens, longest first so
+// "<<=" wins over "<<".
+var multiCharOps = []string{
+	"<<=", ">>=",
+	"<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '\n':
+			l.pos++
+			l.line++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return Token{}, fmt.Errorf("minc:%d: unterminated block comment", l.line)
+			}
+			l.pos += 2
+		case isLetter(c):
+			start := l.pos
+			for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := IDENT
+			if keywords[text] {
+				kind = KEYWORD
+			}
+			return Token{Kind: kind, Text: text, Line: l.line}, nil
+		case isDigit(c):
+			start := l.pos
+			var v int64
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				v = v*10 + int64(l.src[l.pos]-'0')
+				l.pos++
+			}
+			return Token{Kind: NUMBER, Text: l.src[start:l.pos], Val: v, Line: l.line}, nil
+		default:
+			for _, op := range multiCharOps {
+				if l.pos+len(op) <= len(l.src) && l.src[l.pos:l.pos+len(op)] == op {
+					l.pos += len(op)
+					return Token{Kind: PUNCT, Text: op, Line: l.line}, nil
+				}
+			}
+			l.pos++
+			return Token{Kind: PUNCT, Text: string(c), Line: l.line}, nil
+		}
+	}
+	return Token{Kind: EOF, Line: l.line}, nil
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

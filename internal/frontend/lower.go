@@ -1,0 +1,523 @@
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/ir"
+)
+
+// Function is a lowered MinC function: one IR forest whose roots are the
+// function's statements in order, lcc-style.
+type Function struct {
+	Name      string
+	Forest    *ir.Forest
+	FrameSize int64
+}
+
+// Unit is a lowered compilation unit.
+type Unit struct {
+	Funcs []*Function
+}
+
+// TotalNodes sums IR nodes over all functions.
+func (u *Unit) TotalNodes() int {
+	n := 0
+	for _, f := range u.Funcs {
+		n += f.Forest.NumNodes()
+	}
+	return n
+}
+
+// Lower lowers a parsed program to IR forests over g's operator
+// vocabulary.
+//
+// Lowering conventions (deliberately lcc-flavored):
+//   - all variables live in memory: locals and arrays at negative frame
+//     offsets (ADDRL), globals at symbols (ADDRG); incoming parameters are
+//     stored from ARGREG into their frame slot at function entry;
+//   - array elements are 8 bytes: a[i] addresses as
+//     ADD(base, SHL(i, CNST[3])), folding constant indexes into
+//     displacements — exactly the patterns the scaled-index and
+//     displacement addressing rules match;
+//   - read-modify-write statements (x += e, a[i] = a[i] + 1) share the
+//     address node between load and store, producing the DAG edge that
+//     the memop dynamic rules require;
+//   - control flow lowers to LABEL/JUMP/compare-branch roots with branch
+//     targets in the node payload.
+func Lower(prog *Program, g *grammar.Grammar) (unit *Unit, err error) {
+	// Vocabulary mismatches surface as MustOp panics deep inside the
+	// builder; report them as errors — a grammar that lacks the generic IR
+	// operators is an input problem, not a bug.
+	defer func() {
+		if r := recover(); r != nil {
+			unit, err = nil, fmt.Errorf("minc: grammar %s cannot host MinC programs: %v", g.Name, r)
+		}
+	}()
+	unit = &Unit{}
+	globals := map[string]*GlobalDecl{}
+	for _, gd := range prog.Globals {
+		if _, dup := globals[gd.Name]; dup {
+			return nil, fmt.Errorf("minc:%d: duplicate global %q", gd.Line, gd.Name)
+		}
+		globals[gd.Name] = gd
+	}
+	funcs := map[string]bool{}
+	for _, fd := range prog.Funcs {
+		funcs[fd.Name] = true
+	}
+	for _, fd := range prog.Funcs {
+		lw := &lowerer{
+			g:       g,
+			b:       ir.NewBuilder(g),
+			globals: globals,
+			funcs:   funcs,
+			locals:  map[string]*localSlot{},
+		}
+		if err := lw.function(fd); err != nil {
+			return nil, err
+		}
+		unit.Funcs = append(unit.Funcs, &Function{
+			Name:      fd.Name,
+			Forest:    lw.b.Finish(),
+			FrameSize: -lw.frame,
+		})
+	}
+	return unit, nil
+}
+
+// MustLower panics on error; for statically known workload programs.
+func MustLower(prog *Program, g *grammar.Grammar) *Unit {
+	u, err := Lower(prog, g)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type localSlot struct {
+	offset  int64
+	isArray bool
+	elem    string
+}
+
+// elemInfo describes an element type's width and memory operators.
+type elemInfo struct {
+	size            int64
+	shift           int64 // log2(size); -1 for size 1
+	indirOp, asgnOp string
+}
+
+// elems maps MinC element types to access widths, lcc-style: char/short/
+// int/long are 1/2/4/8 bytes; scalars always live in full 8-byte slots.
+var elems = map[string]elemInfo{
+	"char":  {1, -1, "INDIR1", "ASGN1"},
+	"short": {2, 1, "INDIR2", "ASGN2"},
+	"int":   {4, 2, "INDIR4", "ASGN4"},
+	"long":  {8, 3, "INDIR", "ASGN"},
+}
+
+type lowerer struct {
+	g       *grammar.Grammar
+	b       *ir.Builder
+	globals map[string]*GlobalDecl
+	funcs   map[string]bool
+	locals  map[string]*localSlot
+	frame   int64 // current (negative) frame offset
+	labels  int64
+}
+
+func (lw *lowerer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("minc:%d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (lw *lowerer) newLabel() int64 {
+	lw.labels++
+	return lw.labels
+}
+
+func (lw *lowerer) alloc(name string, bytes int64, isArray bool, elem string) *localSlot {
+	bytes = (bytes + 7) &^ 7 // 8-byte frame alignment
+	lw.frame -= bytes
+	s := &localSlot{offset: lw.frame, isArray: isArray, elem: elem}
+	lw.locals[name] = s
+	return s
+}
+
+func (lw *lowerer) function(fd *FuncDecl) error {
+	lw.locals = map[string]*localSlot{}
+	lw.frame = 0
+	// Spill incoming parameters to frame slots.
+	for i, p := range fd.Params {
+		s := lw.alloc(p, 8, false, "long")
+		arg := lw.b.Leaf("ARGREG", int64(i))
+		lw.b.Root(lw.b.OpNode(lw.g.MustOp("ASGN"), 0, "", lw.b.Leaf("ADDRL", s.offset), arg))
+	}
+	return lw.stmts(fd.Body)
+}
+
+func (lw *lowerer) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if _, dup := lw.locals[s.Name]; dup {
+			return lw.errf(s.Line, "duplicate local %q", s.Name)
+		}
+		bytes := int64(8)
+		elem := s.Elem
+		if s.Size > 0 {
+			bytes = s.Size * elems[elem].size
+		} else {
+			elem = "long" // scalars always occupy a full slot
+		}
+		slot := lw.alloc(s.Name, bytes, s.Size > 0, elem)
+		if s.Init != nil {
+			val, err := lw.expr(s.Init, nil)
+			if err != nil {
+				return err
+			}
+			lw.b.Root(lw.b.Node("ASGN", lw.b.Leaf("ADDRL", slot.offset), val))
+		}
+		return nil
+
+	case *AssignStmt:
+		addr, info, err := lw.lvalueAddr(s.Target, s.Line)
+		if err != nil {
+			return err
+		}
+		hint := &addrHint{lv: s.Target, addr: addr, elem: info}
+		var val *ir.Node
+		if s.Op != "" {
+			// x op= e  =>  ASGNk(addr, OP(INDIRk(addr), e)) with the
+			// address node shared between load and store.
+			load := lw.b.Node(info.indirOp, addr)
+			rhs, err := lw.expr(s.Value, hint)
+			if err != nil {
+				return err
+			}
+			op, err := lw.binOp(s.Op, s.Line)
+			if err != nil {
+				return err
+			}
+			val = lw.b.OpNode(op, 0, "", load, rhs)
+		} else {
+			val, err = lw.expr(s.Value, hint)
+			if err != nil {
+				return err
+			}
+		}
+		lw.b.Root(lw.b.Node(info.asgnOp, addr, val))
+		return nil
+
+	case *IfStmt:
+		elseL := lw.newLabel()
+		if err := lw.cond(s.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := lw.stmts(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			endL := lw.newLabel()
+			lw.b.Root(lw.b.Node("JUMP", lw.b.Leaf("CNST", endL)))
+			lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), elseL, ""))
+			if err := lw.stmts(s.Else); err != nil {
+				return err
+			}
+			lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), endL, ""))
+		} else {
+			lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), elseL, ""))
+		}
+		return nil
+
+	case *WhileStmt:
+		startL := lw.newLabel()
+		endL := lw.newLabel()
+		lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), startL, ""))
+		if err := lw.cond(s.Cond, endL, false); err != nil {
+			return err
+		}
+		if err := lw.stmts(s.Body); err != nil {
+			return err
+		}
+		lw.b.Root(lw.b.Node("JUMP", lw.b.Leaf("CNST", startL)))
+		lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), endL, ""))
+		return nil
+
+	case *ForStmt:
+		if s.Init != nil {
+			if err := lw.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		startL := lw.newLabel()
+		endL := lw.newLabel()
+		lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), startL, ""))
+		if s.Cond != nil {
+			if err := lw.cond(s.Cond, endL, false); err != nil {
+				return err
+			}
+		}
+		if err := lw.stmts(s.Body); err != nil {
+			return err
+		}
+		if s.Post != nil {
+			if err := lw.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		lw.b.Root(lw.b.Node("JUMP", lw.b.Leaf("CNST", startL)))
+		lw.b.Root(lw.b.OpNode(lw.g.MustOp("LABEL"), endL, ""))
+		return nil
+
+	case *ReturnStmt:
+		var val *ir.Node
+		if s.Value != nil {
+			v, err := lw.expr(s.Value, nil)
+			if err != nil {
+				return err
+			}
+			val = v
+		} else {
+			val = lw.b.Leaf("CNST", 0)
+		}
+		lw.b.Root(lw.b.Node("RET", val))
+		return nil
+
+	case *ExprStmt:
+		n, err := lw.expr(s.X, nil)
+		if err != nil {
+			return err
+		}
+		lw.b.Root(n)
+		return nil
+	}
+	return fmt.Errorf("minc: unknown statement %T", s)
+}
+
+// cond lowers a condition as a branch to target taken when the condition's
+// truth equals whenTrue.
+func (lw *lowerer) cond(e Expr, target int64, whenTrue bool) error {
+	// Peel '!'.
+	for {
+		u, ok := e.(*UnaryExpr)
+		if !ok || u.Op != "!" {
+			break
+		}
+		e = u.X
+		whenTrue = !whenTrue
+	}
+	if b, ok := e.(*BinExpr); ok {
+		if op, isRel := relOps[b.Op]; isRel {
+			l, err := lw.expr(b.L, nil)
+			if err != nil {
+				return err
+			}
+			r, err := lw.expr(b.R, nil)
+			if err != nil {
+				return err
+			}
+			name := op
+			if !whenTrue {
+				name = relInverse[op]
+			}
+			lw.b.Root(lw.b.OpNode(lw.g.MustOp(name), target, "", l, r))
+			return nil
+		}
+	}
+	// Non-relational condition: compare against zero.
+	v, err := lw.expr(e, nil)
+	if err != nil {
+		return err
+	}
+	name := "NE"
+	if !whenTrue {
+		name = "EQ"
+	}
+	lw.b.Root(lw.b.OpNode(lw.g.MustOp(name), target, "", v, lw.b.Leaf("CNST", 0)))
+	return nil
+}
+
+var relOps = map[string]string{
+	"==": "EQ", "!=": "NE", "<": "LT", "<=": "LE", ">": "GT", ">=": "GE",
+}
+
+var relInverse = map[string]string{
+	"EQ": "NE", "NE": "EQ", "LT": "GE", "LE": "GT", "GT": "LE", "GE": "LT",
+}
+
+var binOps = map[string]string{
+	"+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+	"&": "AND", "|": "OR", "^": "XOR", "<<": "SHL", ">>": "SHR",
+}
+
+func (lw *lowerer) binOp(op string, line int) (grammar.OpID, error) {
+	name, ok := binOps[op]
+	if !ok {
+		return grammar.NoOp, lw.errf(line, "operator %q not usable here", op)
+	}
+	return lw.g.MustOp(name), nil
+}
+
+// addrHint lets an expression reuse the address node of the assignment
+// target it appears under, creating the RMW DAG edge.
+type addrHint struct {
+	lv   *LValue
+	addr *ir.Node
+	elem elemInfo
+}
+
+func (lw *lowerer) expr(e Expr, hint *addrHint) (*ir.Node, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return lw.b.Leaf("CNST", e.Val), nil
+
+	case *VarExpr:
+		if hint != nil && sameLValue(hint.lv, e) {
+			return lw.b.Node(hint.elem.indirOp, hint.addr), nil
+		}
+		return lw.varRead(e.Name)
+
+	case *IndexExpr:
+		if hint != nil && sameLValue(hint.lv, e) {
+			return lw.b.Node(hint.elem.indirOp, hint.addr), nil
+		}
+		addr, info, err := lw.elementAddr(e.Name, e.Index, hint)
+		if err != nil {
+			return nil, err
+		}
+		return lw.b.Node(info.indirOp, addr), nil
+
+	case *UnaryExpr:
+		switch e.Op {
+		case "-":
+			// Fold negation of literals so immediates stay immediates.
+			if n, ok := e.X.(*NumExpr); ok {
+				return lw.b.Leaf("CNST", -n.Val), nil
+			}
+			x, err := lw.expr(e.X, hint)
+			if err != nil {
+				return nil, err
+			}
+			return lw.b.Node("NEG", x), nil
+		case "~":
+			x, err := lw.expr(e.X, hint)
+			if err != nil {
+				return nil, err
+			}
+			return lw.b.Node("NOT", x), nil
+		}
+		return nil, fmt.Errorf("minc: %q is only supported in conditions", e.Op)
+
+	case *BinExpr:
+		if _, isRel := relOps[e.Op]; isRel {
+			return nil, fmt.Errorf("minc: comparison %q is only supported in conditions", e.Op)
+		}
+		l, err := lw.expr(e.L, hint)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lw.expr(e.R, hint)
+		if err != nil {
+			return nil, err
+		}
+		name, ok := binOps[e.Op]
+		if !ok {
+			return nil, fmt.Errorf("minc: unsupported operator %q", e.Op)
+		}
+		return lw.b.Node(name, l, r), nil
+
+	case *CallExpr:
+		if !lw.funcs[e.Name] {
+			// Calls to undeclared functions are treated as external.
+			lw.funcs[e.Name] = true
+		}
+		// lcc-style: evaluate arguments into ARG statement roots, then the
+		// call itself.
+		for _, a := range e.Args {
+			v, err := lw.expr(a, nil)
+			if err != nil {
+				return nil, err
+			}
+			lw.b.Root(lw.b.Node("ARG", v))
+		}
+		return lw.b.Node("CALL", lw.b.SymLeaf("ADDRG", e.Name)), nil
+	}
+	return nil, fmt.Errorf("minc: unknown expression %T", e)
+}
+
+func (lw *lowerer) varRead(name string) (*ir.Node, error) {
+	if s, ok := lw.locals[name]; ok {
+		if s.isArray {
+			return lw.b.Leaf("ADDRL", s.offset), nil // array decays to address
+		}
+		return lw.b.Node("INDIR", lw.b.Leaf("ADDRL", s.offset)), nil
+	}
+	if gd, ok := lw.globals[name]; ok {
+		if gd.Size > 0 {
+			return lw.b.SymLeaf("ADDRG", name), nil
+		}
+		return lw.b.Node("INDIR", lw.b.SymLeaf("ADDRG", name)), nil
+	}
+	return nil, fmt.Errorf("minc: undefined variable %q", name)
+}
+
+// elementAddr computes &name[index]: base + index*size, folding constant
+// indexes into plain displacements and scaling variable indexes with a
+// shift (the scaled-addressing pattern the CISC rules match).
+func (lw *lowerer) elementAddr(name string, index Expr, hint *addrHint) (*ir.Node, elemInfo, error) {
+	var base *ir.Node
+	var elem string
+	if s, ok := lw.locals[name]; ok {
+		base = lw.b.Leaf("ADDRL", s.offset)
+		elem = s.elem
+	} else if gd, ok := lw.globals[name]; ok {
+		base = lw.b.SymLeaf("ADDRG", name)
+		elem = gd.Elem
+	} else {
+		return nil, elemInfo{}, fmt.Errorf("minc: undefined array %q", name)
+	}
+	info := elems[elem]
+	if n, ok := index.(*NumExpr); ok {
+		return lw.b.Node("ADD", base, lw.b.Leaf("CNST", n.Val*info.size)), info, nil
+	}
+	idx, err := lw.expr(index, hint)
+	if err != nil {
+		return nil, elemInfo{}, err
+	}
+	if info.shift < 0 {
+		return lw.b.Node("ADD", base, idx), info, nil
+	}
+	scaled := lw.b.Node("SHL", idx, lw.b.Leaf("CNST", info.shift))
+	return lw.b.Node("ADD", base, scaled), info, nil
+}
+
+// lvalueAddr lowers the address of an assignment target and reports the
+// element width the store must use.
+func (lw *lowerer) lvalueAddr(lv *LValue, line int) (*ir.Node, elemInfo, error) {
+	long := elems["long"]
+	if lv.Index == nil {
+		if s, ok := lw.locals[lv.Name]; ok {
+			if s.isArray {
+				return nil, long, lw.errf(line, "cannot assign to array %q", lv.Name)
+			}
+			return lw.b.Leaf("ADDRL", s.offset), long, nil
+		}
+		if gd, ok := lw.globals[lv.Name]; ok {
+			if gd.Size > 0 {
+				return nil, long, lw.errf(line, "cannot assign to array %q", lv.Name)
+			}
+			return lw.b.SymLeaf("ADDRG", lv.Name), long, nil
+		}
+		return nil, long, lw.errf(line, "undefined variable %q", lv.Name)
+	}
+	return lw.elementAddr(lv.Name, lv.Index, nil)
+}

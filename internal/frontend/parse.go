@@ -1,0 +1,491 @@
+package frontend
+
+import "fmt"
+
+// Parse parses a MinC compilation unit.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
+}
+
+// MustParse is Parse for statically known sources; it panics on error.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Parser is a recursive-descent parser for MinC.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("minc:%d: %s", p.tok.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expect(text string) error {
+	if p.tok.Text != text {
+		return p.errf("expected %q, got %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.tok.Kind != EOF {
+		if p.tok.Kind != KEYWORD || !typeKeywords[p.tok.Text] {
+			return nil, p.errf("expected a type at top level, got %s", p.tok)
+		}
+		elem := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != IDENT {
+			return nil, p.errf("expected name after %q, got %s", elem, p.tok)
+		}
+		name := p.tok.Text
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Text {
+		case "(":
+			fn, err := p.parseFuncRest(name, line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case "[":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != NUMBER {
+				return nil, p.errf("expected array size, got %s", p.tok)
+			}
+			size := p.tok.Val
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{Name: name, Elem: elem, Size: size, Line: line})
+		case ";":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{Name: name, Elem: elem, Line: line})
+		default:
+			return nil, p.errf("expected '(', '[' or ';' after %q, got %s", name, p.tok)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseFuncRest(name string, line int) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.tok.Text != ")" {
+		if p.tok.Kind != KEYWORD || !typeKeywords[p.tok.Text] {
+			return nil, p.errf("expected a type in parameter list, got %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != IDENT {
+			return nil, p.errf("expected parameter name, got %s", p.tok)
+		}
+		fn.Params = append(fn.Params, p.tok.Text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // ')'
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.tok.Text != "}" {
+		if p.tok.Kind == EOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.advance()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	line := p.tok.Line
+	switch {
+	case p.tok.Kind == KEYWORD && typeKeywords[p.tok.Text]:
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	case p.tok.Kind == KEYWORD && p.tok.Text == "if":
+		return p.parseIf()
+	case p.tok.Kind == KEYWORD && p.tok.Text == "while":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case p.tok.Kind == KEYWORD && p.tok.Text == "for":
+		return p.parseFor()
+	case p.tok.Kind == KEYWORD && p.tok.Text == "return":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var val Expr
+		if p.tok.Text != ";" {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		return &ReturnStmt{Value: val, Line: line}, p.expect(";")
+	default:
+		s, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+func (p *Parser) parseDecl() (Stmt, error) {
+	line := p.tok.Line
+	elem := p.tok.Text
+	if err := p.advance(); err != nil { // type keyword
+		return nil, err
+	}
+	if p.tok.Kind != IDENT {
+		return nil, p.errf("expected name in declaration, got %s", p.tok)
+	}
+	d := &DeclStmt{Name: p.tok.Text, Elem: elem, Line: line}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.Text == "[" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != NUMBER {
+			return nil, p.errf("expected array size, got %s", p.tok)
+		}
+		d.Size = p.tok.Val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	if p.tok.Text == "=" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.advance(); err != nil { // 'if'
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	if p.tok.Kind == KEYWORD && p.tok.Text == "else" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Text == "if" {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []Stmt{elif}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.advance(); err != nil { // 'for'
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	if p.tok.Text != ";" {
+		init, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.tok.Text != ";" {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.tok.Text != ")" {
+		post, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// assignOps maps compound-assignment tokens to their binary operator.
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+// parseSimple parses an assignment or expression statement (no trailing
+// ';'; the caller consumes it, so for-headers can reuse this).
+func (p *Parser) parseSimple() (Stmt, error) {
+	line := p.tok.Line
+	// Assignment requires an lvalue prefix; parse an expression and check.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, isAssign := assignOps[p.tok.Text]; isAssign {
+		lv, err := toLValue(e)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lv, Op: op, Value: val, Line: line}, nil
+	}
+	return &ExprStmt{X: e, Line: line}, nil
+}
+
+func toLValue(e Expr) (*LValue, error) {
+	switch e := e.(type) {
+	case *VarExpr:
+		return &LValue{Name: e.Name}, nil
+	case *IndexExpr:
+		return &LValue{Name: e.Name, Index: e.Index}, nil
+	}
+	return nil, fmt.Errorf("assignment target must be a variable or array element")
+}
+
+// Binary operator precedence (C-like); higher binds tighter.
+var precedence = map[string]int{
+	"|": 1, "^": 2, "&": 3,
+	"==": 4, "!=": 4,
+	"<": 5, "<=": 5, ">": 5, ">=": 5,
+	"<<": 6, ">>": 6,
+	"+": 7, "-": 7,
+	"*": 8, "/": 8, "%": 8,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.tok.Text
+		if p.tok.Text == "&&" || p.tok.Text == "||" {
+			return nil, p.errf("MinC does not support %q; rewrite with nested if", op)
+		}
+		prec, ok := precedence[op]
+		if p.tok.Kind != PUNCT || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Text {
+	case "-", "!", "~":
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.Kind == NUMBER:
+		e := &NumExpr{Val: p.tok.Val}
+		return e, p.advance()
+	case p.tok.Kind == IDENT:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Name: name}
+			for p.tok.Text != ")" {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.Text == "," {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, p.advance()
+		case "[":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Index: idx}, nil
+		}
+		return &VarExpr{Name: name}, nil
+	case p.tok.Text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errf("expected expression, got %s", p.tok)
+}

@@ -1,0 +1,63 @@
+// Package frontend implements MinC, a small C-like language, and its
+// lowering to the generic IR: the reproduction's substitute for lcc's C
+// front end. The experiments need realistic compilation units — operator
+// mixes, addressing patterns, read-modify-write statements — rather than
+// random trees, and MinC's lowering produces exactly the patterns the
+// machine descriptions care about (scaled array indexing, immediate
+// operands, RMW assignments sharing the address node).
+//
+// The language: integer (64-bit) scalars and arrays, globals and locals,
+// functions with parameters, assignment (including op= forms), if/else,
+// while, for, return, and calls. No pointers beyond array indexing, no
+// floats — the subset lcc's instruction-selection benchmarks exercise
+// hardest.
+package frontend
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	PUNCT   // operators and delimiters
+	KEYWORD // int, if, else, while, for, return, func
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // for NUMBER
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case NUMBER:
+		return fmt.Sprintf("number %d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "short": true, "long": true,
+	"if": true, "else": true, "while": true,
+	"for": true, "return": true,
+}
+
+// typeKeywords are the element types: they choose the width of array
+// accesses (char=1, short=2, int=4, long=8 bytes; scalars always occupy a
+// full 8-byte slot, like lcc's register-promoted temporaries).
+var typeKeywords = map[string]bool{
+	"int": true, "char": true, "short": true, "long": true,
+}
+
+// note: "else" and "if" are matched by text in the parser; keeping them
+// keywords prevents their use as identifiers.

@@ -1,0 +1,36 @@
+package grammar
+
+// Cost is the cost of a rule or a (partial) derivation.
+//
+// Costs are small non-negative integers in practice (they model the cost of
+// the instructions a rule emits). Inf is the sentinel for "not derivable" /
+// "rule not applicable"; dynamic-cost functions return Inf to make a rule
+// inapplicable at a node, which is the dominant use of dynamic costs in
+// lcc-style machine descriptions.
+type Cost int32
+
+// Inf is the "infinite" cost sentinel. It is chosen so that Add can sum
+// several Inf values without overflowing int32 before saturating.
+const Inf Cost = 1 << 28
+
+// Add returns a+b, saturating at Inf. Any sum that reaches or exceeds Inf
+// is normalized back to exactly Inf so that state hashing sees a canonical
+// representation of "not derivable".
+func (a Cost) Add(b Cost) Cost {
+	s := a + b
+	if s >= Inf {
+		return Inf
+	}
+	return s
+}
+
+// IsInf reports whether c represents "not derivable".
+func (c Cost) IsInf() bool { return c >= Inf }
+
+// MinCost returns the smaller of a and b.
+func MinCost(a, b Cost) Cost {
+	if a < b {
+		return a
+	}
+	return b
+}

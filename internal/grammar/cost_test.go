@@ -1,0 +1,76 @@
+package grammar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAdd(t *testing.T) {
+	cases := []struct {
+		a, b, want Cost
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{Inf, 0, Inf},
+		{0, Inf, Inf},
+		{Inf, Inf, Inf},
+		{Inf - 1, 1, Inf},
+		{Inf - 1, 0, Inf - 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.want {
+			t.Errorf("%d.Add(%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Add is commutative, monotone, and saturates at Inf.
+func TestCostAddProperties(t *testing.T) {
+	clamp := func(x int32) Cost {
+		c := Cost(x)
+		if c < 0 {
+			c = -c
+		}
+		if c > Inf {
+			c = Inf
+		}
+		return c
+	}
+	commutative := func(x, y int32) bool {
+		a, b := clamp(x), clamp(y)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	bounded := func(x, y int32) bool {
+		a, b := clamp(x), clamp(y)
+		s := a.Add(b)
+		return s <= Inf && s >= a && s >= b || s == Inf
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error(err)
+	}
+	infAbsorbs := func(x int32) bool {
+		a := clamp(x)
+		return Inf.Add(a) == Inf && a.Add(Inf) == Inf
+	}
+	if err := quick.Check(infAbsorbs, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsInf(t *testing.T) {
+	if Cost(0).IsInf() || Cost(Inf-1).IsInf() {
+		t.Error("finite costs reported infinite")
+	}
+	if !Inf.IsInf() || !(Inf + 5).IsInf() {
+		t.Error("infinite costs reported finite")
+	}
+}
+
+func TestMinCost(t *testing.T) {
+	if MinCost(3, 5) != 3 || MinCost(5, 3) != 3 || MinCost(Inf, 0) != 0 {
+		t.Error("MinCost broken")
+	}
+}

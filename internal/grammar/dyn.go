@@ -1,0 +1,68 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DynNode is the view of an IR node that dynamic-cost functions get.
+//
+// It is an interface (rather than a concrete IR type) so that the grammar
+// package does not depend on the IR package; internal/ir.Node implements it.
+// Dynamic-cost functions typically inspect leaf payloads (immediate ranges)
+// or compare node identities (read-modify-write patterns that need the load
+// and store address to be the very same node).
+type DynNode interface {
+	// OpID returns the node's operator id in the grammar the selector runs.
+	OpID() OpID
+	// NumKids returns the number of children.
+	NumKids() int
+	// Kid returns the i-th child; it panics if i is out of range.
+	Kid(i int) DynNode
+	// Value returns the leaf payload (constant value, register number,
+	// frame offset, ...). It is 0 for non-leaf nodes.
+	Value() int64
+	// Same reports whether two DynNodes are the identical IR node.
+	Same(DynNode) bool
+}
+
+// DynFunc computes the cost of a rule at a node at instruction-selection
+// time. Returning Inf makes the rule inapplicable at the node (the dominant
+// use in lburg-style machine descriptions). The node passed is the node the
+// rule's operator matches (the root of the rule's pattern).
+type DynFunc func(n DynNode) Cost
+
+// DynEnv binds the dynamic-cost function names that appear in a grammar
+// (`(dyn name)` cost specifications) to Go implementations.
+type DynEnv map[string]DynFunc
+
+// Names returns the bound names in sorted order (for deterministic output).
+func (e DynEnv) Names() []string {
+	names := make([]string, 0, len(e))
+	for n := range e {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bind checks that every dynamic-cost name used by g is present in env and
+// returns the functions in rule order (indexed by rule index; nil for rules
+// with fixed costs). Engines call this once at construction time so that
+// the per-node fast path never does a map lookup by name.
+func (e DynEnv) Bind(g *Grammar) ([]DynFunc, error) {
+	fns := make([]DynFunc, len(g.Rules))
+	for i := range g.Rules {
+		r := &g.Rules[i]
+		if r.DynCost == "" {
+			continue
+		}
+		fn, ok := e[r.DynCost]
+		if !ok {
+			return nil, fmt.Errorf("grammar %s: rule %d uses dynamic cost %q which is not bound in the environment",
+				g.Name, r.ID, r.DynCost)
+		}
+		fns[i] = fn
+	}
+	return fns, nil
+}

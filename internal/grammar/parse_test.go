@@ -1,0 +1,254 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+%name demo
+%start stmt
+%term Reg(0) Load(1) Plus(2) Store(2)
+
+addr: reg                  = 1 (0)
+reg:  Reg                  = 2 (0)
+reg:  Load(addr)           = 3 (1) "movq (%0), %d"
+reg:  Plus(reg, reg)       = 4 (1)
+stmt: Store(addr, reg)     = 5 (1)
+stmt: Store(addr, Plus(Load(addr), reg)) = 6 (dyn samemem)
+`
+
+func TestParseDemo(t *testing.T) {
+	g, err := Parse(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" {
+		t.Errorf("name = %q, want demo", g.Name)
+	}
+	if got := g.NTName(g.Start); got != "stmt" {
+		t.Errorf("start = %q, want stmt", got)
+	}
+	if got, want := g.NumOps(), 4; got != want {
+		t.Errorf("NumOps = %d, want %d", got, want)
+	}
+	// Rule 6 splits into 6a, 6b, 6c: 5 source rules in normal form + 3.
+	if got, want := g.NumRules(), 8; got != want {
+		t.Fatalf("NumRules = %d, want %d\n%s", got, want, g.Dump())
+	}
+	// Two helper nonterminals.
+	st := g.ComputeStats()
+	if st.HelperNonterms != 2 {
+		t.Errorf("helpers = %d, want 2", st.HelperNonterms)
+	}
+	if st.SourceRules != 6 {
+		t.Errorf("source rules = %d, want 6", st.SourceRules)
+	}
+	if st.ChainRules != 1 {
+		t.Errorf("chain rules = %d, want 1", st.ChainRules)
+	}
+	if st.DynamicRules != 1 {
+		t.Errorf("dynamic rules = %d, want 1", st.DynamicRules)
+	}
+}
+
+func TestNormalFormSplit(t *testing.T) {
+	g := MustParse(demoSrc)
+	// The split parts must be 6a: Load, 6b: Plus, 6c: Store, with the
+	// dynamic cost on the top (Store) rule, as the literature prescribes.
+	var a, b, c *Rule
+	for i := range g.Rules {
+		r := &g.Rules[i]
+		if r.ID != 6 {
+			continue
+		}
+		switch r.Part {
+		case "a":
+			a = r
+		case "b":
+			b = r
+		case "c":
+			c = r
+		}
+	}
+	if a == nil || b == nil || c == nil {
+		t.Fatalf("missing split parts:\n%s", g.Dump())
+	}
+	if g.OpName(a.Op) != "Load" || g.OpName(b.Op) != "Plus" || g.OpName(c.Op) != "Store" {
+		t.Errorf("split ops = %s/%s/%s, want Load/Plus/Store",
+			g.OpName(a.Op), g.OpName(b.Op), g.OpName(c.Op))
+	}
+	if a.IsDynamic() || b.IsDynamic() || !c.IsDynamic() {
+		t.Errorf("dynamic cost must sit on the top rule only: a=%v b=%v c=%v",
+			a.IsDynamic(), b.IsDynamic(), c.IsDynamic())
+	}
+	if a.Cost != 0 || b.Cost != 0 {
+		t.Errorf("helper rules must have cost 0, got %d/%d", a.Cost, b.Cost)
+	}
+	// 6b's first kid must be 6a's helper LHS; 6c's second kid 6b's LHS.
+	if b.Kids[0] != a.LHS {
+		t.Errorf("6b kid0 = %s, want %s", g.NTName(b.Kids[0]), g.NTName(a.LHS))
+	}
+	if c.Kids[1] != b.LHS {
+		t.Errorf("6c kid1 = %s, want %s", g.NTName(c.Kids[1]), g.NTName(b.LHS))
+	}
+	if !g.Nonterms[a.LHS].Helper || !g.Nonterms[b.LHS].Helper {
+		t.Error("split LHS nonterminals must be marked Helper")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"dup rule number", "%term A(0)\nx: A = 1 (0)\ny: A = 1 (0)", "already used"},
+		{"bad arity use", "%term A(2) B(0)\nx: A(x) (0)\nx: B (0)", "arity 2 but pattern gives 1"},
+		{"undeclared op with args", "%term A(0)\nx: Foo(x) (0)", "expected cost"},
+		{"lhs is operator", "%term A(0)\nA: A (0)", "is an operator"},
+		{"self chain", "%term A(0)\nx: x (0)\nx: A (0)", "derives itself"},
+		{"dyn on chain", "%term A(0)\nx: y (dyn f)\ny: A (0)", "chain rules are not supported"},
+		{"zero chain cycle", "%term A(0)\nx: y (0)\ny: x (0)\nx: A (0)", "cycle"},
+		{"underiv nonterm", "%term A(1) B(0)\nx: A(ghost) (1)\nx: B (0)", "no rules"},
+		{"dup term", "%term A(0) A(0)\nx: A (0)", "duplicate"},
+		{"bad directive", "%foo bar", "unknown directive"},
+		{"arity too big", "%term A(7)", "arity must be"},
+		{"empty", "", "no rules"},
+		{"missing colon", "%term A(0)\nx A (0)", "expected ':'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAutoRuleNumbers(t *testing.T) {
+	g := MustParse(`
+%term A(0) B(1)
+x: A = 7 (0)
+x: B(x) (1)
+y: x (0)
+`)
+	ids := map[int]bool{}
+	for i := range g.Rules {
+		ids[g.Rules[i].ID] = true
+	}
+	if !ids[7] || !ids[8] || !ids[9] {
+		t.Errorf("want auto ids 8,9 after explicit 7; got %v", ids)
+	}
+}
+
+func TestCommentsAndWrapping(t *testing.T) {
+	g := MustParse(`
+// a comment
+# another comment
+%term A(0) B(2) // trailing
+x: B(x,     // patterns may wrap inside parens
+     x) (1)
+x: A (0)   # trailing too
+`)
+	if g.NumRules() != 2 {
+		t.Fatalf("NumRules = %d, want 2", g.NumRules())
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	g := MustParse(`
+%term A(0)
+x: A = 1 (2) "mov %c, %d"
+`)
+	r := &g.Rules[0]
+	if r.Template != "mov %c, %d" {
+		t.Errorf("template = %q", r.Template)
+	}
+	if r.Cost != 2 {
+		t.Errorf("cost = %d", r.Cost)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	g := MustParse(demoSrc)
+	dump := g.Dump()
+	for _, want := range []string{"stmt: Store(addr, stmt.6b)", "(dyn samemem)", "= 6c"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	g := MustParse(demoSrc)
+	if op, ok := g.OpByName("Plus"); !ok || g.Arity(op) != 2 {
+		t.Error("Plus lookup failed")
+	}
+	if _, ok := g.OpByName("Nope"); ok {
+		t.Error("found nonexistent op")
+	}
+	if nt, ok := g.NTByName("reg"); !ok || g.NTName(nt) != "reg" {
+		t.Error("reg lookup failed")
+	}
+	if g.OpName(-1) != "?" || g.NTName(-1) != "?" {
+		t.Error("invalid ids should render as ?")
+	}
+	store := g.MustOp("Store")
+	if !g.HasDynRules(store) {
+		t.Error("Store should have dynamic rules")
+	}
+	if len(g.DynRules(store)) != 1 {
+		t.Error("Store should have exactly one dynamic rule")
+	}
+	if !g.HasAnyDynRules() {
+		t.Error("grammar has dynamic rules")
+	}
+	// DynPos of the dynamic rule must be 0; of fixed rules -1.
+	for i := range g.Rules {
+		want := int32(-1)
+		if g.Rules[i].IsDynamic() {
+			want = 0
+		}
+		if got := g.DynPos(i); got != want {
+			t.Errorf("DynPos(%s) = %d, want %d", g.RuleName(i), got, want)
+		}
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	g := MustParse(demoSrc)
+	for name, f := range map[string]func(){
+		"MustOp": func() { g.MustOp("Nope") },
+		"MustNT": func() { g.MustNT("nope") },
+		"MustParse": func() {
+			MustParse("%term A(0) A(0)")
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestChainRuleIndexes(t *testing.T) {
+	g := MustParse(demoSrc)
+	reg := g.MustNT("reg")
+	from := g.ChainRulesFrom(reg)
+	if len(from) != 1 {
+		t.Fatalf("chain rules from reg = %d, want 1", len(from))
+	}
+	if r := &g.Rules[from[0]]; g.NTName(r.LHS) != "addr" {
+		t.Errorf("chain rule from reg has LHS %s, want addr", g.NTName(r.LHS))
+	}
+	if len(g.ChainRules()) != 1 {
+		t.Errorf("total chain rules = %d, want 1", len(g.ChainRules()))
+	}
+}

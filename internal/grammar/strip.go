@@ -1,0 +1,67 @@
+package grammar
+
+import "fmt"
+
+// StripDynamic returns a copy of g with all dynamic-cost rules removed.
+//
+// This is the grammar an offline (burg-style) automaton generator can
+// actually handle — classical tree-parsing automata must know all costs at
+// table-generation time — and it is also the "fixed costs only" variant
+// used to measure the code-quality value of dynamic rules. Helper rules
+// produced by splitting a removed dynamic rule are removed along with it
+// when nothing else uses their helper nonterminals.
+func (g *Grammar) StripDynamic() (*Grammar, error) {
+	ng := &Grammar{
+		Name:  g.Name + ".fixed",
+		Ops:   append([]Op(nil), g.Ops...),
+		Start: g.Start,
+	}
+	// Nonterminals keep their ids so cost tables remain comparable between
+	// the stripped and unstripped grammars.
+	ng.Nonterms = append([]Nonterm(nil), g.Nonterms...)
+
+	// Drop dynamic rules, then iteratively drop helper rules whose helper
+	// LHS nonterminal is no longer referenced by any surviving rule.
+	keep := make([]bool, len(g.Rules))
+	for i := range g.Rules {
+		keep[i] = !g.Rules[i].IsDynamic()
+	}
+	for changed := true; changed; {
+		changed = false
+		used := make([]bool, len(g.Nonterms))
+		used[g.Start] = true
+		for i := range g.Rules {
+			if !keep[i] {
+				continue
+			}
+			r := &g.Rules[i]
+			if r.IsChain {
+				used[r.ChainRHS] = true
+			} else {
+				for _, k := range r.Kids {
+					used[k] = true
+				}
+			}
+		}
+		for i := range g.Rules {
+			r := &g.Rules[i]
+			if keep[i] && g.Nonterms[r.LHS].Helper && !used[r.LHS] {
+				keep[i] = false
+				changed = true
+			}
+		}
+	}
+	for i := range g.Rules {
+		if keep[i] {
+			ng.Rules = append(ng.Rules, g.Rules[i])
+		}
+	}
+	if len(ng.Rules) == 0 {
+		return nil, fmt.Errorf("grammar %s: stripping dynamic rules leaves no rules", g.Name)
+	}
+	ng.buildIndexes()
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("grammar %s without dynamic rules is not closed: %w", g.Name, err)
+	}
+	return ng, nil
+}

@@ -1,0 +1,116 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripDynamicRemovesHelpers(t *testing.T) {
+	g := MustParse(`
+%name t
+%start stmt
+%term Store(2) Load(1) Plus(2) Reg(0)
+addr: reg (0)
+reg:  Reg (0)
+reg:  Load(addr) (1)
+reg:  Plus(reg, reg) (1)
+stmt: Store(addr, reg) (1)
+stmt: Store(addr, Plus(Load(addr), reg)) (dyn memop)
+`)
+	fixed, err := g.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dynamic rule and both of its helper rules must be gone.
+	if got, want := fixed.NumRules(), g.NumRules()-3; got != want {
+		t.Fatalf("rules after strip = %d, want %d\n%s", got, want, fixed.Dump())
+	}
+	for i := range fixed.Rules {
+		if fixed.Rules[i].IsDynamic() {
+			t.Error("dynamic rule survived strip")
+		}
+		if fixed.Nonterms[fixed.Rules[i].LHS].Helper {
+			t.Errorf("orphaned helper rule survived: %s", fixed.Rules[i].String())
+		}
+	}
+	// Nonterminal ids must be preserved so cost tables stay comparable.
+	if fixed.NumNonterms() != g.NumNonterms() {
+		t.Error("strip must keep the nonterminal id space")
+	}
+	if fixed.Name != "t.fixed" {
+		t.Errorf("name = %q", fixed.Name)
+	}
+}
+
+func TestStripDynamicKeepsSharedHelpers(t *testing.T) {
+	// A helper nonterminal used by both a dynamic and a fixed multi-node
+	// rule must survive (only truly orphaned helpers go).
+	g := MustParse(`
+%name t
+%start stmt
+%term Store(2) Load(1) Reg(0)
+addr: reg (0)
+reg:  Reg (0)
+reg:  Load(addr) (1)
+stmt: Store(addr, Load(addr)) = 9 (2)
+stmt: Store(addr, reg) (1)
+`)
+	fixed, err := g.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.NumRules() != g.NumRules() {
+		t.Error("stripping a grammar without dynamic rules must be a no-op on rules")
+	}
+	if !strings.Contains(fixed.Dump(), "9a") {
+		t.Errorf("fixed multi-node helper lost:\n%s", fixed.Dump())
+	}
+}
+
+func TestStripDynamicFailsWhenNothingLeft(t *testing.T) {
+	g := MustParse(`
+%term A(0)
+%start x
+x: A (dyn f)
+`)
+	if _, err := g.StripDynamic(); err == nil {
+		t.Error("expected error when stripping leaves no rules")
+	}
+}
+
+func TestPatNodeString(t *testing.T) {
+	p := &PatNode{IsOp: true, Name: "Store", Kids: []*PatNode{
+		{Name: "addr"},
+		{IsOp: true, Name: "Load", Kids: []*PatNode{{Name: "addr"}}},
+	}}
+	if got := p.String(); got != "Store(addr, Load(addr))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := MustParse("%name tiny\n%term A(0)\nx: A (0)")
+	s := g.ComputeStats().String()
+	if !strings.Contains(s, "tiny") || !strings.Contains(s, "rules=1/1") {
+		t.Errorf("stats string: %q", s)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	g := MustParse("%term A(0)\nx: A = 4 (0)")
+	if got := g.Rules[0].String(); got != "x: A" {
+		t.Errorf("Rule.String = %q", got)
+	}
+	r := Rule{ID: 7, Part: "b"}
+	if got := r.String(); got != "rule 7b" {
+		t.Errorf("bare Rule.String = %q", got)
+	}
+}
+
+func TestDynEnvNames(t *testing.T) {
+	env := DynEnv{"zebra": nil, "apple": nil}
+	names := env.Names()
+	if len(names) != 2 || names[0] != "apple" || names[1] != "zebra" {
+		t.Errorf("Names = %v, want sorted", names)
+	}
+}

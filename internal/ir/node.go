@@ -1,0 +1,197 @@
+// Package ir provides the intermediate representation that instruction
+// selection runs on: expression trees (and DAGs) of operator nodes, plus
+// builders, a textual tree parser, and seeded random generators used by the
+// property tests and synthetic workloads.
+//
+// The representation is deliberately lcc-like: a compilation unit is a
+// Forest — a sequence of statement trees in the order the front end emitted
+// them — and nodes are stored in topological (children-before-parents)
+// order so that labelers can run a single linear pass, which also covers
+// the DAG extension of Ertl (POPL '99).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+)
+
+// Node is an IR node. Nodes are immutable after Forest construction.
+type Node struct {
+	// Op is the operator id, in the vocabulary of the grammar the forest
+	// was built against.
+	Op grammar.OpID
+	// Kids are the children (nil/empty for leaves). In a DAG a node can be
+	// a kid of several parents.
+	Kids []*Node
+	// Val carries the leaf payload: constant value, register number, frame
+	// offset, and so on. 0 for non-leaves.
+	Val int64
+	// Sym carries a symbolic payload (global names, call targets).
+	Sym string
+	// Index is the node's position in Forest.Nodes. Engines use it to
+	// index per-node side tables without storing engine state in nodes.
+	Index int
+}
+
+// NumKids returns the number of children.
+func (n *Node) NumKids() int { return len(n.Kids) }
+
+// OpID implements grammar.DynNode.
+func (n *Node) OpID() grammar.OpID { return n.Op }
+
+// Kid implements grammar.DynNode.
+func (n *Node) Kid(i int) grammar.DynNode { return n.Kids[i] }
+
+// Value implements grammar.DynNode.
+func (n *Node) Value() int64 { return n.Val }
+
+// Same implements grammar.DynNode: node identity.
+func (n *Node) Same(o grammar.DynNode) bool {
+	on, ok := o.(*Node)
+	return ok && on == n
+}
+
+var _ grammar.DynNode = (*Node)(nil)
+
+// Forest is a compilation unit: root trees in front-end order, with all
+// nodes collected in topological order (every node appears after all of its
+// children). Shared subtrees (DAGs) appear once.
+type Forest struct {
+	Roots []*Node
+	Nodes []*Node
+}
+
+// NumNodes returns the total node count.
+func (f *Forest) NumNodes() int { return len(f.Nodes) }
+
+// String renders all roots, one per line.
+func (f *Forest) String(g *grammar.Grammar) string {
+	var b strings.Builder
+	for i, r := range f.Roots {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		writeNode(&b, g, r)
+	}
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, g *grammar.Grammar, n *Node) {
+	b.WriteString(g.OpName(n.Op))
+	if len(n.Kids) == 0 {
+		if n.Sym != "" {
+			fmt.Fprintf(b, "[%s]", n.Sym)
+		} else if n.Val != 0 {
+			fmt.Fprintf(b, "[%d]", n.Val)
+		}
+		return
+	}
+	b.WriteByte('(')
+	for i, k := range n.Kids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeNode(b, g, k)
+	}
+	b.WriteByte(')')
+}
+
+// Builder constructs forests. It assigns topological indices and optionally
+// hash-conses nodes so that structurally identical subtrees become shared
+// DAG nodes (value numbering).
+type Builder struct {
+	g     *grammar.Grammar
+	nodes []*Node
+	roots []*Node
+	// valueNumber maps a structural key to an existing node when sharing
+	// is enabled.
+	valueNumber map[string]*Node
+	share       bool
+}
+
+// NewBuilder returns a tree builder for grammar g (no subtree sharing).
+func NewBuilder(g *grammar.Grammar) *Builder {
+	return &Builder{g: g}
+}
+
+// NewDAGBuilder returns a builder that value-numbers nodes, so structurally
+// identical pure subtrees are shared and the forest is a DAG.
+func NewDAGBuilder(g *grammar.Grammar) *Builder {
+	return &Builder{g: g, share: true, valueNumber: map[string]*Node{}}
+}
+
+// Grammar returns the grammar the builder resolves operator names against.
+func (b *Builder) Grammar() *grammar.Grammar { return b.g }
+
+// Node creates (or, when sharing, reuses) a node with the given operator
+// name and children. It panics on unknown operators or arity mismatch:
+// builders are driven by front ends and tests whose vocabulary must match
+// the grammar, so this is a programming error, not an input error.
+func (b *Builder) Node(opName string, kids ...*Node) *Node {
+	op := b.g.MustOp(opName)
+	return b.OpNode(op, 0, "", kids...)
+}
+
+// Leaf creates a leaf node with a value payload.
+func (b *Builder) Leaf(opName string, val int64) *Node {
+	op := b.g.MustOp(opName)
+	return b.OpNode(op, val, "")
+}
+
+// SymLeaf creates a leaf node with a symbol payload.
+func (b *Builder) SymLeaf(opName string, sym string) *Node {
+	op := b.g.MustOp(opName)
+	return b.OpNode(op, 0, sym)
+}
+
+// OpNode creates a node from an already-resolved operator id.
+func (b *Builder) OpNode(op grammar.OpID, val int64, sym string, kids ...*Node) *Node {
+	if got, want := len(kids), b.g.Arity(op); got != want {
+		panic(fmt.Sprintf("ir: operator %s wants %d kids, got %d", b.g.OpName(op), want, got))
+	}
+	if b.share {
+		key := b.key(op, val, sym, kids)
+		if n, ok := b.valueNumber[key]; ok {
+			return n
+		}
+		n := b.insert(op, val, sym, kids)
+		b.valueNumber[key] = n
+		return n
+	}
+	return b.insert(op, val, sym, kids)
+}
+
+func (b *Builder) insert(op grammar.OpID, val int64, sym string, kids []*Node) *Node {
+	n := &Node{Op: op, Val: val, Sym: sym, Index: len(b.nodes)}
+	if len(kids) > 0 {
+		n.Kids = append([]*Node(nil), kids...)
+	}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *Builder) key(op grammar.OpID, val int64, sym string, kids []*Node) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%s", op, val, sym)
+	for _, k := range kids {
+		fmt.Fprintf(&sb, "|%d", k.Index)
+	}
+	return sb.String()
+}
+
+// Root marks n as a statement root of the unit.
+func (b *Builder) Root(n *Node) { b.roots = append(b.roots, n) }
+
+// Finish returns the built forest. The builder can keep being used; later
+// Finish calls return larger forests.
+func (b *Builder) Finish() *Forest {
+	return &Forest{Roots: append([]*Node(nil), b.roots...), Nodes: append([]*Node(nil), b.nodes...)}
+}
+
+// SingleTree is a convenience for tests: it wraps one root node built with
+// b into a forest.
+func (b *Builder) SingleTree(root *Node) *Forest {
+	return &Forest{Roots: []*Node{root}, Nodes: append([]*Node(nil), b.nodes...)}
+}

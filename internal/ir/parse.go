@@ -1,0 +1,240 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/grammar"
+)
+
+// ParseTree parses an s-expression-like textual tree into a forest with a
+// single root, resolving operator names against g. The syntax matches what
+// Forest.String produces:
+//
+//	Store(Reg, Plus(Load(Reg), Const[42]))
+//
+// Leaves may carry payloads in brackets: a number (Const[42]) or a symbol
+// (Addr[x]). Whitespace is free-form. ParseTree builds plain trees (no
+// sharing); ParseTrees parses several newline- or semicolon-separated
+// trees into one forest.
+func ParseTree(g *grammar.Grammar, src string) (*Forest, error) {
+	return ParseTrees(g, src)
+}
+
+// ParseTrees parses one or more trees separated by newlines or semicolons.
+func ParseTrees(g *grammar.Grammar, src string) (*Forest, error) {
+	b := NewBuilder(g)
+	p := &treeParser{src: src, b: b}
+	for {
+		p.skipSpace(true)
+		if p.pos >= len(p.src) {
+			break
+		}
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		b.Root(n)
+		p.skipSpace(false)
+		if p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c == '\n' || c == ';' {
+				p.pos++
+				continue
+			}
+			return nil, fmt.Errorf("tree:%d: trailing input %q", p.pos, rest(p.src, p.pos))
+		}
+	}
+	f := b.Finish()
+	if len(f.Roots) == 0 {
+		return nil, fmt.Errorf("tree: empty input")
+	}
+	return f, nil
+}
+
+// MustParseTree is ParseTree for statically known inputs; panics on error.
+func MustParseTree(g *grammar.Grammar, src string) *Forest {
+	f, err := ParseTree(g, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func rest(s string, pos int) string {
+	if pos+20 < len(s) {
+		return s[pos:pos+20] + "..."
+	}
+	return s[pos:]
+}
+
+type treeParser struct {
+	src string
+	pos int
+	b   *Builder
+}
+
+func (p *treeParser) skipSpace(newlines bool) {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\r' || (newlines && (c == '\n' || c == ';')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *treeParser) parseNode() (*Node, error) {
+	p.skipSpace(false)
+	start := p.pos
+	for p.pos < len(p.src) && isWordChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("tree:%d: expected operator name, got %q", p.pos, rest(p.src, p.pos))
+	}
+	name := p.src[start:p.pos]
+	op, ok := p.b.Grammar().OpByName(name)
+	if !ok {
+		return nil, fmt.Errorf("tree:%d: unknown operator %q", start, name)
+	}
+	var val int64
+	var sym string
+	if p.pos < len(p.src) && p.src[p.pos] == '[' {
+		p.pos++
+		pstart := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ']' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("tree:%d: unterminated '['", pstart)
+		}
+		payload := p.src[pstart:p.pos]
+		p.pos++ // ']'
+		if v, err := strconv.ParseInt(payload, 10, 64); err == nil {
+			val = v
+		} else {
+			sym = payload
+		}
+	}
+	arity := p.b.Grammar().Arity(op)
+	var kids []*Node
+	p.skipSpace(false)
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			kid, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, kid)
+			p.skipSpace(false)
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("tree: unterminated '(' for %s", name)
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("tree:%d: expected ',' or ')', got %q", p.pos, rest(p.src, p.pos))
+		}
+	}
+	if len(kids) != arity {
+		return nil, fmt.Errorf("tree: operator %s wants %d kids, got %d", name, arity, len(kids))
+	}
+	return p.b.OpNode(op, val, sym, kids...), nil
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+// CheckTopo verifies the children-before-parents invariant of a forest.
+// Engines rely on it; tests call it after every builder and parser change.
+func CheckTopo(f *Forest) error {
+	for i, n := range f.Nodes {
+		if n.Index != i {
+			return fmt.Errorf("ir: node at position %d has index %d", i, n.Index)
+		}
+		for _, k := range n.Kids {
+			if k.Index >= i {
+				return fmt.Errorf("ir: node %d has kid %d out of topological order", i, k.Index)
+			}
+		}
+	}
+	seen := map[*Node]bool{}
+	for _, n := range f.Nodes {
+		seen[n] = true
+	}
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		if !seen[n] {
+			return fmt.Errorf("ir: reachable node (op %d) missing from Nodes", n.Op)
+		}
+		for _, k := range n.Kids {
+			if err := check(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range f.Roots {
+		if err := check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a forest for workload tables.
+type Stats struct {
+	Roots     int
+	Nodes     int
+	Shared    int // nodes with >1 parent (DAG sharing)
+	MaxDepth  int
+	LeafNodes int
+}
+
+// ComputeStats derives forest statistics.
+func ComputeStats(f *Forest) Stats {
+	s := Stats{Roots: len(f.Roots), Nodes: len(f.Nodes)}
+	parents := make([]int, len(f.Nodes))
+	for _, n := range f.Nodes {
+		if len(n.Kids) == 0 {
+			s.LeafNodes++
+		}
+		for _, k := range n.Kids {
+			parents[k.Index]++
+		}
+	}
+	for _, p := range parents {
+		if p > 1 {
+			s.Shared++
+		}
+	}
+	depth := make([]int, len(f.Nodes))
+	for i, n := range f.Nodes {
+		d := 1
+		for _, k := range n.Kids {
+			if depth[k.Index]+1 > d {
+				d = depth[k.Index] + 1
+			}
+		}
+		depth[i] = d
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}
+
+// String renders forest statistics compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("roots=%d nodes=%d shared=%d depth=%d leaves=%d",
+		s.Roots, s.Nodes, s.Shared, s.MaxDepth, s.LeafNodes)
+}

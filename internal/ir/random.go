@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"math/rand"
+
+	"repro/internal/grammar"
+)
+
+// RandomConfig controls random forest generation. Generation is fully
+// deterministic for a given seed, which the property tests and synthetic
+// workloads rely on.
+type RandomConfig struct {
+	// Seed for the private PRNG.
+	Seed int64
+	// Trees is the number of root trees to generate.
+	Trees int
+	// MaxDepth bounds tree depth; below it the generator biases toward
+	// leaves as depth grows, giving realistic bushy-but-finite shapes.
+	MaxDepth int
+	// RootOps optionally restricts the operators used at tree roots
+	// (e.g. statement operators). Empty means any operator.
+	RootOps []grammar.OpID
+	// InnerOps optionally restricts the non-leaf operators used below the
+	// root (e.g. expression operators, so statement operators do not
+	// appear in expression position and every root stays derivable).
+	InnerOps []grammar.OpID
+	// Share, when true, value-numbers subtrees so the result is a DAG.
+	Share bool
+	// MaxLeafVal bounds generated leaf payload values (inclusive). Leaf
+	// payloads exercise immediate-range dynamic costs. Zero means 255.
+	MaxLeafVal int64
+}
+
+// RandomForest generates a pseudo-random forest over g's operator
+// vocabulary. Every operator of the grammar can appear; children are
+// arbitrary, so the trees exercise the full labeling state space without
+// regard to derivability from the start nonterminal (cost tables for all
+// nonterminals remain comparable across engines, which is what the
+// property tests check).
+func RandomForest(g *grammar.Grammar, cfg RandomConfig) *Forest {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Trees <= 0 {
+		cfg.Trees = 1
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MaxLeafVal <= 0 {
+		cfg.MaxLeafVal = 255
+	}
+	var b *Builder
+	if cfg.Share {
+		b = NewDAGBuilder(g)
+	} else {
+		b = NewBuilder(g)
+	}
+
+	var leaves, inner []grammar.OpID
+	for i := range g.Ops {
+		if g.Ops[i].Arity == 0 {
+			leaves = append(leaves, grammar.OpID(i))
+		} else {
+			inner = append(inner, grammar.OpID(i))
+		}
+	}
+	if len(cfg.InnerOps) > 0 {
+		inner = nil
+		for _, op := range cfg.InnerOps {
+			if g.Arity(op) > 0 {
+				inner = append(inner, op)
+			}
+		}
+	}
+	if len(leaves) == 0 {
+		// A grammar without leaf operators cannot label any finite tree;
+		// return an empty forest rather than looping forever.
+		return b.Finish()
+	}
+
+	var gen func(depth int) *Node
+	gen = func(depth int) *Node {
+		pickLeaf := len(inner) == 0 || depth >= cfg.MaxDepth ||
+			rng.Intn(cfg.MaxDepth) < depth
+		if pickLeaf {
+			op := leaves[rng.Intn(len(leaves))]
+			return b.OpNode(op, rng.Int63n(cfg.MaxLeafVal+1), "")
+		}
+		op := inner[rng.Intn(len(inner))]
+		kids := make([]*Node, g.Arity(op))
+		for i := range kids {
+			kids[i] = gen(depth + 1)
+		}
+		return b.OpNode(op, 0, "", kids...)
+	}
+
+	for t := 0; t < cfg.Trees; t++ {
+		var root *Node
+		if len(cfg.RootOps) > 0 {
+			op := cfg.RootOps[rng.Intn(len(cfg.RootOps))]
+			kids := make([]*Node, g.Arity(op))
+			for i := range kids {
+				kids[i] = gen(1)
+			}
+			root = b.OpNode(op, 0, "", kids...)
+		} else {
+			root = gen(0)
+		}
+		b.Root(root)
+	}
+	return b.Finish()
+}

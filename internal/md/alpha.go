@@ -1,0 +1,188 @@
+package md
+
+import "repro/internal/grammar"
+
+// alphaSrc is the Alpha-flavored description: a pure 64-bit load/store
+// architecture with 8-bit zero-extended literals in the second operand of
+// ALU instructions, scaled add instructions (s4addq/s8addq), and
+// compare-into-register followed by branch-on-register. Like lcc's Alpha
+// description, all dynamic costs are pure applicability tests.
+const alphaSrc = `
+%name alpha
+%start stmt
+` + Terms + `
+
+// ---- constants -----------------------------------------------------------
+con:  CNST                          (0)  "=%c"
+con:  ADDRG                         (0)  "=%s"
+reg:  CNST                          (dyn alpha.lit8c) "bis $31, %c, %d"
+reg:  CNST                          (dyn alpha.imm16c) "lda %d, %c($31)"
+reg:  CNST                          (2)  "ldah+lda %c -> %d"
+reg:  REG                           (0)  "=v%c"
+reg:  ARGREG                        (0)  "=a%c"
+reg:  ADDRG                         (1)  "lda %d, %s"
+reg:  ADDRL                         (1)  "lda %d, %c($fp)"
+
+// ---- addressing: base + 16-bit displacement --------------------------------
+addr: reg                           (0)  "=0(%0)"
+addr: ADDRL                         (0)  "=%c($fp)"
+addr: ADD(reg, CNST)                (dyn alpha.imm16a) "=%1(%0)"
+addr: ADD(CNST, reg)                (dyn alpha.imm16la) "=%0(%1)"
+
+// ---- loads and stores --------------------------------------------------------
+reg:  INDIR(addr)                   (1)  "ldq %d, %0"
+reg:  INDIR1(addr)                  (3)  "ldq_u $at, %0 ; extbl $at, %0, %d ; sextb %d"
+reg:  INDIR2(addr)                  (3)  "ldq_u $at, %0 ; extwl $at, %0, %d ; sextw %d"
+reg:  INDIR4(addr)                  (1)  "ldl %d, %0"
+stmt: ASGN(addr, reg)               (1)  "stq %1, %0"
+stmt: ASGN1(addr, reg)              (4)  "ldq_u $at, %0 ; insbl %1, %0, $t ; mskbl $at ; stq_u %0"
+stmt: ASGN2(addr, reg)              (4)  "ldq_u $at, %0 ; inswl %1, %0, $t ; mskwl $at ; stq_u %0"
+stmt: ASGN4(addr, reg)              (1)  "stl %1, %0"
+stmt: ASGN(addr, CNST)              (dyn alpha.zero) "stq $31, %0"
+stmt: ASGN4(addr, CNST)             (dyn alpha.zero) "stl $31, %0"
+
+// ---- ALU: reg/reg and reg/lit8 pairs -------------------------------------------
+reg:  ADD(reg, reg)                 (1)  "addq %0, %1, %d"
+reg:  ADD(reg, CNST)                (dyn alpha.lit8) "addq %0, %1, %d"
+reg:  ADD(CNST, reg)                (dyn alpha.lit8l) "addq %1, %0, %d"
+reg:  SUB(reg, reg)                 (1)  "subq %0, %1, %d"
+reg:  SUB(reg, CNST)                (dyn alpha.lit8) "subq %0, %1, %d"
+reg:  AND(reg, reg)                 (1)  "and %0, %1, %d"
+reg:  AND(reg, CNST)                (dyn alpha.lit8) "and %0, %1, %d"
+reg:  OR(reg, reg)                  (1)  "bis %0, %1, %d"
+reg:  OR(reg, CNST)                 (dyn alpha.lit8) "bis %0, %1, %d"
+reg:  XOR(reg, reg)                 (1)  "xor %0, %1, %d"
+reg:  XOR(reg, CNST)                (dyn alpha.lit8) "xor %0, %1, %d"
+reg:  SHL(reg, reg)                 (1)  "sll %0, %1, %d"
+reg:  SHL(reg, CNST)                (dyn alpha.lit8) "sll %0, %1, %d"
+reg:  SHR(reg, reg)                 (1)  "srl %0, %1, %d"
+reg:  SHR(reg, CNST)                (dyn alpha.lit8) "srl %0, %1, %d"
+reg:  NEG(reg)                      (1)  "subq $31, %0, %d"
+reg:  NOT(reg)                      (1)  "ornot $31, %0, %d"
+reg:  CVT(reg)                      (1)  "addl %0, 0, %d"
+
+// ---- scaled adds (s4addq/s8addq) -------------------------------------------------
+reg:  ADD(MUL(reg, CNST), reg)      (dyn alpha.scale48) "s%0.1addq %0.0, %1, %d"
+reg:  ADD(SHL(reg, CNST), reg)      (dyn alpha.scale23) "s?addq %0.0, %1, %d"
+
+// ---- multiply / divide --------------------------------------------------------------
+reg:  MUL(reg, reg)                 (8)  "mulq %0, %1, %d"
+reg:  MUL(reg, CNST)                (dyn alpha.pow2) "sll %0, log2(%1), %d"
+reg:  DIV(reg, reg)                 (60) "__divq %0, %1 -> %d"
+reg:  MOD(reg, reg)                 (60) "__remq %0, %1 -> %d"
+
+// ---- comparisons: cmp into register, then branch on register ------------------------
+stmt: EQ(reg, reg)                  (2)  "cmpeq %0, %1, $at ; bne $at, L%c"
+stmt: EQ(reg, CNST)                 (dyn alpha.zerob) "beq %0, L%c"
+stmt: NE(reg, reg)                  (2)  "cmpeq %0, %1, $at ; beq $at, L%c"
+stmt: NE(reg, CNST)                 (dyn alpha.zerob) "bne %0, L%c"
+stmt: LT(reg, reg)                  (2)  "cmplt %0, %1, $at ; bne $at, L%c"
+stmt: LT(reg, CNST)                 (dyn alpha.lit8b) "cmplt %0, %1, $at ; bne $at, L%c"
+stmt: LE(reg, reg)                  (2)  "cmple %0, %1, $at ; bne $at, L%c"
+stmt: LE(reg, CNST)                 (dyn alpha.lit8b) "cmple %0, %1, $at ; bne $at, L%c"
+stmt: GT(reg, reg)                  (2)  "cmple %1, %0, $at ; beq $at, L%c"
+stmt: GE(reg, reg)                  (2)  "cmplt %1, %0, $at ; beq $at, L%c"
+
+// ---- control flow ---------------------------------------------------------------------
+stmt: LABEL                         (0)  "L%c:"
+stmt: JUMP(CNST)                    (1)  "br L%0"
+stmt: JUMP(reg)                     (1)  "jmp ($%0)"
+stmt: RET(reg)                      (1)  "bis %0, %0, $0 ; ret"
+reg:  CALL(reg)                     (2)  "jsr ($%0) ; bis $0, $0, %d"
+reg:  CALL(ADDRG)                   (2)  "jsr %0 ; bis $0, $0, %d"
+stmt: ARG(reg)                      (1)  "bis %0, %0, $16"
+stmt: SEQ(stmt, stmt)               (0)
+stmt: NOP                           (0)
+stmt: reg                           (0)
+`
+
+// alphaEnv binds the Alpha literal and scale checks.
+func alphaEnv() grammar.DynEnv {
+	lit8 := func(v int64) bool { return v >= 0 && v <= 255 }
+	imm16 := func(v int64) bool { return v >= -32768 && v <= 32767 }
+	env := grammar.DynEnv{}
+	env["alpha.lit8c"] = func(n grammar.DynNode) grammar.Cost {
+		if lit8(n.Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.imm16c"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.imm16a"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(1).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["alpha.imm16la"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(0).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["alpha.lit8"] = func(n grammar.DynNode) grammar.Cost {
+		if lit8(n.Kid(1).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.lit8l"] = func(n grammar.DynNode) grammar.Cost {
+		if lit8(n.Kid(0).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.lit8b"] = func(n grammar.DynNode) grammar.Cost {
+		if lit8(n.Kid(1).Value()) {
+			return 2
+		}
+		return grammar.Inf
+	}
+	// s4addq/s8addq: ADD(MUL(reg, 4|8), reg)
+	env["alpha.scale48"] = func(n grammar.DynNode) grammar.Cost {
+		switch n.Kid(0).Kid(1).Value() {
+		case 4, 8:
+			return 1
+		}
+		return grammar.Inf
+	}
+	// via shift: ADD(SHL(reg, 2|3), reg)
+	env["alpha.scale23"] = func(n grammar.DynNode) grammar.Cost {
+		switch n.Kid(0).Kid(1).Value() {
+		case 2, 3:
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.pow2"] = func(n grammar.DynNode) grammar.Cost {
+		v := n.Kid(1).Value()
+		if v > 0 && v&(v-1) == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.zero"] = func(n grammar.DynNode) grammar.Cost {
+		if n.Kid(1).Value() == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["alpha.zerob"] = func(n grammar.DynNode) grammar.Cost {
+		if n.Kid(1).Value() == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	return env
+}
+
+func init() {
+	register("alpha", func() Desc {
+		return Desc{Grammar: grammar.MustParse(alphaSrc), Env: alphaEnv()}
+	})
+}

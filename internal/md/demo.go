@@ -1,0 +1,52 @@
+package md
+
+import "repro/internal/grammar"
+
+// demoSrc is the running example of the tree-parsing instruction-selection
+// literature: registers, loads, adds, stores, and a read-modify-write rule
+// whose pattern over-matches the instruction — the add-to-memory
+// instruction requires the load and the store to use the *same* address,
+// which no tree pattern can express and which lburg-style descriptions
+// therefore guard with a dynamic cost.
+//
+// Rule numbering matches the literature's figure: rules 1–6, with rule 6
+// split into 6a/6b/6c by normal-form conversion.
+const demoSrc = `
+%name demo
+%start stmt
+%term Reg(0) Load(1) Plus(2) Store(2)
+
+addr: reg                  = 1 (0)
+reg:  Reg                  = 2 (0) "=v%c"
+reg:  Load(addr)           = 3 (1) "movq (%0), %d"
+reg:  Plus(reg, reg)       = 4 (1) "addq %0, %1, %d"
+stmt: Store(addr, reg)     = 5 (1) "movq %1, (%0)"
+stmt: Store(addr, Plus(Load(addr), reg)) = 6 (dyn samemem) "addq %1.1, (%0)"
+`
+
+// demoEnv implements the read-modify-write applicability test: the rule's
+// cost is 1 when the store address node and the load address node are the
+// identical IR node (a DAG edge), and infinite otherwise. This mirrors
+// lcc's memop() dynamic cost.
+func demoEnv() grammar.DynEnv {
+	return grammar.DynEnv{
+		"samemem": func(n grammar.DynNode) grammar.Cost {
+			// n is the Store node of the matched pattern
+			// Store(saddr, Plus(Load(laddr), reg)).
+			saddr := n.Kid(0)
+			plus := n.Kid(1)
+			load := plus.Kid(0)
+			laddr := load.Kid(0)
+			if saddr.Same(laddr) {
+				return 1
+			}
+			return grammar.Inf
+		},
+	}
+}
+
+func init() {
+	register("demo", func() Desc {
+		return Desc{Grammar: grammar.MustParse(demoSrc), Env: demoEnv()}
+	})
+}

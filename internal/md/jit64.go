@@ -1,0 +1,117 @@
+package md
+
+import "repro/internal/grammar"
+
+// jit64Src is the small JIT-compiler grammar: the kind of compact AMD64
+// description a method JIT's second tier uses — simpler than a full lcc
+// description (fewer addressing modes, no commuted immediate forms), with
+// a couple of dynamic rules for immediates and a read-modify-write pattern.
+// Its smaller rules-per-operator fan-out makes dynamic programming
+// comparatively cheaper, which is why the JIT-side speedups of the paper
+// family are smaller than the lcc-side ones — an effect the experiments
+// reproduce.
+const jit64Src = `
+%name jit64
+%start stmt
+` + Terms + `
+
+con:  CNST                          (0)  "=$%c"
+con:  ADDRG                         (0)  "=%s"
+reg:  CNST                          (1)  "mov $%c, %d"
+reg:  REG                           (0)  "=v%c"
+reg:  ARGREG                        (0)  "=a%c"
+reg:  ADDRL                         (1)  "lea %c(fp), %d"
+reg:  ADDRG                         (1)  "lea %s, %d"
+
+addr: reg                           (0)  "=(%0)"
+addr: ADDRL                         (0)  "=%c(fp)"
+addr: ADD(reg, CNST)                (dyn jit.disp32) "=%1(%0)"
+
+reg:  INDIR(addr)                   (1)  "mov %0, %d"
+reg:  INDIR1(addr)                  (1)  "movsx.b %0, %d"
+reg:  INDIR2(addr)                  (1)  "movsx.w %0, %d"
+reg:  INDIR4(addr)                  (1)  "movsx.l %0, %d"
+stmt: ASGN(addr, reg)               (1)  "mov %1, %0"
+stmt: ASGN1(addr, reg)              (1)  "mov.b %1, %0"
+stmt: ASGN2(addr, reg)              (1)  "mov.w %1, %0"
+stmt: ASGN4(addr, reg)              (1)  "mov.l %1, %0"
+
+reg:  ADD(reg, reg)                 (1)  "add %1, %0 -> %d"
+reg:  ADD(reg, CNST)                (dyn jit.imm32) "add $%1, %0 -> %d"
+reg:  SUB(reg, reg)                 (1)  "sub %1, %0 -> %d"
+reg:  SUB(reg, CNST)                (dyn jit.imm32) "sub $%1, %0 -> %d"
+reg:  AND(reg, reg)                 (1)  "and %1, %0 -> %d"
+reg:  OR(reg, reg)                  (1)  "or %1, %0 -> %d"
+reg:  XOR(reg, reg)                 (1)  "xor %1, %0 -> %d"
+reg:  SHL(reg, CNST)                (dyn jit.sh6) "shl $%1, %0 -> %d"
+reg:  SHL(reg, reg)                 (2)  "shl %%cl, %0 -> %d"
+reg:  SHR(reg, CNST)                (dyn jit.sh6) "shr $%1, %0 -> %d"
+reg:  SHR(reg, reg)                 (2)  "shr %%cl, %0 -> %d"
+reg:  NEG(reg)                      (1)  "neg %0 -> %d"
+reg:  NOT(reg)                      (1)  "not %0 -> %d"
+reg:  CVT(reg)                      (1)  "movsx %0 -> %d"
+reg:  MUL(reg, reg)                 (3)  "imul %1, %0 -> %d"
+reg:  DIV(reg, reg)                 (24) "idiv %1 -> %d"
+reg:  MOD(reg, reg)                 (24) "idiv %1 -> rdx -> %d"
+
+stmt: ASGN(addr, ADD(INDIR(addr), reg)) (dyn jit.memop) "add %1.1, %0"
+stmt: ASGN(addr, SUB(INDIR(addr), reg)) (dyn jit.memop) "sub %1.1, %0"
+stmt: ASGN4(addr, ADD(INDIR4(addr), reg)) (dyn jit.memop) "add.l %1.1, %0"
+stmt: ASGN4(addr, SUB(INDIR4(addr), reg)) (dyn jit.memop) "sub.l %1.1, %0"
+
+stmt: EQ(reg, reg)                  (2)  "cmp %1, %0 ; je L%c"
+stmt: NE(reg, reg)                  (2)  "cmp %1, %0 ; jne L%c"
+stmt: LT(reg, reg)                  (2)  "cmp %1, %0 ; jl L%c"
+stmt: LE(reg, reg)                  (2)  "cmp %1, %0 ; jle L%c"
+stmt: GT(reg, reg)                  (2)  "cmp %1, %0 ; jg L%c"
+stmt: GE(reg, reg)                  (2)  "cmp %1, %0 ; jge L%c"
+
+stmt: LABEL                         (0)  "L%c:"
+stmt: JUMP(CNST)                    (1)  "jmp L%0"
+stmt: RET(reg)                      (1)  "mov %0, rax ; ret"
+reg:  CALL(ADDRG)                   (2)  "call %0 -> %d"
+reg:  CALL(reg)                     (2)  "call *%0 -> %d"
+stmt: ARG(reg)                      (1)  "push %0"
+stmt: SEQ(stmt, stmt)               (0)
+stmt: NOP                           (0)
+stmt: reg                           (0)
+`
+
+// jit64Env binds the JIT grammar's dynamic checks.
+func jit64Env() grammar.DynEnv {
+	return grammar.DynEnv{
+		"jit.disp32": func(n grammar.DynNode) grammar.Cost {
+			v := n.Kid(1).Value()
+			if v >= -1<<31 && v < 1<<31 {
+				return 0
+			}
+			return grammar.Inf
+		},
+		"jit.imm32": func(n grammar.DynNode) grammar.Cost {
+			v := n.Kid(1).Value()
+			if v >= -1<<31 && v < 1<<31 {
+				return 1
+			}
+			return grammar.Inf
+		},
+		"jit.sh6": func(n grammar.DynNode) grammar.Cost {
+			v := n.Kid(1).Value()
+			if v >= 0 && v < 64 {
+				return 1
+			}
+			return grammar.Inf
+		},
+		"jit.memop": func(n grammar.DynNode) grammar.Cost {
+			if n.Kid(0).Same(n.Kid(1).Kid(0).Kid(0)) {
+				return 1
+			}
+			return grammar.Inf
+		},
+	}
+}
+
+func init() {
+	register("jit64", func() Desc {
+		return Desc{Grammar: grammar.MustParse(jit64Src), Env: jit64Env()}
+	})
+}

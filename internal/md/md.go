@@ -1,0 +1,81 @@
+// Package md holds the machine descriptions (tree grammars) of the
+// reproduction, rebuilt in the spirit of lcc's lburg descriptions: a large
+// CISC grammar with addressing modes and read-modify-write dynamic rules
+// (x86), three RISC grammars with immediate-range dynamic rules (mips,
+// sparc, alpha), a small JIT-compiler grammar (jit64), and the running
+// example of the tree-parsing literature (demo).
+//
+// All grammars share one operator vocabulary (the generic IR the MinC
+// front end lowers to), so the same workload forests can be labeled with
+// every grammar.
+package md
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grammar"
+)
+
+// Desc bundles a grammar with the dynamic-cost environment its rules need.
+type Desc struct {
+	Grammar *grammar.Grammar
+	Env     grammar.DynEnv
+}
+
+// registry of all machine descriptions, populated by init functions.
+var registry = map[string]func() Desc{}
+
+func register(name string, f func() Desc) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("md: duplicate machine description %q", name))
+	}
+	registry[name] = f
+}
+
+// Load returns the named machine description, parsing its grammar.
+func Load(name string) (Desc, error) {
+	f, ok := registry[name]
+	if !ok {
+		return Desc{}, fmt.Errorf("md: unknown machine description %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustLoad is Load for statically known names.
+func MustLoad(name string) Desc {
+	d, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names lists the registered machine descriptions in sorted order.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Terms is the shared operator vocabulary: the generic IR operators the
+// MinC front end produces and every grammar's %term section declares.
+// The names follow lcc's flavor (CNST, ADDR, INDIR/ASGN for load/store).
+// Memory accesses carry an access width, lcc-style (INDIRI1/INDIRI4...):
+// INDIR/ASGN move 8 bytes; INDIR1/2/4 are sign-extending narrow loads and
+// ASGN1/2/4 narrow stores. The width variants are where real machine
+// descriptions get much of their rule count — every addressing-mode and
+// read-modify-write rule repeats per width.
+const Terms = `
+%term CNST(0) ADDRL(0) ADDRG(0) REG(0) ARGREG(0)
+%term INDIR(1) INDIR1(1) INDIR2(1) INDIR4(1)
+%term NEG(1) NOT(1) CVT(1) RET(1) JUMP(1) LABEL(0)
+%term ASGN(2) ASGN1(2) ASGN2(2) ASGN4(2)
+%term ADD(2) SUB(2) MUL(2) DIV(2) MOD(2)
+%term AND(2) OR(2) XOR(2) SHL(2) SHR(2)
+%term EQ(2) NE(2) LT(2) LE(2) GT(2) GE(2)
+%term CALL(1) ARG(1) SEQ(2) NOP(0)
+`

@@ -1,0 +1,184 @@
+package md
+
+import "repro/internal/grammar"
+
+// mipsSrc is the MIPS-flavored RISC description: load/store architecture,
+// base+displacement addressing only, and the classic immediate-range
+// dynamic costs — an ALU operation can take a 16-bit signed immediate, so
+// every ALU rule has a register/register form and a register/immediate
+// form guarded by an immediate-range check, exactly the dominant use of
+// dynamic costs in lcc's RISC machine descriptions.
+const mipsSrc = `
+%name mips
+%start stmt
+` + Terms + `
+
+// ---- constants -----------------------------------------------------------
+con:  CNST                          (0)  "=%c"
+con:  ADDRG                         (0)  "=%s"
+reg:  CNST                          (dyn mips.imm16c) "addiu %d, $0, %c"
+reg:  CNST                          (2)  "lui %d, hi(%c) ; ori %d, lo(%c)"
+reg:  REG                           (0)  "=v%c"
+reg:  ARGREG                        (0)  "=a%c"
+reg:  ADDRG                         (2)  "lui %d, hi(%s) ; addiu %d, lo(%s)"
+reg:  ADDRL                         (1)  "addiu %d, $fp, %c"
+
+// ---- addressing: base + 16-bit displacement ------------------------------
+addr: reg                           (0)  "=0(%0)"
+addr: ADDRL                         (0)  "=%c($fp)"
+addr: ADD(reg, CNST)                (dyn mips.imm16a) "=%1(%0)"
+addr: ADD(CNST, reg)                (dyn mips.imm16la) "=%0(%1)"
+addr: SUB(reg, CNST)                (dyn mips.imm16a) "=-%1(%0)"
+
+// ---- loads and stores ------------------------------------------------------
+reg:  INDIR(addr)                   (2)  "lw %d, %0 ; lw %d+1, %0+4"
+reg:  INDIR1(addr)                  (1)  "lb %d, %0"
+reg:  INDIR2(addr)                  (1)  "lh %d, %0"
+reg:  INDIR4(addr)                  (1)  "lw %d, %0"
+stmt: ASGN(addr, reg)               (2)  "sw %1, %0 ; sw %1+1, %0+4"
+stmt: ASGN1(addr, reg)              (1)  "sb %1, %0"
+stmt: ASGN2(addr, reg)              (1)  "sh %1, %0"
+stmt: ASGN4(addr, reg)              (1)  "sw %1, %0"
+stmt: ASGN(addr, CNST)              (dyn mips.zero) "sw $0, %0 ; sw $0, %0+4"
+stmt: ASGN1(addr, CNST)             (dyn mips.zero) "sb $0, %0"
+stmt: ASGN2(addr, CNST)             (dyn mips.zero) "sh $0, %0"
+stmt: ASGN4(addr, CNST)             (dyn mips.zero) "sw $0, %0"
+
+// ---- ALU: register/register and register/immediate pairs -------------------
+reg:  ADD(reg, reg)                 (1)  "addu %d, %0, %1"
+reg:  ADD(reg, CNST)                (dyn mips.imm16) "addiu %d, %0, %1"
+reg:  ADD(CNST, reg)                (dyn mips.imm16l) "addiu %d, %1, %0"
+reg:  SUB(reg, reg)                 (1)  "subu %d, %0, %1"
+reg:  SUB(reg, CNST)                (dyn mips.imm16) "addiu %d, %0, -%1"
+reg:  AND(reg, reg)                 (1)  "and %d, %0, %1"
+reg:  AND(reg, CNST)                (dyn mips.uimm16) "andi %d, %0, %1"
+reg:  OR(reg, reg)                  (1)  "or %d, %0, %1"
+reg:  OR(reg, CNST)                 (dyn mips.uimm16) "ori %d, %0, %1"
+reg:  XOR(reg, reg)                 (1)  "xor %d, %0, %1"
+reg:  XOR(reg, CNST)                (dyn mips.uimm16) "xori %d, %0, %1"
+reg:  SHL(reg, CNST)                (dyn mips.sh5) "sll %d, %0, %1"
+reg:  SHL(reg, reg)                 (1)  "sllv %d, %0, %1"
+reg:  SHR(reg, CNST)                (dyn mips.sh5) "srl %d, %0, %1"
+reg:  SHR(reg, reg)                 (1)  "srlv %d, %0, %1"
+reg:  NEG(reg)                      (1)  "subu %d, $0, %0"
+reg:  NOT(reg)                      (1)  "nor %d, %0, $0"
+reg:  CVT(reg)                      (1)  "sll %d, %0, 0"
+
+// ---- multiply / divide -------------------------------------------------------
+reg:  MUL(reg, reg)                 (4)  "mult %0, %1 ; mflo %d"
+reg:  MUL(reg, CNST)                (dyn mips.pow2) "sll %d, %0, log2(%1)"
+reg:  DIV(reg, reg)                 (35) "div %0, %1 ; mflo %d"
+reg:  DIV(reg, CNST)                (dyn mips.pow2) "sra %d, %0, log2(%1)"
+reg:  MOD(reg, reg)                 (35) "div %0, %1 ; mfhi %d"
+
+// ---- comparisons and branches ------------------------------------------------
+stmt: EQ(reg, reg)                  (1)  "beq %0, %1, L%c"
+stmt: EQ(reg, CNST)                 (dyn mips.zero1) "beqz %0, L%c"
+stmt: NE(reg, reg)                  (1)  "bne %0, %1, L%c"
+stmt: NE(reg, CNST)                 (dyn mips.zero1) "bnez %0, L%c"
+stmt: LT(reg, reg)                  (2)  "slt $at, %0, %1 ; bnez $at, L%c"
+stmt: LT(reg, CNST)                 (dyn mips.imm16b) "slti $at, %0, %1 ; bnez $at, L%c"
+stmt: LE(reg, reg)                  (2)  "slt $at, %1, %0 ; beqz $at, L%c"
+stmt: GT(reg, reg)                  (2)  "slt $at, %1, %0 ; bnez $at, L%c"
+stmt: GE(reg, reg)                  (2)  "slt $at, %0, %1 ; beqz $at, L%c"
+stmt: GE(reg, CNST)                 (dyn mips.imm16b) "slti $at, %0, %1 ; beqz $at, L%c"
+
+// ---- control flow ---------------------------------------------------------------
+stmt: LABEL                         (0)  "L%c:"
+stmt: JUMP(CNST)                    (1)  "j L%0"
+stmt: JUMP(reg)                     (1)  "jr %0"
+stmt: RET(reg)                      (1)  "move $v0, %0 ; jr $ra"
+reg:  CALL(reg)                     (2)  "jalr %0 ; move %d, $v0"
+reg:  CALL(ADDRG)                   (2)  "jal %0 ; move %d, $v0"
+stmt: ARG(reg)                      (1)  "move $a?, %0"
+stmt: SEQ(stmt, stmt)               (0)
+stmt: NOP                           (0)  "nop"
+stmt: reg                           (0)
+`
+
+// mipsEnv binds the MIPS immediate-range checks.
+func mipsEnv() grammar.DynEnv {
+	imm16 := func(v int64) bool { return v >= -32768 && v <= 32767 }
+	uimm16 := func(v int64) bool { return v >= 0 && v <= 65535 }
+	env := grammar.DynEnv{}
+	// leaf rule: the node itself is the constant
+	env["mips.imm16c"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	// addressing-mode displacements cost nothing
+	env["mips.imm16a"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(1).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["mips.imm16la"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(0).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	// kid-1 immediate checks
+	env["mips.imm16"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(1).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["mips.imm16b"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(1).Value()) {
+			return 2
+		}
+		return grammar.Inf
+	}
+	// kid-0 immediate (commuted forms)
+	env["mips.imm16l"] = func(n grammar.DynNode) grammar.Cost {
+		if imm16(n.Kid(0).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["mips.uimm16"] = func(n grammar.DynNode) grammar.Cost {
+		if uimm16(n.Kid(1).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["mips.sh5"] = func(n grammar.DynNode) grammar.Cost {
+		v := n.Kid(1).Value()
+		if v >= 0 && v < 32 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["mips.pow2"] = func(n grammar.DynNode) grammar.Cost {
+		v := n.Kid(1).Value()
+		if v > 0 && v&(v-1) == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	// store zero / branch against zero use the hardwired $0 register
+	env["mips.zero"] = func(n grammar.DynNode) grammar.Cost {
+		if n.Kid(1).Value() == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["mips.zero1"] = func(n grammar.DynNode) grammar.Cost {
+		if n.Kid(1).Value() == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	return env
+}
+
+func init() {
+	register("mips", func() Desc {
+		return Desc{Grammar: grammar.MustParse(mipsSrc), Env: mipsEnv()}
+	})
+}

@@ -1,0 +1,175 @@
+package md
+
+import "repro/internal/grammar"
+
+// sparcSrc is the SPARC-flavored description: 13-bit signed immediates,
+// register+register and register+immediate addressing, a %g0 zero register
+// that makes compare-against-zero and store-zero free, and set-synthesis
+// for large constants (sethi/or). The spill-address rule mirrors the
+// literature's example of a non-applicability dynamic cost converted to an
+// applicability pair: a cheap rule guarded by an immediate check plus an
+// unguarded expensive fallback.
+const sparcSrc = `
+%name sparc
+%start stmt
+` + Terms + `
+
+// ---- constants -----------------------------------------------------------
+con:  CNST                          (0)  "=%c"
+con:  ADDRG                         (0)  "=%s"
+reg:  CNST                          (dyn sparc.imm13c) "or %%g0, %c, %d"
+reg:  CNST                          (2)  "sethi %%hi(%c), %d ; or %d, %%lo(%c), %d"
+reg:  REG                           (0)  "=v%c"
+reg:  ARGREG                        (0)  "=i%c"
+reg:  ADDRG                         (2)  "sethi %%hi(%s), %d ; or %d, %%lo(%s), %d"
+reg:  ADDRL                         (dyn sparc.imm13c) "add %%fp, %c, %d"
+reg:  ADDRL                         (2)  "set %c, %d ; add %%fp, %d, %d"
+
+// ---- addressing ------------------------------------------------------------
+addr: reg                           (0)  "=[%0]"
+addr: ADD(reg, reg)                 (0)  "=[%0+%1]"
+addr: ADD(reg, CNST)                (dyn sparc.imm13a) "=[%0+%1]"
+addr: ADD(CNST, reg)                (dyn sparc.imm13la) "=[%1+%0]"
+addr: ADDRL                         (dyn sparc.imm13c0) "=[%%fp+%c]"
+
+// ---- loads and stores --------------------------------------------------------
+reg:  INDIR(addr)                   (1)  "ldd %0, %d"
+reg:  INDIR1(addr)                  (1)  "ldsb %0, %d"
+reg:  INDIR2(addr)                  (1)  "ldsh %0, %d"
+reg:  INDIR4(addr)                  (1)  "ld %0, %d"
+stmt: ASGN(addr, reg)               (1)  "std %1, %0"
+stmt: ASGN1(addr, reg)              (1)  "stb %1, %0"
+stmt: ASGN2(addr, reg)              (1)  "sth %1, %0"
+stmt: ASGN4(addr, reg)              (1)  "st %1, %0"
+stmt: ASGN(addr, CNST)              (dyn sparc.zero) "std %%g0, %0"
+stmt: ASGN1(addr, CNST)             (dyn sparc.zero) "stb %%g0, %0"
+stmt: ASGN2(addr, CNST)             (dyn sparc.zero) "sth %%g0, %0"
+stmt: ASGN4(addr, CNST)             (dyn sparc.zero) "st %%g0, %0"
+
+// ---- ALU -----------------------------------------------------------------------
+reg:  ADD(reg, reg)                 (1)  "add %0, %1, %d"
+reg:  ADD(reg, CNST)                (dyn sparc.imm13) "add %0, %1, %d"
+reg:  ADD(CNST, reg)                (dyn sparc.imm13l) "add %1, %0, %d"
+reg:  SUB(reg, reg)                 (1)  "sub %0, %1, %d"
+reg:  SUB(reg, CNST)                (dyn sparc.imm13) "sub %0, %1, %d"
+reg:  AND(reg, reg)                 (1)  "and %0, %1, %d"
+reg:  AND(reg, CNST)                (dyn sparc.imm13) "and %0, %1, %d"
+reg:  OR(reg, reg)                  (1)  "or %0, %1, %d"
+reg:  OR(reg, CNST)                 (dyn sparc.imm13) "or %0, %1, %d"
+reg:  XOR(reg, reg)                 (1)  "xor %0, %1, %d"
+reg:  XOR(reg, CNST)                (dyn sparc.imm13) "xor %0, %1, %d"
+reg:  SHL(reg, CNST)                (dyn sparc.sh5) "sll %0, %1, %d"
+reg:  SHL(reg, reg)                 (1)  "sll %0, %1, %d"
+reg:  SHR(reg, CNST)                (dyn sparc.sh5) "srl %0, %1, %d"
+reg:  SHR(reg, reg)                 (1)  "srl %0, %1, %d"
+reg:  NEG(reg)                      (1)  "sub %%g0, %0, %d"
+reg:  NOT(reg)                      (1)  "xnor %0, %%g0, %d"
+reg:  CVT(reg)                      (1)  "sra %0, 0, %d"
+
+// ---- multiply / divide ----------------------------------------------------------
+reg:  MUL(reg, reg)                 (5)  "smul %0, %1, %d"
+reg:  MUL(reg, CNST)                (dyn sparc.pow2) "sll %0, log2(%1), %d"
+reg:  DIV(reg, reg)                 (38) "sra %0, 31, %%o7 ; wr %%o7, %%y ; sdiv %0, %1, %d"
+reg:  MOD(reg, reg)                 (40) "sdiv+smul+sub -> %d"
+
+// ---- comparisons and branches ------------------------------------------------------
+stmt: EQ(reg, reg)                  (2)  "cmp %0, %1 ; be L%c"
+stmt: EQ(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; be L%c"
+stmt: NE(reg, reg)                  (2)  "cmp %0, %1 ; bne L%c"
+stmt: NE(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; bne L%c"
+stmt: LT(reg, reg)                  (2)  "cmp %0, %1 ; bl L%c"
+stmt: LT(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; bl L%c"
+stmt: LE(reg, reg)                  (2)  "cmp %0, %1 ; ble L%c"
+stmt: LE(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; ble L%c"
+stmt: GT(reg, reg)                  (2)  "cmp %0, %1 ; bg L%c"
+stmt: GT(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; bg L%c"
+stmt: GE(reg, reg)                  (2)  "cmp %0, %1 ; bge L%c"
+stmt: GE(reg, CNST)                 (dyn sparc.imm13b) "cmp %0, %1 ; bge L%c"
+
+// ---- control flow --------------------------------------------------------------------
+stmt: LABEL                         (0)  "L%c:"
+stmt: JUMP(CNST)                    (1)  "ba L%0 ; nop"
+stmt: JUMP(reg)                     (1)  "jmp %0 ; nop"
+stmt: RET(reg)                      (2)  "mov %0, %%i0 ; ret ; restore"
+reg:  CALL(reg)                     (2)  "call %0 ; nop ; mov %%o0, %d"
+reg:  CALL(ADDRG)                   (2)  "call %0 ; nop ; mov %%o0, %d"
+stmt: ARG(reg)                      (1)  "mov %0, %%o?"
+stmt: SEQ(stmt, stmt)               (0)
+stmt: NOP                           (0)  "nop"
+stmt: reg                           (0)
+`
+
+// sparcEnv binds the SPARC immediate-range checks.
+func sparcEnv() grammar.DynEnv {
+	imm13 := func(v int64) bool { return v >= -4096 && v <= 4095 }
+	env := grammar.DynEnv{}
+	env["sparc.imm13c"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13c0"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13a"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Kid(1).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13la"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Kid(0).Value()) {
+			return 0
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Kid(1).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13l"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Kid(0).Value()) {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["sparc.imm13b"] = func(n grammar.DynNode) grammar.Cost {
+		if imm13(n.Kid(1).Value()) {
+			return 2
+		}
+		return grammar.Inf
+	}
+	env["sparc.sh5"] = func(n grammar.DynNode) grammar.Cost {
+		v := n.Kid(1).Value()
+		if v >= 0 && v < 32 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["sparc.pow2"] = func(n grammar.DynNode) grammar.Cost {
+		v := n.Kid(1).Value()
+		if v > 0 && v&(v-1) == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	env["sparc.zero"] = func(n grammar.DynNode) grammar.Cost {
+		if n.Kid(1).Value() == 0 {
+			return 1
+		}
+		return grammar.Inf
+	}
+	return env
+}
+
+func init() {
+	register("sparc", func() Desc {
+		return Desc{Grammar: grammar.MustParse(sparcSrc), Env: sparcEnv()}
+	})
+}

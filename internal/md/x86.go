@@ -1,0 +1,230 @@
+package md
+
+import "repro/internal/grammar"
+
+// x86Src is the CISC machine description, modeled on lcc's x86linux.md: a
+// rich addressing-mode sublanguage (base, scaled index, displacement),
+// memory operands on ALU instructions, and the dynamic-cost rules that
+// motivated lburg — read-modify-write instructions (the pattern is a DAG,
+// so a tree rule over-matches and a selection-time address-identity check
+// guards it), increment/decrement, power-of-two multiplies, scaled-index
+// validity, and test-against-zero.
+//
+// AT&T operand order (destination last). %d is the destination virtual
+// register, dotted paths (%1.1) reach into multi-node patterns.
+const x86Src = `
+%name x86
+%start stmt
+` + Terms + `
+
+// ---- constants and address leaves -------------------------------------
+con:  CNST                          (0)  "=$%c"
+con:  ADDRG                         (0)  "=$%s"
+reg:  CNST                          (1)  "movq $%c, %d"
+reg:  ADDRG                         (1)  "leaq %s(%%rip), %d"
+reg:  ADDRL                         (1)  "leaq %c(%%rbp), %d"
+reg:  REG                           (0)  "=v%c"
+reg:  ARGREG                        (0)  "=a%c"
+
+// ---- addressing modes ---------------------------------------------------
+base: reg                           (0)  "=(%0)"
+base: ADDRL                         (0)  "=%c(%%rbp)"
+base: ADDRG                         (0)  "=%s(%%rip)"
+base: ADD(reg, con)                 (0)  "=%1(%0)"
+base: ADD(con, reg)                 (0)  "=%0(%1)"
+base: SUB(reg, con)                 (0)  "=-%1(%0)"
+addr: base                          (0)
+addr: ADD(reg, reg)                 (0)  "=(%0,%1)"
+addr: ADD(reg, SHL(reg, CNST))      (dyn x86.scale) "=(%0,%1.0,%1.1)"
+addr: ADD(reg, MUL(reg, CNST))      (dyn x86.scalemul) "=(%0,%1.0,%1.1)"
+
+// ---- memory operands ----------------------------------------------------
+mem:  INDIR(addr)                   (0)  "=%0"
+reg:  INDIR(addr)                   (1)  "movq %0, %d"
+reg:  INDIR1(addr)                  (1)  "movsbq %0, %d"
+reg:  INDIR2(addr)                  (1)  "movswq %0, %d"
+reg:  INDIR4(addr)                  (1)  "movslq %0, %d"
+rc:   reg                           (0)
+rc:   con                           (0)
+mrc:  mem                           (0)
+mrc:  rc                            (0)
+
+// ---- two-operand ALU ----------------------------------------------------
+reg:  ADD(reg, mrc)                 (1)  "addq %1, %0 ; movq %0, %d"
+reg:  ADD(mrc, reg)                 (1)  "addq %0, %1 ; movq %1, %d"
+reg:  ADD(reg, CNST)                (dyn x86.one)  "incq %0 ; movq %0, %d"
+reg:  SUB(reg, mrc)                 (1)  "subq %1, %0 ; movq %0, %d"
+reg:  SUB(reg, CNST)                (dyn x86.one)  "decq %0 ; movq %0, %d"
+reg:  AND(reg, mrc)                 (1)  "andq %1, %0 ; movq %0, %d"
+reg:  AND(mrc, reg)                 (1)  "andq %0, %1 ; movq %1, %d"
+reg:  OR(reg, mrc)                  (1)  "orq %1, %0 ; movq %0, %d"
+reg:  OR(mrc, reg)                  (1)  "orq %0, %1 ; movq %1, %d"
+reg:  XOR(reg, mrc)                 (1)  "xorq %1, %0 ; movq %0, %d"
+reg:  XOR(mrc, reg)                 (1)  "xorq %0, %1 ; movq %1, %d"
+reg:  NEG(reg)                      (1)  "negq %0 ; movq %0, %d"
+reg:  NOT(reg)                      (1)  "notq %0 ; movq %0, %d"
+reg:  CVT(reg)                      (1)  "movslq %0, %d"
+reg:  CVT(mem)                      (1)  "movslq %0, %d"
+
+// lea as cheap three-operand add
+reg:  ADD(reg, reg)                 (1)  "leaq (%0,%1), %d"
+
+// ---- multiply / divide ---------------------------------------------------
+reg:  MUL(reg, mrc)                 (3)  "imulq %1, %0 ; movq %0, %d"
+reg:  MUL(mrc, reg)                 (3)  "imulq %0, %1 ; movq %1, %d"
+reg:  MUL(reg, CNST)                (dyn x86.pow2)  "shlq $log2(%1), %0 ; movq %0, %d"
+reg:  DIV(reg, reg)                 (24) "cqto ; idivq %1 ; movq %%rax, %d"
+reg:  DIV(reg, mem)                 (24) "cqto ; idivq %1 ; movq %%rax, %d"
+reg:  DIV(reg, CNST)                (dyn x86.pow2)  "sarq $log2(%1), %0 ; movq %0, %d"
+reg:  MOD(reg, reg)                 (24) "cqto ; idivq %1 ; movq %%rdx, %d"
+reg:  MOD(reg, mem)                 (24) "cqto ; idivq %1 ; movq %%rdx, %d"
+
+// ---- shifts ---------------------------------------------------------------
+reg:  SHL(reg, con)                 (1)  "shlq %1, %0 ; movq %0, %d"
+reg:  SHL(reg, reg)                 (2)  "movq %1, %%rcx ; shlq %%cl, %0 ; movq %0, %d"
+reg:  SHR(reg, con)                 (1)  "shrq %1, %0 ; movq %0, %d"
+reg:  SHR(reg, reg)                 (2)  "movq %1, %%rcx ; shrq %%cl, %0 ; movq %0, %d"
+
+// ---- stores ----------------------------------------------------------------
+stmt: ASGN(addr, rc)                (1)  "movq %1, %0"
+stmt: ASGN(addr, mem)               (2)  "movq %1, %%r11 ; movq %%r11, %0"
+stmt: ASGN1(addr, rc)               (1)  "movb %1, %0"
+stmt: ASGN2(addr, rc)               (1)  "movw %1, %0"
+stmt: ASGN4(addr, rc)               (1)  "movl %1, %0"
+
+// ---- read-modify-write instructions (the dynamic-cost flagship) -----------
+// inc/dec variants first: on equal cost, earlier rules win ties, and the
+// one-byte inc/dec encodings are the preferred form.
+stmt: ASGN(addr, ADD(INDIR(addr), CNST)) (dyn x86.memop1) "incq %0"
+stmt: ASGN(addr, SUB(INDIR(addr), CNST)) (dyn x86.memop1) "decq %0"
+stmt: ASGN4(addr, ADD(INDIR4(addr), CNST)) (dyn x86.memop1) "incl %0"
+stmt: ASGN4(addr, SUB(INDIR4(addr), CNST)) (dyn x86.memop1) "decl %0"
+stmt: ASGN1(addr, ADD(INDIR1(addr), CNST)) (dyn x86.memop1) "incb %0"
+stmt: ASGN1(addr, SUB(INDIR1(addr), CNST)) (dyn x86.memop1) "decb %0"
+stmt: ASGN(addr, ADD(INDIR(addr), rc))  (dyn x86.memop) "addq %1.1, %0"
+stmt: ASGN(addr, SUB(INDIR(addr), rc))  (dyn x86.memop) "subq %1.1, %0"
+stmt: ASGN(addr, AND(INDIR(addr), rc))  (dyn x86.memop) "andq %1.1, %0"
+stmt: ASGN(addr, OR(INDIR(addr), rc))   (dyn x86.memop) "orq %1.1, %0"
+stmt: ASGN(addr, XOR(INDIR(addr), rc))  (dyn x86.memop) "xorq %1.1, %0"
+stmt: ASGN(addr, SHL(INDIR(addr), con)) (dyn x86.memop) "shlq %1.1, %0"
+stmt: ASGN(addr, SHR(INDIR(addr), con)) (dyn x86.memop) "shrq %1.1, %0"
+stmt: ASGN(addr, NEG(INDIR(addr)))      (dyn x86.memopu) "negq %0"
+stmt: ASGN(addr, NOT(INDIR(addr)))      (dyn x86.memopu) "notq %0"
+stmt: ASGN1(addr, ADD(INDIR1(addr), rc)) (dyn x86.memop) "addb %1.1, %0"
+stmt: ASGN1(addr, SUB(INDIR1(addr), rc)) (dyn x86.memop) "subb %1.1, %0"
+stmt: ASGN1(addr, AND(INDIR1(addr), rc)) (dyn x86.memop) "andb %1.1, %0"
+stmt: ASGN1(addr, OR(INDIR1(addr), rc))  (dyn x86.memop) "orb %1.1, %0"
+stmt: ASGN2(addr, ADD(INDIR2(addr), rc)) (dyn x86.memop) "addw %1.1, %0"
+stmt: ASGN2(addr, SUB(INDIR2(addr), rc)) (dyn x86.memop) "subw %1.1, %0"
+stmt: ASGN4(addr, ADD(INDIR4(addr), rc)) (dyn x86.memop) "addl %1.1, %0"
+stmt: ASGN4(addr, SUB(INDIR4(addr), rc)) (dyn x86.memop) "subl %1.1, %0"
+stmt: ASGN4(addr, AND(INDIR4(addr), rc)) (dyn x86.memop) "andl %1.1, %0"
+stmt: ASGN4(addr, OR(INDIR4(addr), rc))  (dyn x86.memop) "orl %1.1, %0"
+stmt: ASGN4(addr, XOR(INDIR4(addr), rc)) (dyn x86.memop) "xorl %1.1, %0"
+stmt: ASGN4(addr, SHL(INDIR4(addr), con)) (dyn x86.memop) "shll %1.1, %0"
+stmt: ASGN4(addr, SHR(INDIR4(addr), con)) (dyn x86.memop) "shrl %1.1, %0"
+
+// ---- comparisons and branches (branch target in the node payload) ---------
+stmt: EQ(reg, mrc)                  (2)  "cmpq %1, %0 ; je L%c"
+stmt: EQ(mem, rc)                   (2)  "cmpq %1, %0 ; je L%c"
+stmt: NE(reg, mrc)                  (2)  "cmpq %1, %0 ; jne L%c"
+stmt: NE(mem, rc)                   (2)  "cmpq %1, %0 ; jne L%c"
+stmt: LT(reg, mrc)                  (2)  "cmpq %1, %0 ; jl L%c"
+stmt: LT(mem, rc)                   (2)  "cmpq %1, %0 ; jl L%c"
+stmt: LE(reg, mrc)                  (2)  "cmpq %1, %0 ; jle L%c"
+stmt: LE(mem, rc)                   (2)  "cmpq %1, %0 ; jle L%c"
+stmt: GT(reg, mrc)                  (2)  "cmpq %1, %0 ; jg L%c"
+stmt: GT(mem, rc)                   (2)  "cmpq %1, %0 ; jg L%c"
+stmt: GE(reg, mrc)                  (2)  "cmpq %1, %0 ; jge L%c"
+stmt: GE(mem, rc)                   (2)  "cmpq %1, %0 ; jge L%c"
+stmt: EQ(AND(reg, reg), CNST)       (dyn x86.zero) "testq %0.1, %0.0 ; je L%c"
+stmt: NE(AND(reg, reg), CNST)       (dyn x86.zero) "testq %0.1, %0.0 ; jne L%c"
+
+// ---- control flow ----------------------------------------------------------
+stmt: LABEL                         (0)  "L%c:"
+stmt: JUMP(CNST)                    (1)  "jmp L%0"
+stmt: JUMP(reg)                     (1)  "jmp *%0"
+stmt: RET(mrc)                      (1)  "movq %0, %%rax ; ret"
+reg:  CALL(ADDRG)                   (2)  "call %0 ; movq %%rax, %d"
+reg:  CALL(addr)                    (2)  "call *%0 ; movq %%rax, %d"
+stmt: ARG(mrc)                      (1)  "pushq %0"
+stmt: SEQ(stmt, stmt)               (0)
+stmt: NOP                           (0)
+stmt: reg                           (0)
+`
+
+// x86Env binds the x86 dynamic-cost functions.
+func x86Env() grammar.DynEnv {
+	memAddrSame := func(n grammar.DynNode) bool {
+		// n = ASGN(addr, OP(INDIR(addr'), ...)): the store address and the
+		// loaded address must be the identical node.
+		return n.Kid(0).Same(n.Kid(1).Kid(0).Kid(0))
+	}
+	return grammar.DynEnv{
+		// scaled index: SHL count 1..3 scales by 2/4/8
+		"x86.scale": func(n grammar.DynNode) grammar.Cost {
+			c := n.Kid(1).Kid(1).Value()
+			if c >= 1 && c <= 3 {
+				return 0
+			}
+			return grammar.Inf
+		},
+		// scaled index via multiply: factor 2, 4 or 8
+		"x86.scalemul": func(n grammar.DynNode) grammar.Cost {
+			switch n.Kid(1).Kid(1).Value() {
+			case 2, 4, 8:
+				return 0
+			}
+			return grammar.Inf
+		},
+		// inc/dec via add/sub of constant 1
+		"x86.one": func(n grammar.DynNode) grammar.Cost {
+			if n.Kid(1).Value() == 1 {
+				return 1
+			}
+			return grammar.Inf
+		},
+		// multiply/divide by a power of two becomes a shift
+		"x86.pow2": func(n grammar.DynNode) grammar.Cost {
+			v := n.Kid(1).Value()
+			if v > 0 && v&(v-1) == 0 {
+				return 1
+			}
+			return grammar.Inf
+		},
+		// read-modify-write: same address read and written
+		"x86.memop": func(n grammar.DynNode) grammar.Cost {
+			if memAddrSame(n) {
+				return 1
+			}
+			return grammar.Inf
+		},
+		// read-modify-write with constant 1: inc/dec on memory
+		"x86.memop1": func(n grammar.DynNode) grammar.Cost {
+			if memAddrSame(n) && n.Kid(1).Kid(1).Value() == 1 {
+				return 1
+			}
+			return grammar.Inf
+		},
+		// unary read-modify-write (neg/not on memory)
+		"x86.memopu": func(n grammar.DynNode) grammar.Cost {
+			if memAddrSame(n) {
+				return 1
+			}
+			return grammar.Inf
+		},
+		// compare against zero becomes test
+		"x86.zero": func(n grammar.DynNode) grammar.Cost {
+			if n.Kid(1).Value() == 0 {
+				return 2
+			}
+			return grammar.Inf
+		},
+	}
+}
+
+func init() {
+	register("x86", func() Desc {
+		return Desc{Grammar: grammar.MustParse(x86Src), Env: x86Env()}
+	})
+}

@@ -1,0 +1,146 @@
+// Package metrics provides deterministic work counters for the instruction
+// selection engines.
+//
+// The PLDI'06 evaluation used hardware performance counters (instructions,
+// cycles). A reproduction on a different substrate cannot match those
+// absolute numbers, so the engines count the abstract events that dominate
+// the instruction counts instead: rules examined, chain-rule relaxation
+// attempts, dynamic-cost evaluations, transition-table probes and misses,
+// and states constructed. Counts are exactly reproducible run to run,
+// which the experiment tables rely on; wall-clock numbers come from
+// testing.B benchmarks separately.
+package metrics
+
+import "fmt"
+
+// Counters accumulates engine events. The zero value is ready to use.
+// A nil *Counters is also accepted by all methods, so engines can be run
+// uninstrumented at full speed.
+type Counters struct {
+	// NodesLabeled counts IR nodes processed by a labeler.
+	NodesLabeled int64
+	// RulesExamined counts base-rule cost computations (the DP inner loop).
+	RulesExamined int64
+	// ChainRelaxations counts chain-rule relaxation attempts during
+	// closure.
+	ChainRelaxations int64
+	// DynEvals counts dynamic-cost function evaluations.
+	DynEvals int64
+	// TableProbes counts automaton transition-table lookups.
+	TableProbes int64
+	// TableMisses counts probes that did not find a transition and had to
+	// construct one (on-demand engine only).
+	TableMisses int64
+	// StatesBuilt counts distinct states constructed (interned).
+	StatesBuilt int64
+	// TransitionsAdded counts transition-table entries written.
+	TransitionsAdded int64
+	// NodesReduced counts (node, nonterminal) visits during reduction.
+	NodesReduced int64
+}
+
+// CountNode records a labeled node.
+func (c *Counters) CountNode() {
+	if c != nil {
+		c.NodesLabeled++
+	}
+}
+
+// CountRules records n base-rule cost computations.
+func (c *Counters) CountRules(n int) {
+	if c != nil {
+		c.RulesExamined += int64(n)
+	}
+}
+
+// CountChain records n chain-rule relaxation attempts.
+func (c *Counters) CountChain(n int) {
+	if c != nil {
+		c.ChainRelaxations += int64(n)
+	}
+}
+
+// CountDyn records n dynamic-cost evaluations.
+func (c *Counters) CountDyn(n int) {
+	if c != nil {
+		c.DynEvals += int64(n)
+	}
+}
+
+// CountProbe records a transition-table lookup; miss reports whether the
+// transition had to be constructed.
+func (c *Counters) CountProbe(miss bool) {
+	if c != nil {
+		c.TableProbes++
+		if miss {
+			c.TableMisses++
+		}
+	}
+}
+
+// CountState records an interned state.
+func (c *Counters) CountState() {
+	if c != nil {
+		c.StatesBuilt++
+	}
+}
+
+// CountTransition records a transition-table entry write.
+func (c *Counters) CountTransition() {
+	if c != nil {
+		c.TransitionsAdded++
+	}
+}
+
+// CountReduce records a (node, nonterminal) reduction visit.
+func (c *Counters) CountReduce() {
+	if c != nil {
+		c.NodesReduced++
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c != nil {
+		*c = Counters{}
+	}
+}
+
+// Clone returns a copy (nil-safe).
+func (c *Counters) Clone() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	return *c
+}
+
+// WorkUnits collapses the counters into a single figure comparable across
+// engines: the number of inner-loop events a labeler executed. Each event
+// is a handful of machine instructions, so ratios of WorkUnits track the
+// "instructions executed during labeling" ratios the paper family reports.
+func (c *Counters) WorkUnits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.RulesExamined + c.ChainRelaxations + c.DynEvals +
+		c.TableProbes + 4*c.TableMisses
+}
+
+// PerNode returns work units per labeled node.
+func (c *Counters) PerNode() float64 {
+	if c == nil || c.NodesLabeled == 0 {
+		return 0
+	}
+	return float64(c.WorkUnits()) / float64(c.NodesLabeled)
+}
+
+// String renders the counters compactly.
+func (c *Counters) String() string {
+	if c == nil {
+		return "<nil counters>"
+	}
+	return fmt.Sprintf("nodes=%d rules=%d chain=%d dyn=%d probes=%d misses=%d states=%d trans=%d work=%d",
+		c.NodesLabeled, c.RulesExamined, c.ChainRelaxations, c.DynEvals,
+		c.TableProbes, c.TableMisses, c.StatesBuilt, c.TransitionsAdded,
+		c.WorkUnits())
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.CountNode()
+	c.CountNode()
+	c.CountRules(5)
+	c.CountChain(3)
+	c.CountDyn(2)
+	c.CountProbe(false)
+	c.CountProbe(true)
+	c.CountState()
+	c.CountTransition()
+	c.CountReduce()
+	if c.NodesLabeled != 2 || c.RulesExamined != 5 || c.ChainRelaxations != 3 ||
+		c.DynEvals != 2 || c.TableProbes != 2 || c.TableMisses != 1 ||
+		c.StatesBuilt != 1 || c.TransitionsAdded != 1 || c.NodesReduced != 1 {
+		t.Errorf("counters wrong: %+v", c)
+	}
+	// Work units: 5 + 3 + 2 + 2 + 4*1 = 16; per node = 8.
+	if c.WorkUnits() != 16 {
+		t.Errorf("work units = %d, want 16", c.WorkUnits())
+	}
+	if c.PerNode() != 8 {
+		t.Errorf("per node = %f, want 8", c.PerNode())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := &Counters{}
+	c.CountRules(7)
+	snap := c.Clone()
+	c.CountRules(1)
+	if snap.RulesExamined != 7 || c.RulesExamined != 8 {
+		t.Error("clone is not a snapshot")
+	}
+}
+
+func TestStringMentionsEverything(t *testing.T) {
+	c := &Counters{}
+	c.CountProbe(true)
+	s := c.String()
+	for _, want := range []string{"probes=1", "misses=1", "work="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+// Property: work units are additive over event sequences and nonnegative.
+func TestWorkUnitsProperties(t *testing.T) {
+	additive := func(r1, r2, ch, dy uint8) bool {
+		a := &Counters{}
+		a.CountRules(int(r1))
+		a.CountChain(int(ch))
+		b := &Counters{}
+		b.CountRules(int(r2))
+		b.CountDyn(int(dy))
+		both := &Counters{}
+		both.CountRules(int(r1) + int(r2))
+		both.CountChain(int(ch))
+		both.CountDyn(int(dy))
+		return a.WorkUnits()+b.WorkUnits() == both.WorkUnits() && both.WorkUnits() >= 0
+	}
+	if err := quick.Check(additive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissWeightedHigher(t *testing.T) {
+	hit := &Counters{}
+	hit.CountProbe(false)
+	miss := &Counters{}
+	miss.CountProbe(true)
+	if miss.WorkUnits() <= hit.WorkUnits() {
+		t.Error("a miss must cost more work than a hit")
+	}
+}

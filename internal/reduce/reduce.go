@@ -1,0 +1,154 @@
+// Package reduce implements the reducer pass shared by all labelers: given
+// a labeled forest, it walks the optimal derivation from the start
+// nonterminal at each root, firing each rule's action bottom-up.
+//
+// The reducer is deliberately engine-independent — it reads rules through
+// the small Labeling interface — which is also how the test suite verifies
+// that the dynamic-programming labeler, the offline automaton and the
+// on-demand automaton select identical derivations.
+//
+// DAG inputs are handled per Ertl (POPL '99): each (node, nonterminal)
+// combination is reduced at most once; derivations from different parents
+// that meet at the same combination share it.
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+)
+
+// Labeling is what a labeler must provide: the optimal first rule for
+// deriving node n from nonterminal nt, or -1 if no derivation exists.
+type Labeling interface {
+	RuleAt(n *ir.Node, nt grammar.NT) int32
+}
+
+// Visitor receives each applied rule in bottom-up (post-order) position —
+// the point where code generation actions run. nt is the nonterminal the
+// rule was applied for at n.
+type Visitor func(n *ir.Node, nt grammar.NT, r *grammar.Rule)
+
+// Reducer walks derivations.
+type Reducer struct {
+	g   *grammar.Grammar
+	dyn []grammar.DynFunc
+	m   *metrics.Counters
+}
+
+// New creates a reducer. env is needed only to account the true cost of
+// applied dynamic rules; nil is fine for fixed-cost grammars. m may be nil.
+func New(g *grammar.Grammar, env grammar.DynEnv, m *metrics.Counters) (*Reducer, error) {
+	dyn, err := env.Bind(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Reducer{g: g, dyn: dyn, m: m}, nil
+}
+
+// Cover reduces every root of f from the grammar's start nonterminal and
+// returns the total cost of the selected derivation (summing each applied
+// rule's cost exactly once, with dynamic costs evaluated at the node).
+// visit may be nil. Cover fails if some root has no derivation.
+func (rd *Reducer) Cover(f *ir.Forest, lab Labeling, visit Visitor) (grammar.Cost, error) {
+	visited := make(map[int64]bool)
+	var total grammar.Cost
+	for _, root := range f.Roots {
+		c, err := rd.reduce(root, rd.g.Start, lab, visit, visited)
+		if err != nil {
+			return 0, err
+		}
+		total = total.Add(c)
+	}
+	return total, nil
+}
+
+// CoverTree reduces a single node from an arbitrary goal nonterminal.
+func (rd *Reducer) CoverTree(root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor) (grammar.Cost, error) {
+	return rd.reduce(root, goal, lab, visit, make(map[int64]bool))
+}
+
+func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor, visited map[int64]bool) (grammar.Cost, error) {
+	key := int64(n.Index)<<16 | int64(nt)
+	if visited[key] {
+		// DAG sharing: this (node, nonterminal) was already reduced via
+		// another parent; its cost and actions are accounted there.
+		return 0, nil
+	}
+	visited[key] = true
+	rd.m.CountReduce()
+
+	ri := lab.RuleAt(n, nt)
+	if ri < 0 {
+		return 0, fmt.Errorf("reduce: no derivation of %s for operator %s at node %d",
+			rd.g.NTName(nt), rd.g.OpName(n.Op), n.Index)
+	}
+	r := &rd.g.Rules[ri]
+	var total grammar.Cost
+	if r.IsChain {
+		c, err := rd.reduce(n, r.ChainRHS, lab, visit, visited)
+		if err != nil {
+			return 0, err
+		}
+		total = c.Add(r.Cost)
+	} else {
+		if r.Op != n.Op {
+			return 0, fmt.Errorf("reduce: labeling is corrupt: rule %s (op %s) recorded at node with op %s",
+				rd.g.RuleName(int(ri)), rd.g.OpName(r.Op), rd.g.OpName(n.Op))
+		}
+		for ki, kid := range n.Kids {
+			c, err := rd.reduce(kid, r.Kids[ki], lab, visit, visited)
+			if err != nil {
+				return 0, err
+			}
+			total = total.Add(c)
+		}
+		if fn := rd.dyn[ri]; fn != nil {
+			total = total.Add(fn(n))
+		} else {
+			total = total.Add(r.Cost)
+		}
+	}
+	if visit != nil {
+		visit(n, nt, r)
+	}
+	return total, nil
+}
+
+// Derivation records an applied-rule trace, the flattened form the golden
+// tests compare across engines.
+type Derivation struct {
+	Steps []Step
+	Cost  grammar.Cost
+}
+
+// Step is one applied rule.
+type Step struct {
+	NodeIndex int
+	NT        grammar.NT
+	RuleIndex int
+}
+
+// Trace covers f and records every applied rule in visit order.
+func (rd *Reducer) Trace(f *ir.Forest, lab Labeling) (*Derivation, error) {
+	d := &Derivation{}
+	cost, err := rd.Cover(f, lab, func(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
+		d.Steps = append(d.Steps, Step{NodeIndex: n.Index, NT: nt, RuleIndex: r.Index})
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Cost = cost
+	return d, nil
+}
+
+// String renders a derivation compactly for diagnostics.
+func (d *Derivation) String(g *grammar.Grammar) string {
+	s := fmt.Sprintf("cost=%d:", d.Cost)
+	for _, st := range d.Steps {
+		s += fmt.Sprintf(" n%d/%s:%s", st.NodeIndex, g.NTName(st.NT), g.RuleName(st.RuleIndex))
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/metrics"
+)
+
+func setup(t testing.TB) (md.Desc, *dp.Labeler, *Reducer) {
+	t.Helper()
+	d := md.MustLoad("demo")
+	l, err := dp.New(d.Grammar, d.Env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := New(d.Grammar, d.Env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, l, rd
+}
+
+// TestPaperDerivation reproduces the running example's optimal derivation:
+// rules 5, 4, 3 (and chains/leaves) for the tree form, total cost 3.
+func TestPaperDerivation(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	f := ir.MustParseTree(g, "Store(Reg[1], Plus(Load(Reg[1]), Reg[2]))")
+	deriv, err := rd.Trace(f, l.Label(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deriv.Cost != 3 {
+		t.Errorf("cost = %d, want 3", deriv.Cost)
+	}
+	names := map[string]bool{}
+	for _, s := range deriv.Steps {
+		names[g.RuleName(s.RuleIndex)] = true
+	}
+	for _, want := range []string{"5", "4", "3", "2", "1"} {
+		if !names[want] {
+			t.Errorf("derivation misses rule %s: %s", want, deriv.String(g))
+		}
+	}
+	if names["6c"] {
+		t.Errorf("tree form must not use the RMW rule: %s", deriv.String(g))
+	}
+}
+
+func TestRMWDerivationOnDAG(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	b := ir.NewBuilder(g)
+	a := b.Leaf("Reg", 1)
+	v := b.Leaf("Reg", 2)
+	root := b.Node("Store", a, b.Node("Plus", b.Node("Load", a), v))
+	b.Root(root)
+	f := b.Finish()
+	deriv, err := rd.Trace(f, l.Label(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deriv.Cost != 1 {
+		t.Errorf("cost = %d, want 1 (RMW)", deriv.Cost)
+	}
+	used := map[string]bool{}
+	for _, s := range deriv.Steps {
+		used[g.RuleName(s.RuleIndex)] = true
+	}
+	if !used["6c"] || !used["6b"] || !used["6a"] {
+		t.Errorf("RMW derivation must pass through 6a/6b/6c: %s", deriv.String(g))
+	}
+}
+
+// TestEnginesSelectIdenticalDerivations: DP and on-demand labelings must
+// reduce to byte-identical derivations — the end-to-end equivalence claim.
+func TestEnginesSelectIdenticalDerivations(t *testing.T) {
+	d, l, rd := setup(t)
+	e, err := core.New(d.Grammar, d.Env, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		f := ir.RandomForest(d.Grammar, ir.RandomConfig{
+			Seed: seed, Trees: 50, MaxDepth: 7, Share: seed%2 == 0, MaxLeafVal: 4,
+			RootOps:  []grammar.OpID{d.Grammar.MustOp("Store")},
+			InnerOps: []grammar.OpID{d.Grammar.MustOp("Plus"), d.Grammar.MustOp("Load")},
+		})
+		want, err := rd.Trace(f, l.Label(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rd.Trace(f, e.Label(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.String(d.Grammar) != got.String(d.Grammar) {
+			t.Fatalf("seed %d: derivations differ\ndp: %s\nod: %s",
+				seed, want.String(d.Grammar), got.String(d.Grammar))
+		}
+	}
+}
+
+// TestReduceCostMatchesLabelCost: the reducer's summed cost equals the DP
+// root cost (the derivation the labeler promised is the one delivered).
+func TestReduceCostMatchesLabelCost(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	for seed := int64(0); seed < 20; seed++ {
+		f := ir.RandomForest(g, ir.RandomConfig{
+			Seed: seed, Trees: 30, MaxDepth: 7,
+			RootOps:  []grammar.OpID{g.MustOp("Store")},
+			InnerOps: []grammar.OpID{g.MustOp("Plus"), g.MustOp("Load")},
+		})
+		res := l.Label(f)
+		var want grammar.Cost
+		ok := true
+		for _, r := range f.Roots {
+			c := res.CostAt(r, g.Start)
+			if c.IsInf() {
+				ok = false
+				break
+			}
+			want = want.Add(c)
+		}
+		if !ok {
+			continue
+		}
+		got, err := rd.Cover(f, res, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: reduce cost %d != label cost %d", seed, got, want)
+		}
+	}
+}
+
+func TestDAGVisitsOnce(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	b := ir.NewDAGBuilder(g)
+	// Two statements store the same shared Plus expression.
+	shared := b.Node("Plus", b.Leaf("Reg", 1), b.Leaf("Reg", 2))
+	b.Root(b.Node("Store", b.Leaf("Reg", 3), shared))
+	b.Root(b.Node("Store", b.Leaf("Reg", 4), shared))
+	f := b.Finish()
+	visits := map[int]int{}
+	_, err := rd.Cover(f, l.Label(f), func(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
+		if n == shared {
+			visits[int(nt)]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nt, c := range visits {
+		if c > 1 {
+			t.Errorf("shared node reduced %d times for nt %s", c, g.NTName(grammar.NT(nt)))
+		}
+	}
+	if len(visits) == 0 {
+		t.Error("shared node never visited")
+	}
+}
+
+func TestUnderivableError(t *testing.T) {
+	d, l, rd := setup(t)
+	// A bare Reg cannot derive stmt.
+	f := ir.MustParseTree(d.Grammar, "Reg[1]")
+	_, err := rd.Cover(f, l.Label(f), nil)
+	if err == nil || !strings.Contains(err.Error(), "no derivation") {
+		t.Errorf("expected no-derivation error, got %v", err)
+	}
+}
+
+func TestCoverTreeGoal(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	f := ir.MustParseTree(g, "Plus(Reg, Load(Reg))")
+	cost, err := rd.CoverTree(f.Roots[0], g.MustNT("reg"), l.Label(f), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("reg cost = %d, want 2", cost)
+	}
+}
+
+func TestReduceMetrics(t *testing.T) {
+	d := md.MustLoad("demo")
+	l, _ := dp.New(d.Grammar, d.Env, nil)
+	m := &metrics.Counters{}
+	rd, err := New(d.Grammar, d.Env, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ir.MustParseTree(d.Grammar, "Store(Reg, Reg)")
+	if _, err := rd.Cover(f, l.Label(f), nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesReduced == 0 {
+		t.Error("reduction visits not counted")
+	}
+}

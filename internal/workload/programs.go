@@ -1,0 +1,602 @@
+// Package workload provides the benchmark corpus: deterministic MinC
+// programs (classic integer kernels of the kind instruction-selection
+// papers compile), compiled to IR forests per machine description, plus
+// parameterized synthetic forests for scaling experiments.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frontend"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+)
+
+// Program is one benchmark source.
+type Program struct {
+	Name string
+	Src  string
+	// Note describes the kernel, for the workload table.
+	Note string
+}
+
+// programs is the corpus. The kernels are chosen to exercise the machine
+// descriptions' interesting rules: array indexing (scaled addressing),
+// constants of varying magnitude (immediate ranges), compound assignments
+// (read-modify-write), division and multiplication (cost spreads), and
+// call-heavy code.
+var programs = []Program{
+	{
+		Name: "fact",
+		Note: "iterative and recursive factorial",
+		Src: `
+int fact(int n) {
+	int r = 1;
+	int i = 2;
+	while (i <= n) {
+		r = r * i;
+		i = i + 1;
+	}
+	return r;
+}
+int factrec(int n) {
+	if (n <= 1) { return 1; }
+	return n * factrec(n - 1);
+}
+int main() {
+	return fact(10) - factrec(10);
+}
+`,
+	},
+	{
+		Name: "sqrtapprox",
+		Note: "integer square root by Newton iteration",
+		Src: `
+int isqrt(int x) {
+	int r = x;
+	int last = 0;
+	if (x <= 0) { return 0; }
+	while (r != last) {
+		last = r;
+		r = (r + x / r) >> 1;
+	}
+	return r;
+}
+int main() {
+	int s = 0;
+	int i;
+	for (i = 1; i < 10000; i += 1) {
+		s += isqrt(i);
+	}
+	return s;
+}
+`,
+	},
+	{
+		Name: "permut",
+		Note: "array permutations with swaps and recursion",
+		Src: `
+int a[8];
+int count;
+int swap(int i, int j) {
+	int t = a[i];
+	a[i] = a[j];
+	a[j] = t;
+	return 0;
+}
+int permut(int k, int n) {
+	int i;
+	if (k >= n) {
+		count += 1;
+		return count;
+	}
+	for (i = k; i < n; i += 1) {
+		swap(k, i);
+		permut(k + 1, n);
+		swap(k, i);
+	}
+	return count;
+}
+int main() {
+	int i;
+	for (i = 0; i < 8; i += 1) { a[i] = i; }
+	count = 0;
+	return permut(0, 8);
+}
+`,
+	},
+	{
+		Name: "pispigot",
+		Note: "spigot algorithm for pi digits (div/mod heavy)",
+		Src: `
+int digits[32];
+int r[360];
+int spigot(int n) {
+	int i; int k; int carry; int d; int num;
+	for (i = 0; i < 360; i += 1) { r[i] = 2; }
+	carry = 0;
+	for (k = 0; k < n; k += 1) {
+		d = 0;
+		for (i = 359; i >= 1; i -= 1) {
+			num = r[i] * 10 + d;
+			r[i] = num % (2 * i + 1);
+			d = (num / (2 * i + 1)) * i;
+		}
+		digits[k] = carry + (d / 10);
+		carry = d % 10;
+	}
+	return digits[0];
+}
+int main() {
+	return spigot(8);
+}
+`,
+	},
+	{
+		Name: "boyermoore",
+		Note: "Boyer-Moore-Horspool string search over byte arrays",
+		Src: `
+int text[256];
+int pat[8];
+int shift[256];
+int search(int n, int m) {
+	int i; int j; int k;
+	for (k = 0; k < 256; k += 1) { shift[k] = m; }
+	for (k = 0; k < m - 1; k += 1) { shift[pat[k]] = m - 1 - k; }
+	i = m - 1;
+	while (i < n) {
+		j = m - 1;
+		k = i;
+		while (j >= 0) {
+			if (text[k] != pat[j]) { j = -2; }
+			if (j >= 0) { j -= 1; k -= 1; }
+		}
+		if (j == -1) { return k + 1; }
+		i += shift[text[i] & 255];
+	}
+	return -1;
+}
+int main() {
+	int i;
+	for (i = 0; i < 256; i += 1) { text[i] = (i * 7 + 3) & 255; }
+	for (i = 0; i < 8; i += 1) { pat[i] = text[200 + i]; }
+	return search(256, 8);
+}
+`,
+	},
+	{
+		Name: "matadd",
+		Note: "matrix addition with 2-d indexing and RMW",
+		Src: `
+int ma[256];
+int mb[256];
+int mc[256];
+int matadd(int n) {
+	int i; int j;
+	for (i = 0; i < n; i += 1) {
+		for (j = 0; j < n; j += 1) {
+			mc[i * 16 + j] = ma[i * 16 + j] + mb[i * 16 + j];
+		}
+	}
+	return mc[0];
+}
+int main() {
+	int i;
+	for (i = 0; i < 256; i += 1) { ma[i] = i; mb[i] = 255 - i; }
+	return matadd(16);
+}
+`,
+	},
+	{
+		Name: "matmult",
+		Note: "matrix multiplication with accumulation",
+		Src: `
+int xa[256];
+int xb[256];
+int xc[256];
+int matmult(int n) {
+	int i; int j; int k;
+	for (i = 0; i < n; i += 1) {
+		for (j = 0; j < n; j += 1) {
+			xc[i * 16 + j] = 0;
+			for (k = 0; k < n; k += 1) {
+				xc[i * 16 + j] += xa[i * 16 + k] * xb[k * 16 + j];
+			}
+		}
+	}
+	return xc[17];
+}
+int main() {
+	int i;
+	for (i = 0; i < 256; i += 1) { xa[i] = i & 15; xb[i] = i >> 4; }
+	return matmult(16);
+}
+`,
+	},
+	{
+		Name: "hashloop",
+		Note: "hashing with shifts, xors and large constants",
+		Src: `
+int tab[128];
+int hash(int x) {
+	int h = x * 2654435761;
+	h ^= h >> 16;
+	h *= 40503;
+	h ^= h >> 13;
+	return h & 127;
+}
+int main() {
+	int i;
+	int collisions = 0;
+	for (i = 0; i < 128; i += 1) { tab[i] = 0; }
+	for (i = 0; i < 4096; i += 1) {
+		int h = hash(i * 31 + 77777);
+		tab[h] += 1;
+		if (tab[h] > 40) { collisions += 1; }
+	}
+	return collisions;
+}
+`,
+	},
+	{
+		Name: "sortbench",
+		Note: "insertion and shell sort over an array",
+		Src: `
+int data[512];
+int insertion(int n) {
+	int i; int j; int v;
+	for (i = 1; i < n; i += 1) {
+		v = data[i];
+		j = i - 1;
+		while (j >= 0) {
+			if (data[j] > v) {
+				data[j + 1] = data[j];
+				j -= 1;
+			} else {
+				data[j + 1] = v;
+				j = -1;
+			}
+		}
+		if (j == -1) { data[0] = v; }
+	}
+	return data[0];
+}
+int shell(int n) {
+	int gap; int i; int j; int t;
+	for (gap = n / 2; gap > 0; gap /= 2) {
+		for (i = gap; i < n; i += 1) {
+			t = data[i];
+			j = i;
+			while (j >= gap) {
+				if (data[j - gap] > t) {
+					data[j] = data[j - gap];
+					j -= gap;
+				} else {
+					j = 0 - 1;
+					if (j < gap) { j = 0; }
+				}
+			}
+			data[j] = t;
+		}
+	}
+	return data[n - 1];
+}
+int main() {
+	int i;
+	for (i = 0; i < 512; i += 1) { data[i] = (i * 193 + 7) & 511; }
+	insertion(256);
+	return shell(512);
+}
+`,
+	},
+	{
+		Name: "bitops",
+		Note: "bit twiddling: popcount, reverse, parity",
+		Src: `
+int popcount(int x) {
+	int c = 0;
+	while (x != 0) {
+		x &= x - 1;
+		c += 1;
+	}
+	return c;
+}
+int reverse(int x) {
+	int r = 0;
+	int i;
+	for (i = 0; i < 32; i += 1) {
+		r = (r << 1) | (x & 1);
+		x >>= 1;
+	}
+	return r;
+}
+int main() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 1024; i += 1) {
+		s += popcount(i) ^ (reverse(i) & 31);
+	}
+	return s;
+}
+`,
+	},
+	{
+		Name: "statemachine",
+		Note: "dispatch-heavy interpreter-style loop",
+		Src: `
+int mem[64];
+int run(int steps) {
+	int pc = 0;
+	int accv = 0;
+	int t;
+	while (steps > 0) {
+		t = mem[pc & 63];
+		if (t == 0) { accv += 1; }
+		if (t == 1) { accv -= 1; }
+		if (t == 2) { accv <<= 1; }
+		if (t == 3) { accv >>= 1; }
+		if (t == 4) { accv ^= 21845; }
+		if (t > 4) { accv += t * 3; }
+		pc += 1;
+		steps -= 1;
+	}
+	return accv;
+}
+int main() {
+	int i;
+	for (i = 0; i < 64; i += 1) { mem[i] = (i * 11) % 7; }
+	return run(4096);
+}
+`,
+	},
+	{
+		Name: "strops",
+		Note: "byte-array string kernels: length, reverse, compare (1-byte loads/stores)",
+		Src: `
+char buf[128];
+char tmp[128];
+int slen() {
+	int i = 0;
+	while (buf[i] != 0) { i += 1; }
+	return i;
+}
+int srev(int n) {
+	int i; int j; int t;
+	j = n - 1;
+	for (i = 0; i < j; i += 1) {
+		t = buf[i];
+		buf[i] = buf[j];
+		buf[j] = t;
+		j -= 1;
+	}
+	return buf[0];
+}
+int scmp(int n) {
+	int i;
+	for (i = 0; i < n; i += 1) {
+		if (buf[i] < tmp[i]) { return -1; }
+		if (buf[i] > tmp[i]) { return 1; }
+	}
+	return 0;
+}
+int main() {
+	int i;
+	for (i = 0; i < 127; i += 1) { buf[i] = (i % 26) + 97; tmp[i] = buf[i]; }
+	buf[127] = 0;
+	srev(slen());
+	return scmp(127);
+}
+`,
+	},
+	{
+		Name: "checksum",
+		Note: "Fletcher-style checksum: byte input, short accumulators, modulo",
+		Src: `
+char msg[256];
+short acc[2];
+int fletcher(int n) {
+	int i;
+	acc[0] = 0;
+	acc[1] = 0;
+	for (i = 0; i < n; i += 1) {
+		acc[0] = (acc[0] + msg[i]) % 255;
+		acc[1] = (acc[1] + acc[0]) % 255;
+	}
+	return (acc[1] << 8) | acc[0];
+}
+int main() {
+	int i;
+	for (i = 0; i < 256; i += 1) { msg[i] = (i * 13 + 5) & 127; }
+	return fletcher(256);
+}
+`,
+	},
+	{
+		Name: "histogram",
+		Note: "byte input, int histogram, RMW increments (the incl-to-memory pattern)",
+		Src: `
+char input[512];
+int hist[128];
+int build(int n) {
+	int i;
+	for (i = 0; i < 128; i += 1) { hist[i] = 0; }
+	for (i = 0; i < n; i += 1) {
+		hist[input[i] & 127] += 1;
+	}
+	return hist[65];
+}
+int peak() {
+	int i; int best = 0; int arg = 0;
+	for (i = 0; i < 128; i += 1) {
+		if (hist[i] > best) { best = hist[i]; arg = i; }
+	}
+	return arg;
+}
+int main() {
+	int i;
+	for (i = 0; i < 512; i += 1) { input[i] = (i * 31 + 7) & 127; }
+	build(512);
+	return peak();
+}
+`,
+	},
+	{
+		Name: "memfill",
+		Note: "zero and pattern fills across all element widths (store-zero rules)",
+		Src: `
+char cbuf[64];
+short sbuf[64];
+int ibuf[64];
+long lbuf[64];
+int fill(int n) {
+	int i;
+	for (i = 0; i < n; i += 1) {
+		cbuf[i] = 0;
+		sbuf[i] = 0;
+		ibuf[i] = 0;
+		lbuf[i] = 0;
+	}
+	for (i = 0; i < n; i += 1) {
+		cbuf[i] = i & 255;
+		sbuf[i] = i * 3;
+		ibuf[i] = i * i;
+		lbuf[i] = i << 20;
+	}
+	return ibuf[7];
+}
+int main() {
+	return fill(64);
+}
+`,
+	},
+	{
+		Name: "fibmemo",
+		Note: "memoized fibonacci (loads/stores with guard tests)",
+		Src: `
+int memo[64];
+int fib(int n) {
+	int v;
+	if (n < 2) { return n; }
+	if (memo[n] != 0) { return memo[n]; }
+	v = fib(n - 1) + fib(n - 2);
+	memo[n] = v;
+	return v;
+}
+int main() {
+	int i;
+	for (i = 0; i < 64; i += 1) { memo[i] = 0; }
+	return fib(40);
+}
+`,
+	},
+}
+
+// Names lists the corpus programs in order.
+func Names() []string {
+	names := make([]string, len(programs))
+	for i, p := range programs {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Get returns the named program.
+func Get(name string) (Program, error) {
+	for _, p := range programs {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("workload: unknown program %q (have %v)", name, Names())
+}
+
+// All returns the corpus in order.
+func All() []Program { return append([]Program(nil), programs...) }
+
+// Compiled is a program lowered against one grammar.
+type Compiled struct {
+	Program Program
+	Unit    *frontend.Unit
+}
+
+// NumNodes is the total IR node count.
+func (c *Compiled) NumNodes() int { return c.Unit.TotalNodes() }
+
+// Forests returns the per-function forests in order.
+func (c *Compiled) Forests() []*ir.Forest {
+	out := make([]*ir.Forest, len(c.Unit.Funcs))
+	for i, f := range c.Unit.Funcs {
+		out[i] = f.Forest
+	}
+	return out
+}
+
+// Compile parses and lowers one program against g.
+func Compile(p Program, g *grammar.Grammar) (*Compiled, error) {
+	prog, err := frontend.Parse(p.Src)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	unit, err := frontend.Lower(prog, g)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return &Compiled{Program: p, Unit: unit}, nil
+}
+
+// CompileAll lowers the whole corpus against g, in corpus order.
+func CompileAll(g *grammar.Grammar) ([]*Compiled, error) {
+	out := make([]*Compiled, 0, len(programs))
+	for _, p := range programs {
+		c, err := Compile(p, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// MustCompileAll panics on error (corpus and grammars are static).
+func MustCompileAll(g *grammar.Grammar) []*Compiled {
+	cs, err := CompileAll(g)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// OpMix tallies operator frequencies over a set of compiled programs; the
+// workload table reports it so readers can see what the labelers chew on.
+func OpMix(g *grammar.Grammar, cs []*Compiled) []string {
+	counts := map[string]int{}
+	total := 0
+	for _, c := range cs {
+		for _, f := range c.Forests() {
+			for _, n := range f.Nodes {
+				counts[g.OpName(n.Op)]++
+				total++
+			}
+		}
+	}
+	type kv struct {
+		name string
+		n    int
+	}
+	var list []kv
+	for k, v := range counts {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].name < list[j].name
+	})
+	out := make([]string, 0, len(list))
+	for _, e := range list {
+		out = append(out, fmt.Sprintf("%s:%.1f%%", e.name, 100*float64(e.n)/float64(total)))
+	}
+	return out
+}
