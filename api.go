@@ -19,18 +19,39 @@
 //	out, _ := sel.Compile(unit.Funcs[0].Forest)
 //	fmt.Println(out.Asm, out.Cost)
 //
-// The packages under internal/ hold the substrates (grammar model, IR,
-// engines, reducer, emitter, machine descriptions, MinC front end,
-// workload corpus, experiment harness); this package wires them together.
+// # Engines and the Labeler interface
+//
+// Every engine implements reduce.Labeler — Label plus the
+// NumStates/NumTransitions/MemoryBytes table stats — and Selector
+// dispatches exclusively through that interface. Engine kinds are bound
+// by a constructor registry: RegisterEngine adds a fourth kind without
+// touching any Selector code, which is how downstream experiments plug in
+// engine variants.
+//
+// # Concurrency
+//
+// Selectors are safe for concurrent use: Compile, Label and SelectCost
+// may be called from many goroutines sharing one selector. All built-in
+// engines support concurrent labeling — the on-demand engine synchronizes
+// its construct slow path internally (see package core), which is the
+// paper's scenario extended to a parallel compilation server: one warm
+// automaton serving every worker, each worker's misses warming the tables
+// for all. CompileUnitParallel is the built-in driver for that shape.
+// Only selector-wide reconfiguration (LoadAutomaton) must be serialized
+// against in-flight compilation.
 package repro
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/core"
 	"repro/internal/dp"
+	"repro/internal/emit"
 	"repro/internal/frontend"
 	"repro/internal/grammar"
 	"repro/internal/ir"
@@ -60,6 +81,9 @@ type (
 	// Builder constructs IR forests programmatically (trees, and DAGs via
 	// NewDAGBuilder-style sharing through Machine.NewDAGBuilder).
 	Builder = ir.Builder
+	// Labeler is the engine interface every selector kind implements:
+	// labeling plus automaton table statistics.
+	Labeler = reduce.Labeler
 )
 
 // Inf is the infinite cost (rule not applicable).
@@ -75,8 +99,59 @@ const (
 	KindOnDemand Kind = "ondemand"
 )
 
-// Kinds lists the engine kinds.
-func Kinds() []Kind { return []Kind{KindDP, KindStatic, KindOnDemand} }
+// EngineConstructor builds a labeling engine for a machine. Constructors
+// receive the full Options so engine-specific knobs (DeltaCap, ForceHash,
+// Metrics) reach them without Selector knowing which engine wants what.
+type EngineConstructor func(m *Machine, opt Options) (Labeler, error)
+
+var (
+	engineCtors = map[Kind]EngineConstructor{}
+	engineKinds []Kind // registration order, for stable listings
+)
+
+// RegisterEngine binds kind to an engine constructor. Registering a kind
+// twice panics: kinds are process-global identifiers. Call from an init
+// function; registration is not synchronized against concurrent
+// NewSelector calls.
+func RegisterEngine(kind Kind, ctor EngineConstructor) {
+	if _, dup := engineCtors[kind]; dup {
+		panic(fmt.Sprintf("repro: engine kind %q registered twice", kind))
+	}
+	engineCtors[kind] = ctor
+	engineKinds = append(engineKinds, kind)
+}
+
+func init() {
+	RegisterEngine(KindDP, func(m *Machine, opt Options) (Labeler, error) {
+		l, err := dp.New(m.Grammar, m.Env, opt.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		return l, nil
+	})
+	RegisterEngine(KindStatic, func(m *Machine, opt Options) (Labeler, error) {
+		a, err := automaton.Generate(m.Grammar, automaton.StaticConfig{
+			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
+	})
+	RegisterEngine(KindOnDemand, func(m *Machine, opt Options) (Labeler, error) {
+		e, err := core.New(m.Grammar, m.Env, core.Config{
+			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics, ForceHash: opt.ForceHash,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	})
+}
+
+// Kinds lists the registered engine kinds in registration order (the
+// three built-ins first).
+func Kinds() []Kind { return append([]Kind(nil), engineKinds...) }
 
 // Machine is a loaded machine description: grammar plus dynamic-cost
 // bindings.
@@ -139,6 +214,17 @@ func (m *Machine) CompileMinC(src string) (*Unit, error) {
 	return frontend.Lower(prog, m.Grammar)
 }
 
+// CompileUnitParallel compiles every function of unit with sel across
+// workers goroutines sharing sel's one engine — the compilation-server
+// scenario: for the on-demand kind, every worker's misses warm the same
+// automaton. See Selector.CompileUnitParallel for the semantics.
+func (m *Machine) CompileUnitParallel(sel *Selector, unit *Unit, workers int) ([]*Output, error) {
+	if sel.Machine() != m {
+		return nil, fmt.Errorf("repro: selector belongs to machine %q, not %q", sel.Machine().Name, m.Name)
+	}
+	return sel.CompileUnitParallel(unit, workers)
+}
+
 // Options tunes selector construction.
 type Options struct {
 	// Metrics, when non-nil, receives the engine's event counts.
@@ -152,58 +238,44 @@ type Options struct {
 }
 
 // Selector is an instruction selector: a labeling engine plus the shared
-// reducer and emitter. Selectors persist across Compile calls — for
-// KindOnDemand that is the point: the automaton warms up over a
-// compilation session. Selectors are not safe for concurrent use.
+// reducer and a pool of emitters. Selectors persist across Compile calls —
+// for KindOnDemand that is the point: the automaton warms up over a
+// compilation session. Selectors are safe for concurrent use (see the
+// package documentation for the contract).
 type Selector struct {
 	kind    Kind
 	machine *Machine
 	m       *Counters
 
-	dpl *dp.Labeler
-	st  *automaton.Static
-	od  *core.Engine
+	eng reduce.Labeler
 	rd  *reduce.Reducer
+	// emitters recycles emit.Emitter instances across Compile calls.
+	// Outputs are copied out before an emitter returns to the pool, so
+	// per-call isolation is preserved.
+	emitters sync.Pool
 }
 
-// NewSelector builds a selector of the given kind.
+// NewSelector builds a selector of the given kind (any registered kind;
+// see RegisterEngine).
 //
 // KindStatic fails for grammars with dynamic-cost rules — that is the
 // limitation the paper lifts; use StripDynamic (via NewSelectorFixed) or
 // KindOnDemand.
 func (m *Machine) NewSelector(kind Kind, opt Options) (*Selector, error) {
-	s := &Selector{kind: kind, machine: m, m: opt.Metrics}
+	ctor, ok := engineCtors[kind]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown selector kind %q", kind)
+	}
 	rd, err := reduce.New(m.Grammar, m.Env, opt.Metrics)
 	if err != nil {
 		return nil, err
 	}
-	s.rd = rd
-	switch kind {
-	case KindDP:
-		l, err := dp.New(m.Grammar, m.Env, opt.Metrics)
-		if err != nil {
-			return nil, err
-		}
-		s.dpl = l
-	case KindStatic:
-		a, err := automaton.Generate(m.Grammar, automaton.StaticConfig{
-			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.st = a
-	case KindOnDemand:
-		e, err := core.New(m.Grammar, m.Env, core.Config{
-			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics, ForceHash: opt.ForceHash,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.od = e
-	default:
-		return nil, fmt.Errorf("repro: unknown selector kind %q", kind)
+	eng, err := ctor(m, opt)
+	if err != nil {
+		return nil, err
 	}
+	s := &Selector{kind: kind, machine: m, m: opt.Metrics, eng: eng, rd: rd}
+	s.emitters.New = func() any { return emitterFor(m.Grammar) }
 	return s, nil
 }
 
@@ -224,6 +296,10 @@ func (s *Selector) Kind() Kind { return s.kind }
 // Machine returns the selector's machine.
 func (s *Selector) Machine() *Machine { return s.machine }
 
+// Labeler exposes the selector's engine through the common interface, for
+// lower-level tooling and engine-specific type assertions.
+func (s *Selector) Labeler() Labeler { return s.eng }
+
 // Output is the result of compiling one forest.
 type Output struct {
 	// Asm is the emitted assembly text.
@@ -237,23 +313,15 @@ type Output struct {
 // Label runs only the labeling pass and returns the labeling for use with
 // lower-level tooling. Most callers want Compile.
 func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
-	switch s.kind {
-	case KindDP:
-		return s.dpl.Label(f), nil
-	case KindStatic:
-		return s.st.Label(f, s.m), nil
-	default:
-		return s.od.Label(f), nil
-	}
+	return s.eng.Label(f), nil
 }
 
 // Compile selects instructions for f: label, reduce, emit.
 func (s *Selector) Compile(f *Forest) (*Output, error) {
-	lab, err := s.Label(f)
-	if err != nil {
-		return nil, err
-	}
-	em := emitterFor(s.machine.Grammar)
+	lab := s.eng.Label(f)
+	em := s.emitters.Get().(*emit.Emitter)
+	defer s.emitters.Put(em)
+	em.Reset()
 	cost, err := s.rd.Cover(f, lab, em.Visit)
 	if err != nil {
 		return nil, err
@@ -264,61 +332,102 @@ func (s *Selector) Compile(f *Forest) (*Output, error) {
 // SelectCost labels and reduces without emitting, returning only the
 // derivation cost — the cheap path for experiments.
 func (s *Selector) SelectCost(f *Forest) (Cost, error) {
-	lab, err := s.Label(f)
-	if err != nil {
-		return 0, err
+	return s.rd.Cover(f, s.eng.Label(f), nil)
+}
+
+// CompileUnit compiles every function of unit in order, returning one
+// Output per function.
+func (s *Selector) CompileUnit(u *Unit) ([]*Output, error) {
+	outs := make([]*Output, len(u.Funcs))
+	for i := range u.Funcs {
+		out, err := s.Compile(u.Funcs[i].Forest)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
+		}
+		outs[i] = out
 	}
-	return s.rd.Cover(f, lab, nil)
+	return outs, nil
+}
+
+// CompileUnitParallel compiles the functions of unit across workers
+// goroutines sharing this selector (and therefore one engine): the
+// parallel compilation driver. workers <= 0 uses GOMAXPROCS. Outputs are
+// indexed by function, identical to CompileUnit's — engines guarantee the
+// same labels regardless of worker interleaving, because states are
+// content-addressed. The first error (by function order) is returned.
+func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) {
+	n := len(u.Funcs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return s.CompileUnit(u)
+	}
+	outs := make([]*Output, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				outs[i], errs[i] = s.Compile(u.Funcs[i].Forest)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
+		}
+	}
+	return outs, nil
 }
 
 // States reports the number of automaton states (materialized so far for
 // KindOnDemand, total for KindStatic, 0 for KindDP).
-func (s *Selector) States() int {
-	switch s.kind {
-	case KindStatic:
-		return s.st.NumStates()
-	case KindOnDemand:
-		return s.od.NumStates()
-	}
-	return 0
-}
+func (s *Selector) States() int { return s.eng.NumStates() }
 
 // Transitions reports memoized/tabulated transition entries (0 for DP).
-func (s *Selector) Transitions() int {
-	switch s.kind {
-	case KindStatic:
-		return s.st.NumTransitions()
-	case KindOnDemand:
-		return s.od.NumTransitions()
-	}
-	return 0
-}
+func (s *Selector) Transitions() int { return s.eng.NumTransitions() }
 
 // MemoryBytes estimates the engine's table footprint (0 for DP).
-func (s *Selector) MemoryBytes() int {
-	switch s.kind {
-	case KindStatic:
-		return s.st.MemoryBytes()
-	case KindOnDemand:
-		return s.od.MemoryBytes()
-	}
-	return 0
+func (s *Selector) MemoryBytes() int { return s.eng.MemoryBytes() }
+
+// AutomatonPersister is the optional engine capability behind
+// SaveAutomaton/LoadAutomaton. Of the built-ins only the on-demand engine
+// implements it (static tables are regenerated, DP has none).
+type AutomatonPersister interface {
+	Save(w io.Writer) error
+	Load(r io.Reader) error
 }
 
-// SaveAutomaton persists an on-demand selector's automaton so a later run
-// can start warm (see core.Engine.Save). Only KindOnDemand supports it.
+// SaveAutomaton persists the selector's automaton so a later run can
+// start warm (see core.Engine.Save). It fails for engines that do not
+// implement AutomatonPersister.
 func (s *Selector) SaveAutomaton(w io.Writer) error {
-	if s.kind != KindOnDemand {
-		return fmt.Errorf("repro: SaveAutomaton requires an on-demand selector")
+	p, ok := s.eng.(AutomatonPersister)
+	if !ok {
+		return fmt.Errorf("repro: %s selectors do not support automaton persistence", s.kind)
 	}
-	return s.od.Save(w)
+	return p.Save(w)
 }
 
 // LoadAutomaton restores a saved automaton into a freshly created
-// on-demand selector for the same machine description.
+// selector for the same machine description. It must complete before the
+// selector is shared across goroutines.
 func (s *Selector) LoadAutomaton(r io.Reader) error {
-	if s.kind != KindOnDemand {
-		return fmt.Errorf("repro: LoadAutomaton requires an on-demand selector")
+	p, ok := s.eng.(AutomatonPersister)
+	if !ok {
+		return fmt.Errorf("repro: %s selectors do not support automaton persistence", s.kind)
 	}
-	return s.od.Load(r)
+	return p.Load(r)
 }

@@ -5,6 +5,9 @@
 package repro_test
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/automaton"
@@ -162,7 +165,7 @@ func benchLabelStatic(b *testing.B, gname string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range fs {
-			a.Label(f, nil)
+			a.LabelStates(f)
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
@@ -268,3 +271,51 @@ func benchForceHash(b *testing.B, force bool) {
 
 func BenchmarkAblationDenseLookup(b *testing.B) { benchForceHash(b, false) }
 func BenchmarkAblationAllHash(b *testing.B)     { benchForceHash(b, true) }
+
+// ---------------------------------------------------------------------------
+// Parallel labeling — N workers sharing one warm on-demand engine (the
+// compilation-server scenario; tracks the scalability of the lock-free
+// fast path)
+
+func benchParallelLabel(b *testing.B, gname string, workers int) {
+	d := md.MustLoad(gname)
+	fs := corpus(b, gname)
+	nodes := corpusNodes(fs)
+	e, err := core.New(d.Grammar, d.Env, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range fs { // warm up
+		e.Label(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(fs) {
+						return
+					}
+					e.Label(fs[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+	b.ReportMetric(float64(b.N*nodes)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+}
+
+func BenchmarkParallelLabel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchParallelLabel(b, "x86", w)
+		})
+	}
+}

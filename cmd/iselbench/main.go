@@ -7,29 +7,57 @@
 //	iselbench -experiment E4   # one experiment
 //	iselbench -grammar mips    # grammar for the per-grammar experiments
 //	iselbench -ablations       # also run the design-choice ablations
+//	iselbench -experiment EP -workers 1,2,4,8
+//	                           # parallel labeling scaling (one warm
+//	                           # engine shared by a worker pool)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: E1..E8 or all")
-	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7)")
+	exp := flag.String("experiment", "all", "experiment to run: E1..E8, EP or all")
+	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7, EP)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	workers := flag.String("workers", "1,2,4,8", "worker counts for the EP parallel-scaling experiment")
+	passes := flag.Int("passes", 20, "corpus passes per EP configuration")
 	flag.Parse()
 
-	if err := run(*exp, *gname, *ablations); err != nil {
+	ws, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, *gname, *ablations, ws, *passes); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, gname string, ablations bool) error {
+func parseWorkers(s string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", part)
+		}
+		ws = append(ws, n)
+	}
+	return ws, nil
+}
+
+func run(exp, gname string, ablations bool, workers []int, passes int) error {
 	type step struct {
 		id string
 		fn func() error
@@ -61,6 +89,7 @@ func run(exp, gname string, ablations bool) error {
 		{"E6", func() error { _, t, err := bench.RunE6(); show(t, err); return err }},
 		{"E7", func() error { _, t, err := bench.RunE7(gname); show(t, err); return err }},
 		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
+		{"EP", func() error { _, t, err := bench.RunParallel(gname, workers, passes); show(t, err); return err }},
 	}
 	ran := false
 	for _, s := range steps {
@@ -73,7 +102,7 @@ func run(exp, gname string, ablations bool) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E8, EP or all)", exp)
 	}
 	if ablations {
 		t, err := bench.RunAblationDeltaCap()

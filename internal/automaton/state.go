@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/grammar"
 	"repro/internal/metrics"
@@ -74,41 +76,63 @@ func (s *State) MemoryBytes() int {
 // Table hash-conses states: structurally identical (delta, rule) vectors
 // map to one *State, so state identity is pointer identity and transition
 // tables can be keyed by small dense ids.
+//
+// Table is safe for concurrent use: interning (the construct slow path of
+// the on-demand engine) serializes on an internal mutex, while the read
+// side — Len, Get, States — is lock-free. The state list is append-only
+// and published through an atomic slice header, so readers always observe
+// a consistent prefix and never block on a concurrent intern.
 type Table struct {
-	g      *grammar.Grammar
-	states []*State
-	index  map[string]*State
+	g  *grammar.Grammar
+	mu sync.Mutex // guards index and appends to the state list
+
+	// index maps hash-consing keys to states; touched only under mu.
+	index map[string]*State
+	// states is the published (append-only) state list. Growth happens
+	// under mu via append on a shared backing array: readers holding an
+	// older header never index past their snapshot's length, and new
+	// headers are released with an atomic store.
+	states atomic.Pointer[[]*State]
 }
 
 // NewTable creates an empty state table for g.
 func NewTable(g *grammar.Grammar) *Table {
-	return &Table{g: g, index: map[string]*State{}}
+	t := &Table{g: g, index: map[string]*State{}}
+	empty := []*State(nil)
+	t.states.Store(&empty)
+	return t
 }
 
 // Grammar returns the grammar whose states the table holds.
 func (t *Table) Grammar() *grammar.Grammar { return t.g }
 
 // Len returns the number of distinct states.
-func (t *Table) Len() int { return len(t.states) }
+func (t *Table) Len() int { return len(*t.states.Load()) }
 
 // Get returns the state with the given id.
-func (t *Table) Get(id int32) *State { return t.states[id] }
+func (t *Table) Get(id int32) *State { return (*t.states.Load())[id] }
 
-// States returns the interned states in creation order. The slice is the
-// table's own; callers must not modify it.
-func (t *Table) States() []*State { return t.states }
+// States returns the interned states in creation order: a snapshot that
+// concurrent interns may extend but never mutate. Callers must not modify
+// it.
+func (t *Table) States() []*State { return *t.states.Load() }
 
 // Intern returns the unique state with the given vectors, creating it if
 // needed; created reports whether a new state was added. Intern takes
 // ownership of the slices when it creates a state.
 func (t *Table) Intern(delta []grammar.Cost, rule []int32, m *metrics.Counters) (s *State, created bool) {
 	key := stateKey(delta, rule)
+	t.mu.Lock()
 	if s, ok := t.index[key]; ok {
+		t.mu.Unlock()
 		return s, false
 	}
-	s = &State{ID: int32(len(t.states)), Delta: delta, Rule: rule}
-	t.states = append(t.states, s)
+	cur := *t.states.Load()
+	s = &State{ID: int32(len(cur)), Delta: delta, Rule: rule}
+	next := append(cur, s)
+	t.states.Store(&next)
 	t.index[key] = s
+	t.mu.Unlock()
 	m.CountState()
 	return s, true
 }
@@ -116,7 +140,7 @@ func (t *Table) Intern(delta []grammar.Cost, rule []int32, m *metrics.Counters) 
 // MemoryBytes estimates the total footprint of all states plus the index.
 func (t *Table) MemoryBytes() int {
 	total := 0
-	for _, s := range t.states {
+	for _, s := range t.States() {
 		total += s.MemoryBytes()
 		total += len(stateKey(s.Delta, s.Rule)) + 16 // index entry
 	}

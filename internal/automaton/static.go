@@ -6,6 +6,7 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/reduce"
 )
 
 // Static is an offline-generated tree-parsing automaton, the burg
@@ -18,9 +19,15 @@ import (
 // (only the costs of the nonterminals that the operator's rules actually
 // use at that position matter), and transition tables are indexed by
 // representer ids instead of state ids.
+//
+// Static implements reduce.Labeler. All tables are immutable after
+// Generate, so one automaton may label from any number of goroutines
+// concurrently; only SetMetrics must not race with labeling.
 type Static struct {
 	g        *grammar.Grammar
 	table    *Table
+	states   []*State // table snapshot, frozen at generation time
+	m        *metrics.Counters
 	deltaCap grammar.Cost
 
 	leaf []int32 // [op] -> state id for arity-0 ops; -1 otherwise
@@ -75,7 +82,9 @@ func Generate(g *grammar.Grammar, cfg StaticConfig) (*Static, error) {
 	if err := gen.run(); err != nil {
 		return nil, err
 	}
-	return gen.finish(), nil
+	a := gen.finish()
+	a.m = cfg.Metrics
+	return a, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +298,7 @@ func (gen *generator) finish() *Static {
 	a := &Static{
 		g:        g,
 		table:    gen.table,
+		states:   gen.table.States(),
 		deltaCap: gen.cfg.DeltaCap,
 		leaf:     gen.leaf,
 		mu:       make([][2][]int32, g.NumOps()),
@@ -343,6 +353,10 @@ func (a *Static) Grammar() *grammar.Grammar { return a.g }
 // Table returns the automaton's state table.
 func (a *Static) Table() *Table { return a.table }
 
+// SetMetrics swaps the automaton's labeling counter sink (nil disables
+// instrumenting). Not safe to call concurrently with labeling.
+func (a *Static) SetMetrics(m *metrics.Counters) { a.m = m }
+
 // NumStates returns the number of states.
 func (a *Static) NumStates() int { return a.table.Len() }
 
@@ -380,9 +394,11 @@ func (l *Labeling) RuleAt(n *ir.Node, nt grammar.NT) int32 {
 // StateAt returns the state assigned to n.
 func (l *Labeling) StateAt(n *ir.Node) *State { return l.States[n.Index] }
 
-// Label assigns a state to every node of f by pure table lookup: the
-// offline automaton's fast path. m may be nil.
-func (a *Static) Label(f *ir.Forest, m *metrics.Counters) *Labeling {
+// LabelStates assigns a state to every node of f by pure table lookup: the
+// offline automaton's fast path. Events are recorded against the counters
+// configured at generation (StaticConfig.Metrics) or via SetMetrics.
+func (a *Static) LabelStates(f *ir.Forest) *Labeling {
+	m := a.m
 	states := make([]*State, len(f.Nodes))
 	for i, n := range f.Nodes {
 		m.CountNode()
@@ -390,15 +406,18 @@ func (a *Static) Label(f *ir.Forest, m *metrics.Counters) *Labeling {
 		op := n.Op
 		switch len(n.Kids) {
 		case 0:
-			states[i] = a.table.Get(a.leaf[op])
+			states[i] = a.states[a.leaf[op]]
 		case 1:
 			rep := a.mu[op][0][states[n.Kids[0].Index].ID]
-			states[i] = a.table.Get(a.t1[op][rep])
+			states[i] = a.states[a.t1[op][rep]]
 		default:
 			r0 := a.mu[op][0][states[n.Kids[0].Index].ID]
 			r1 := a.mu[op][1][states[n.Kids[1].Index].ID]
-			states[i] = a.table.Get(a.t2[op][r0*a.nreps[op][1]+r1])
+			states[i] = a.states[a.t2[op][r0*a.nreps[op][1]+r1]]
 		}
 	}
 	return &Labeling{States: states}
 }
+
+// Label implements reduce.Labeler.
+func (a *Static) Label(f *ir.Forest) reduce.Labeling { return a.LabelStates(f) }

@@ -308,9 +308,11 @@ func RunE4(gname string) ([]E4Row, *Table, error) {
 
 		// Static automaton on the stripped grammar.
 		sm := &metrics.Counters{}
+		static.SetMetrics(sm)
 		for _, f := range fixedUnits[i].forests {
-			static.Label(f, sm)
+			static.LabelStates(f)
 		}
+		static.SetMetrics(nil)
 		staticWork := sm.PerNode()
 
 		// Wall clock: repeated passes over the program.

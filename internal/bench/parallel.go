@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/md"
+)
+
+// EPRow is one sample of the parallel-labeling scaling experiment: N
+// workers sharing one warm on-demand engine, the compilation-server
+// extension of the paper's JIT scenario.
+type EPRow struct {
+	Grammar   string
+	Workers   int
+	Passes    int
+	Nodes     int // nodes labeled per pass (whole corpus)
+	NsPerNode float64
+	Speedup   float64 // vs the 1-worker configuration (first row if absent)
+}
+
+// RunParallel measures warm labeling throughput for each worker count.
+// One engine is warmed over the corpus, then each configuration labels
+// the whole corpus `passes` times with a worker pool pulling forests off
+// a shared index. Results are wall-clock and therefore machine-dependent
+// (unlike the deterministic work-unit tables); scaling beyond one worker
+// requires GOMAXPROCS > 1.
+func RunParallel(gname string, workerCounts []int, passes int) ([]EPRow, *Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if passes <= 0 {
+		passes = 20
+	}
+	d, err := md.Load(gname)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fs []*ir.Forest
+	for _, u := range loadCorpus(d.Grammar) {
+		fs = append(fs, u.forests...)
+	}
+	nodes := 0
+	for _, f := range fs {
+		nodes += f.NumNodes()
+	}
+	e, err := core.New(d.Grammar, d.Env, core.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, f := range fs { // warm up: the measured passes are pure fast path
+		e.Label(f)
+	}
+
+	t := &Table{
+		ID: "EP",
+		Title: fmt.Sprintf("parallel labeling scaling on %s (one warm on-demand engine, %d corpus passes, GOMAXPROCS=%d)",
+			gname, passes, runtime.GOMAXPROCS(0)),
+		Header: []string{"workers", "nodes/pass", "ns/node", "speedup"},
+	}
+	nsPer := make([]float64, len(workerCounts))
+	for i, workers := range workerCounts {
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			labelAll(e, fs, workers)
+		}
+		nsPer[i] = float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+	}
+	// Baseline: the 1-worker configuration wherever it appears in the
+	// list; fall back to the first configuration if it is absent.
+	base := nsPer[0]
+	for i, workers := range workerCounts {
+		if workers == 1 {
+			base = nsPer[i]
+			break
+		}
+	}
+	var rows []EPRow
+	for i, workers := range workerCounts {
+		row := EPRow{
+			Grammar: gname, Workers: workers, Passes: passes, Nodes: nodes,
+			NsPerNode: nsPer[i], Speedup: base / nsPer[i],
+		}
+		rows = append(rows, row)
+		t.AddRow(itoa(workers), itoa(nodes), f1(nsPer[i]), f2(row.Speedup))
+	}
+	t.Note("warm fast path is lock-free (atomic loads); speedup tracks available cores")
+	return rows, t, nil
+}
+
+// labelAll labels every forest once, fanned out over `workers` goroutines
+// pulling from a shared atomic index — the same worker-pool shape as
+// Selector.CompileUnitParallel.
+func labelAll(e *core.Engine, fs []*ir.Forest, workers int) {
+	if workers <= 1 {
+		for _, f := range fs {
+			e.Label(f)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fs) {
+					return
+				}
+				e.Label(fs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,15 +18,44 @@
 // describes as "computing all the dynamic costs and a hash table lookup per
 // node". Because states are constructed at selection time, dynamic costs
 // work, which no offline automaton can offer.
+//
+// # Concurrency
+//
+// One warm engine can serve many goroutines — the compilation-server
+// scenario the paper's JIT setting generalizes to. The design keeps the
+// warm fast path lock-free and pushes all synchronization onto the
+// construct slow path:
+//
+//   - Dense leaf/unary/binary transition rows are published
+//     copy-on-write through atomic pointers; fast-path lookups are plain
+//     atomic loads. Rows grow only under the engine mutex, and a grown
+//     row is fully populated before its pointer is released.
+//   - The hash-consing state table (automaton.Table) serializes interning
+//     internally; see its documentation.
+//   - The hash transition path (dynamic operators, ForceHash) uses one
+//     sync.Map per operator: lock-free hit path, misses serialized on the
+//     engine mutex.
+//   - Per-call scratch (dynamic-cost values and signature bytes) comes
+//     from a sync.Pool instead of engine fields, so concurrent labelers
+//     never share buffers. Per-forest state slices are allocated per
+//     Label call and handed to the caller.
+//
+// Label, LabelNode and Save may be called concurrently; SetMetrics and
+// Load must be serialized against labeling (Load additionally requires a
+// fresh engine). Metrics counters are themselves race-safe (atomic adds),
+// so one Counters sink can instrument a parallel session.
 package core
 
 import (
 	"encoding/binary"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/reduce"
 )
 
 // Config tunes the on-demand engine.
@@ -41,10 +70,19 @@ type Config struct {
 	ForceHash bool
 }
 
+// stateRow is a dense transition row indexed by a child state id. Elements
+// are written atomically because published rows are read concurrently.
+type stateRow []atomic.Pointer[automaton.State]
+
+// binTable is the two-level dense table of a binary operator, indexed by
+// the left child state id; each row is indexed by the right child id.
+type binTable []atomic.Pointer[stateRow]
+
 // Engine is an on-demand tree-parsing automaton. It persists across
 // Label calls — exactly the JIT scenario the paper targets: the automaton
 // warms up as the compiler runs, and per-node labeling cost converges to a
-// table lookup. Engines are not safe for concurrent use.
+// table lookup. Engines are safe for concurrent labeling (see the package
+// documentation for the contract). Engine implements reduce.Labeler.
 type Engine struct {
 	g        *grammar.Grammar
 	dynFns   []grammar.DynFunc
@@ -53,23 +91,33 @@ type Engine struct {
 	m        *metrics.Counters
 	force    bool
 
-	// Fixed-cost fast paths: dense, grown on demand.
-	leaf []*automaton.State   // [op]
-	un   [][]*automaton.State // [op][kidState]
-	bin  [][][]*automaton.State
+	// mu serializes the construct slow path: state construction, dense
+	// row growth and hash insertion. The warm fast path never takes it.
+	mu sync.Mutex
+
+	// Fixed-cost fast paths: dense, grown on demand, published atomically.
+	leaf []atomic.Pointer[automaton.State] // [op]
+	un   []atomic.Pointer[stateRow]        // [op][kidState]
+	bin  []atomic.Pointer[binTable]        // [op][left][right]
 
 	// Dynamic-rule (and ForceHash) path: hash maps, keyed by child state
 	// ids plus the dynamic-cost signature.
-	hash []map[transKey]*automaton.State // [op]
+	hash []sync.Map // [op]: transKey -> *automaton.State
 
-	transitions int
-	dynBuf      []grammar.Cost
-	sigBuf      []byte
+	transitions atomic.Int64
+	scratch     sync.Pool // *dynScratch
 }
 
 type transKey struct {
 	l, r int32
 	sig  string
+}
+
+// dynScratch holds the per-call buffers of the dynamic-cost evaluation;
+// pooled so concurrent labelers never share them.
+type dynScratch struct {
+	dyn []grammar.Cost
+	sig []byte
 }
 
 // New creates an empty on-demand automaton for g. env binds the grammar's
@@ -90,11 +138,12 @@ func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
 		deltaCap: cfg.DeltaCap,
 		m:        cfg.Metrics,
 		force:    cfg.ForceHash,
-		leaf:     make([]*automaton.State, g.NumOps()),
-		un:       make([][]*automaton.State, g.NumOps()),
-		bin:      make([][][]*automaton.State, g.NumOps()),
-		hash:     make([]map[transKey]*automaton.State, g.NumOps()),
+		leaf:     make([]atomic.Pointer[automaton.State], g.NumOps()),
+		un:       make([]atomic.Pointer[stateRow], g.NumOps()),
+		bin:      make([]atomic.Pointer[binTable], g.NumOps()),
+		hash:     make([]sync.Map, g.NumOps()),
 	}
+	e.scratch.New = func() any { return &dynScratch{} }
 	return e, nil
 }
 
@@ -103,7 +152,7 @@ func (e *Engine) Grammar() *grammar.Grammar { return e.g }
 
 // SetMetrics swaps the engine's counter sink (nil disables instrumenting).
 // The experiment harness uses it to re-instrument a warmed engine without
-// rebuilding its tables.
+// rebuilding its tables. Not safe to call concurrently with labeling.
 func (e *Engine) SetMetrics(m *metrics.Counters) { e.m = m }
 
 // Table exposes the hash-consed state table (for inspection and tests).
@@ -113,17 +162,22 @@ func (e *Engine) Table() *automaton.Table { return e.table }
 func (e *Engine) NumStates() int { return e.table.Len() }
 
 // NumTransitions returns the number of transitions memoized so far.
-func (e *Engine) NumTransitions() int { return e.transitions }
+func (e *Engine) NumTransitions() int { return int(e.transitions.Load()) }
 
-// Label assigns a state to every node of f (topological order, so DAGs are
-// covered), constructing missing states and transitions on demand.
-func (e *Engine) Label(f *ir.Forest) *automaton.Labeling {
+// LabelStates assigns a state to every node of f (topological order, so
+// DAGs are covered), constructing missing states and transitions on
+// demand.
+func (e *Engine) LabelStates(f *ir.Forest) *automaton.Labeling {
 	states := make([]*automaton.State, len(f.Nodes))
 	for i, n := range f.Nodes {
 		states[i] = e.LabelNode(n, states)
 	}
 	return &automaton.Labeling{States: states}
 }
+
+// Label implements reduce.Labeler; see LabelStates for the concrete
+// per-node state assignment.
+func (e *Engine) Label(f *ir.Forest) reduce.Labeling { return e.LabelStates(f) }
 
 // LabelNode labels one node whose children are already labeled in states
 // (indexed by node index). Exposed so incremental clients (the JIT
@@ -134,117 +188,205 @@ func (e *Engine) LabelNode(n *ir.Node, states []*automaton.State) *automaton.Sta
 
 	// The fast path evaluates the operator's dynamic costs (rarely any)
 	// and performs one lookup.
-	var sig string
-	dynamic := e.g.HasDynRules(op)
-	if dynamic {
-		sig = e.evalDyn(n, states)
+	if e.g.HasDynRules(op) {
+		sc := e.scratch.Get().(*dynScratch)
+		sig := e.evalDyn(n, states, sc)
+		s := e.lookupHash(op, n, states, sig, sc.dyn)
+		e.scratch.Put(sc)
+		return s
 	}
-
-	if dynamic || e.force {
-		return e.lookupHash(op, n, states, sig)
+	if e.force {
+		return e.lookupHash(op, n, states, "", nil)
 	}
 	switch len(n.Kids) {
 	case 0:
-		e.m.CountProbe(e.leaf[op] == nil)
-		if s := e.leaf[op]; s != nil {
+		if s := e.leaf[op].Load(); s != nil {
+			e.m.CountProbe(false)
 			return s
 		}
-		s := e.construct(op, nil, nil)
-		e.leaf[op] = s
-		e.transitions++
-		e.m.CountTransition()
-		return s
+		return e.missLeaf(op)
 	case 1:
-		k := states[n.Kids[0].Index].ID
-		row := e.un[op]
-		if int(k) < len(row) && row[k] != nil {
-			e.m.CountProbe(false)
-			return row[k]
-		}
-		e.m.CountProbe(true)
-		s := e.construct(op, []*automaton.State{states[n.Kids[0].Index]}, nil)
-		e.un[op] = growRow(e.un[op], int(k))
-		e.un[op][k] = s
-		e.transitions++
-		e.m.CountTransition()
-		return s
-	default:
-		l := states[n.Kids[0].Index].ID
-		r := states[n.Kids[1].Index].ID
-		t := e.bin[op]
-		if int(l) < len(t) {
-			if row := t[l]; row != nil && int(r) < len(row) && row[r] != nil {
-				e.m.CountProbe(false)
-				return row[r]
+		kid := states[n.Kids[0].Index]
+		if rp := e.un[op].Load(); rp != nil {
+			if row := *rp; int(kid.ID) < len(row) {
+				if s := row[kid.ID].Load(); s != nil {
+					e.m.CountProbe(false)
+					return s
+				}
 			}
 		}
-		e.m.CountProbe(true)
-		s := e.construct(op, []*automaton.State{states[n.Kids[0].Index], states[n.Kids[1].Index]}, nil)
-		if int(l) >= len(e.bin[op]) {
-			t := make([][]*automaton.State, int(l)+1+8)
-			copy(t, e.bin[op])
-			e.bin[op] = t
-		}
-		e.bin[op][l] = growRow(e.bin[op][l], int(r))
-		e.bin[op][l][r] = s
-		e.transitions++
-		e.m.CountTransition()
-		return s
-	}
-}
-
-func growRow(row []*automaton.State, idx int) []*automaton.State {
-	if idx < len(row) {
-		return row
-	}
-	t := make([]*automaton.State, idx+1+8)
-	copy(t, row)
-	return t
-}
-
-// lookupHash handles operators with dynamic rules (and the ForceHash
-// ablation): one map probe keyed by child states and signature.
-func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string) *automaton.State {
-	var key transKey
-	key.sig = sig
-	var kids []*automaton.State
-	switch len(n.Kids) {
-	case 0:
-	case 1:
-		kids = []*automaton.State{states[n.Kids[0].Index]}
-		key.l = kids[0].ID
+		return e.missUn(op, kid)
 	default:
-		kids = []*automaton.State{states[n.Kids[0].Index], states[n.Kids[1].Index]}
-		key.l, key.r = kids[0].ID, kids[1].ID
+		l := states[n.Kids[0].Index]
+		r := states[n.Kids[1].Index]
+		if tp := e.bin[op].Load(); tp != nil {
+			if tbl := *tp; int(l.ID) < len(tbl) {
+				if rp := tbl[l.ID].Load(); rp != nil {
+					if row := *rp; int(r.ID) < len(row) {
+						if s := row[r.ID].Load(); s != nil {
+							e.m.CountProbe(false)
+							return s
+						}
+					}
+				}
+			}
+		}
+		return e.missBin(op, l, r)
 	}
-	h := e.hash[op]
-	if h == nil {
-		h = map[transKey]*automaton.State{}
-		e.hash[op] = h
-	}
-	if s, ok := h[key]; ok {
+}
+
+// missLeaf is the leaf slow path: construct under the engine mutex,
+// re-checking first because another goroutine may have won the race.
+func (e *Engine) missLeaf(op grammar.OpID) *automaton.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.leaf[op].Load(); s != nil {
 		e.m.CountProbe(false)
 		return s
 	}
 	e.m.CountProbe(true)
-	s := e.construct(op, kids, e.dynBuf)
-	h[key] = s
-	e.transitions++
-	e.m.CountTransition()
+	s := e.construct(op, nil, nil)
+	e.leaf[op].Store(s)
+	e.addTransition()
 	return s
 }
 
-// evalDyn evaluates the dynamic rules of n's operator into e.dynBuf and
+func (e *Engine) missUn(op grammar.OpID, kid *automaton.State) *automaton.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := int(kid.ID)
+	if rp := e.un[op].Load(); rp != nil {
+		if row := *rp; k < len(row) {
+			if s := row[k].Load(); s != nil {
+				e.m.CountProbe(false)
+				return s
+			}
+		}
+	}
+	e.m.CountProbe(true)
+	s := e.construct(op, []*automaton.State{kid}, nil)
+	row := growRow(e.un[op].Load(), k)
+	row[k].Store(s)
+	e.un[op].Store(&row)
+	e.addTransition()
+	return s
+}
+
+func (e *Engine) missBin(op grammar.OpID, l, r *automaton.State) *automaton.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	li, ri := int(l.ID), int(r.ID)
+	if tp := e.bin[op].Load(); tp != nil {
+		if tbl := *tp; li < len(tbl) {
+			if rp := tbl[li].Load(); rp != nil {
+				if row := *rp; ri < len(row) {
+					if s := row[ri].Load(); s != nil {
+						e.m.CountProbe(false)
+						return s
+					}
+				}
+			}
+		}
+	}
+	e.m.CountProbe(true)
+	s := e.construct(op, []*automaton.State{l, r}, nil)
+	e.setBinLocked(op, li, ri, s)
+	e.addTransition()
+	return s
+}
+
+// setBinLocked writes bin[op][l][r] = s, growing both levels as needed.
+// Caller holds e.mu.
+func (e *Engine) setBinLocked(op grammar.OpID, l, r int, s *automaton.State) {
+	var tbl binTable
+	if tp := e.bin[op].Load(); tp != nil {
+		tbl = *tp
+	}
+	if l >= len(tbl) {
+		nt := make(binTable, l+1+8)
+		for i := range tbl {
+			nt[i].Store(tbl[i].Load())
+		}
+		tbl = nt
+	}
+	var row stateRow
+	if rp := tbl[l].Load(); rp != nil {
+		row = *rp
+	}
+	row = growRow(&row, r)
+	row[r].Store(s)
+	tbl[l].Store(&row)
+	e.bin[op].Store(&tbl)
+}
+
+// growRow returns a row long enough to index idx, copying the old one if
+// it must grow. Copies happen under e.mu, before the new row is published.
+func growRow(rp *stateRow, idx int) stateRow {
+	var row stateRow
+	if rp != nil {
+		row = *rp
+	}
+	if idx < len(row) {
+		return row
+	}
+	t := make(stateRow, idx+1+8)
+	for i := range row {
+		t[i].Store(row[i].Load())
+	}
+	return t
+}
+
+// addTransition accounts one memoized transition. Caller holds e.mu.
+func (e *Engine) addTransition() {
+	e.transitions.Add(1)
+	e.m.CountTransition()
+}
+
+// lookupHash handles operators with dynamic rules (and the ForceHash
+// ablation): one map probe keyed by child states and signature.
+func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string, dynVals []grammar.Cost) *automaton.State {
+	var key transKey
+	key.sig = sig
+	var kbuf [2]*automaton.State
+	kids := kbuf[:0]
+	switch len(n.Kids) {
+	case 0:
+	case 1:
+		kids = append(kids, states[n.Kids[0].Index])
+		key.l = kids[0].ID
+	default:
+		kids = append(kids, states[n.Kids[0].Index], states[n.Kids[1].Index])
+		key.l, key.r = kids[0].ID, kids[1].ID
+	}
+	h := &e.hash[op]
+	if s, ok := h.Load(key); ok {
+		e.m.CountProbe(false)
+		return s.(*automaton.State)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := h.Load(key); ok {
+		e.m.CountProbe(false)
+		return s.(*automaton.State)
+	}
+	e.m.CountProbe(true)
+	s := e.construct(op, kids, dynVals)
+	h.Store(key, s)
+	e.addTransition()
+	return s
+}
+
+// evalDyn evaluates the dynamic rules of n's operator into sc.dyn and
 // returns the signature string that distinguishes transition outcomes.
 // A dynamic-cost function only runs when its rule is structurally
 // applicable (every kid nonterminal derivable in the kid's state); such
 // functions inspect the matched pattern's shape, so calling them on
 // non-matching nodes would be wrong — and skipping them also keeps the
 // fast path's dynamic-evaluation count low.
-func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State) string {
+func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch) string {
 	rules := e.g.DynRules(n.Op)
-	e.dynBuf = e.dynBuf[:0]
-	e.sigBuf = e.sigBuf[:0]
+	sc.dyn = sc.dyn[:0]
+	sc.sig = sc.sig[:0]
 	for _, ri := range rules {
 		r := &e.g.Rules[ri]
 		c := grammar.Inf
@@ -262,15 +404,17 @@ func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State) string {
 				c = grammar.Inf
 			}
 		}
-		e.dynBuf = append(e.dynBuf, c)
+		sc.dyn = append(sc.dyn, c)
 		var tmp [4]byte
 		binary.LittleEndian.PutUint32(tmp[:], uint32(c))
-		e.sigBuf = append(e.sigBuf, tmp[:]...)
+		sc.sig = append(sc.sig, tmp[:]...)
 	}
-	return string(e.sigBuf)
+	return string(sc.sig)
 }
 
 // construct is the slow path: run the DP step once and intern the result.
+// Callers hold e.mu, so concurrent misses of the same transition construct
+// once; the state table additionally dedups by content.
 func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []grammar.Cost) *automaton.State {
 	delta, rule := automaton.Compute(e.g, op, kids, dynVals, e.deltaCap, e.m)
 	s, _ := e.table.Intern(delta, rule, e.m)
@@ -282,14 +426,22 @@ func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []g
 func (e *Engine) MemoryBytes() int {
 	b := e.table.MemoryBytes()
 	for op := range e.un {
-		b += 8 * len(e.un[op])
-		for _, row := range e.bin[op] {
-			b += 8 * len(row)
+		if rp := e.un[op].Load(); rp != nil {
+			b += 8 * len(*rp)
 		}
-		b += 8 * len(e.bin[op])
-		for k := range e.hash[op] {
-			b += 16 + len(k.sig) + 8
+		if tp := e.bin[op].Load(); tp != nil {
+			tbl := *tp
+			b += 8 * len(tbl)
+			for i := range tbl {
+				if rp := tbl[i].Load(); rp != nil {
+					b += 8 * len(*rp)
+				}
+			}
 		}
+		e.hash[op].Range(func(k, _ any) bool {
+			b += 16 + len(k.(transKey).sig) + 8
+			return true
+		})
 	}
 	b += 8 * len(e.leaf)
 	return b

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/automaton"
@@ -31,10 +32,16 @@ func TestFixedGrammarNoDynWork(t *testing.T) {
 		t.Errorf("dyn evals = %d on a fixed grammar", m.DynEvals)
 	}
 	for op := range e.hash {
-		if len(e.hash[op]) != 0 {
+		if syncMapLen(&e.hash[op]) != 0 {
 			t.Errorf("hash path used for op %s on a fixed grammar", g.OpName(grammar.OpID(op)))
 		}
 	}
+}
+
+func syncMapLen(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { n++; return true })
+	return n
 }
 
 // TestForceHashUsesNoDenseTables is the inverse: with ForceHash, dense
@@ -52,7 +59,7 @@ func TestForceHashUsesNoDenseTables(t *testing.T) {
 	f := ir.RandomForest(g, ir.RandomConfig{Seed: 4, Trees: 50, MaxDepth: 6})
 	e.Label(f)
 	for op := range e.un {
-		if e.leaf[op] != nil || len(e.un[op]) != 0 || len(e.bin[op]) != 0 {
+		if e.leaf[op].Load() != nil || e.un[op].Load() != nil || e.bin[op].Load() != nil {
 			t.Fatalf("dense table populated for op %s under ForceHash", g.OpName(grammar.OpID(op)))
 		}
 	}
@@ -75,8 +82,8 @@ func TestDeltaCapMatchesDefaultOnRealGrammar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1 := e1.Label(f)
-	l2 := e2.Label(f)
+	l1 := e1.LabelStates(f)
+	l2 := e2.LabelStates(f)
 	for _, n := range f.Nodes {
 		for nt := 0; nt < d.Grammar.NumNonterms(); nt++ {
 			if l1.StateAt(n).Rule[nt] != l2.StateAt(n).Rule[nt] {
@@ -121,8 +128,8 @@ x: U(x) (1)
 	// Touch leaves in an order that makes U's first dense index nonzero.
 	for _, src := range []string{"U(C)", "U(B)", "U(A)", "U(U(U(C)))"} {
 		f := ir.MustParseTree(g, src)
-		got := e.Label(f)
-		want := l.Label(f)
+		got := e.LabelStates(f)
+		want := l.LabelResult(f)
 		for _, n := range f.Nodes {
 			for nt := 0; nt < g.NumNonterms(); nt++ {
 				if want.Rules[n.Index][nt] != got.StateAt(n).Rule[nt] {

@@ -25,7 +25,7 @@ func checkAgainstDP(t *testing.T, d md.Desc, f *ir.Forest, cfg Config) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	compareLabelings(t, d.Grammar, f, l.Label(f), e.Label(f))
+	compareLabelings(t, d.Grammar, f, l.LabelResult(f), e.LabelStates(f))
 }
 
 func compareLabelings(t *testing.T, g *grammar.Grammar, f *ir.Forest, want *dp.Result, got *automaton.Labeling) {
@@ -93,8 +93,8 @@ func TestMatchesDPQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		want := l.Label(f)
-		got := e.Label(f)
+		want := l.LabelResult(f)
+		got := e.LabelStates(f)
 		for _, n := range f.Nodes {
 			s := got.StateAt(n)
 			for nt := range want.Costs[n.Index] {
@@ -121,13 +121,13 @@ func TestWarmupConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := ir.RandomForest(d.Grammar, ir.RandomConfig{Seed: 21, Trees: 500, MaxDepth: 8})
-	e.Label(f)
+	e.LabelStates(f)
 	states, trans := e.NumStates(), e.NumTransitions()
 	if states == 0 || trans == 0 {
 		t.Fatal("nothing materialized")
 	}
 	m.Reset()
-	e.Label(f)
+	e.LabelStates(f)
 	if e.NumStates() != states || e.NumTransitions() != trans {
 		t.Errorf("relabeling grew the automaton: %d->%d states, %d->%d transitions",
 			states, e.NumStates(), trans, e.NumTransitions())
@@ -162,7 +162,7 @@ func TestOnDemandSubsetOfStatic(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := ir.RandomForest(g, ir.RandomConfig{Seed: 31, Trees: 400, MaxDepth: 8})
-	e.Label(f)
+	e.LabelStates(f)
 	if e.NumStates() > full.NumStates() {
 		t.Errorf("on-demand states %d exceed full automaton %d", e.NumStates(), full.NumStates())
 	}
@@ -210,8 +210,8 @@ func TestDynSignaturesCreateDistinctStates(t *testing.T) {
 	bDag.Root(dag)
 	fDag := bDag.Finish()
 
-	lt := e.Label(fTree)
-	ld := e.Label(fDag)
+	lt := e.LabelStates(fTree)
+	ld := e.LabelStates(fDag)
 	st := lt.StateAt(tre)
 	sd := ld.StateAt(dag)
 	if st == sd {
@@ -226,8 +226,8 @@ func TestDynSignaturesCreateDistinctStates(t *testing.T) {
 	}
 	// Relabeling both again must reuse the two memoized transitions.
 	n := e.NumTransitions()
-	e.Label(fTree)
-	e.Label(fDag)
+	e.LabelStates(fTree)
+	e.LabelStates(fDag)
 	if e.NumTransitions() != n {
 		t.Error("dynamic transitions were not memoized")
 	}
@@ -244,7 +244,7 @@ func TestEngineAccessors(t *testing.T) {
 		t.Error("Grammar accessor")
 	}
 	f := ir.MustParseTree(d.Grammar, "Store(Reg, Reg)")
-	e.Label(f)
+	e.LabelStates(f)
 	if e.Table().Len() != e.NumStates() {
 		t.Error("table accessor inconsistent")
 	}

@@ -31,8 +31,14 @@ func Fingerprint(g *grammar.Grammar) uint64 {
 	return h.Sum64()
 }
 
-// Save writes the engine's automaton (states + transitions) to w.
+// Save writes the engine's automaton (states + transitions) to w. It
+// holds the engine's construct lock for the duration, so the state list
+// and the transition tables are written as one consistent snapshot even
+// while other goroutines keep labeling (their fast paths are unaffected;
+// their misses wait).
 func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -53,18 +59,27 @@ func (e *Engine) Save(w io.Writer) error {
 	// Dense transitions.
 	var leaf, un, bin [][3]int64
 	for op := range e.leaf {
-		if e.leaf[op] != nil {
-			leaf = append(leaf, [3]int64{int64(op), int64(e.leaf[op].ID), 0})
+		if s := e.leaf[op].Load(); s != nil {
+			leaf = append(leaf, [3]int64{int64(op), int64(s.ID), 0})
 		}
-		for k, s := range e.un[op] {
-			if s != nil {
-				un = append(un, [3]int64{int64(op), int64(k), int64(s.ID)})
+		if rp := e.un[op].Load(); rp != nil {
+			for k := range *rp {
+				if s := (*rp)[k].Load(); s != nil {
+					un = append(un, [3]int64{int64(op), int64(k), int64(s.ID)})
+				}
 			}
 		}
-		for l, row := range e.bin[op] {
-			for r, s := range row {
-				if s != nil {
-					bin = append(bin, [3]int64{int64(op), int64(l)<<32 | int64(r), int64(s.ID)})
+		if tp := e.bin[op].Load(); tp != nil {
+			tbl := *tp
+			for l := range tbl {
+				rp := tbl[l].Load()
+				if rp == nil {
+					continue
+				}
+				for r := range *rp {
+					if s := (*rp)[r].Load(); s != nil {
+						bin = append(bin, [3]int64{int64(op), int64(l)<<32 | int64(r), int64(s.ID)})
+					}
 				}
 			}
 		}
@@ -81,21 +96,28 @@ func (e *Engine) Save(w io.Writer) error {
 	writeTriples(un)
 	writeTriples(bin)
 
-	// Hash transitions (dynamic operators and ForceHash).
-	nHash := 0
-	for op := range e.hash {
-		nHash += len(e.hash[op])
+	// Hash transitions (dynamic operators and ForceHash). Collect first so
+	// the count precedes the entries even when written from a snapshot.
+	type hashEntry struct {
+		op  int
+		key transKey
+		id  int32
 	}
-	put(uint64(nHash))
+	var entries []hashEntry
 	for op := range e.hash {
-		for key, s := range e.hash[op] {
-			put(uint64(op))
-			put(uint64(uint32(key.l)))
-			put(uint64(uint32(key.r)))
-			put(uint64(len(key.sig)))
-			bw.WriteString(key.sig)
-			put(uint64(s.ID))
-		}
+		e.hash[op].Range(func(k, v any) bool {
+			entries = append(entries, hashEntry{op, k.(transKey), v.(*automaton.State).ID})
+			return true
+		})
+	}
+	put(uint64(len(entries)))
+	for _, en := range entries {
+		put(uint64(en.op))
+		put(uint64(uint32(en.key.l)))
+		put(uint64(uint32(en.key.r)))
+		put(uint64(len(en.key.sig)))
+		bw.WriteString(en.key.sig)
+		put(uint64(en.id))
 	}
 	return bw.Flush()
 }
@@ -106,6 +128,10 @@ func (e *Engine) Load(r io.Reader) error {
 	if e.table.Len() != 0 {
 		return fmt.Errorf("core: Load requires a fresh engine")
 	}
+	// Load must be serialized against labeling (fresh engine, single
+	// goroutine); the lock keeps the *Locked helpers' invariant honest.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -207,8 +233,8 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		e.leaf[op] = s
-		e.transitions++
+		e.leaf[op].Store(s)
+		e.transitions.Add(1)
 		return nil
 	}); err != nil {
 		return err
@@ -219,9 +245,10 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		e.un[op] = growRow(e.un[op], int(key))
-		e.un[op][key] = s
-		e.transitions++
+		row := growRow(e.un[op].Load(), int(key))
+		row[key].Store(s)
+		e.un[op].Store(&row)
+		e.transitions.Add(1)
 		return nil
 	}); err != nil {
 		return err
@@ -232,16 +259,8 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		l := int(key >> 32)
-		r := int(uint32(key))
-		if l >= len(e.bin[op]) {
-			t := make([][]*automaton.State, l+1+8)
-			copy(t, e.bin[op])
-			e.bin[op] = t
-		}
-		e.bin[op][l] = growRow(e.bin[op][l], r)
-		e.bin[op][l][r] = s
-		e.transitions++
+		e.setBinLocked(grammar.OpID(op), int(key>>32), int(uint32(key)), s)
+		e.transitions.Add(1)
 		return nil
 	}); err != nil {
 		return err
@@ -289,13 +308,8 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		h := e.hash[op]
-		if h == nil {
-			h = map[transKey]*automaton.State{}
-			e.hash[op] = h
-		}
-		h[transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}] = s
-		e.transitions++
+		e.hash[op].Store(transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}, s)
+		e.transitions.Add(1)
 	}
 	return nil
 }

@@ -25,7 +25,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		forests = append(forests, c.Forests()...)
 	}
 	for _, f := range forests {
-		warm.Label(f)
+		warm.LabelStates(f)
 	}
 
 	var buf bytes.Buffer
@@ -48,8 +48,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Errorf("transitions %d != %d", restored.NumTransitions(), warm.NumTransitions())
 	}
 	for _, f := range forests {
-		a := warm.Label(f)
-		b := restored.Label(f)
+		a := warm.LabelStates(f)
+		b := restored.LabelStates(f)
 		for _, n := range f.Nodes {
 			sa, sb := a.StateAt(n), b.StateAt(n)
 			for nt := range sa.Delta {

@@ -16,9 +16,12 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/reduce"
 )
 
-// Labeler is an iburg/lburg-style dynamic-programming labeler.
+// Labeler is an iburg/lburg-style dynamic-programming labeler. It
+// implements reduce.Labeler; all working state lives in the per-call
+// Result, so one Labeler may label from many goroutines concurrently.
 type Labeler struct {
 	g   *grammar.Grammar
 	dyn []grammar.DynFunc // indexed by rule index; nil for fixed-cost rules
@@ -61,9 +64,23 @@ func (r *Result) CostAt(n *ir.Node, nt grammar.NT) grammar.Cost {
 	return r.Costs[n.Index][nt]
 }
 
-// Label labels all nodes of f bottom-up (topological order, which also
-// covers DAG inputs) and returns the per-node cost/rule tables.
-func (l *Labeler) Label(f *ir.Forest) *Result {
+// Label implements reduce.Labeler; see LabelResult for the concrete
+// cost/rule tables the oracle tests read.
+func (l *Labeler) Label(f *ir.Forest) reduce.Labeling { return l.LabelResult(f) }
+
+// NumStates implements reduce.Labeler: dynamic programming tabulates no
+// automaton, so all table stats are zero.
+func (l *Labeler) NumStates() int { return 0 }
+
+// NumTransitions implements reduce.Labeler (always 0; see NumStates).
+func (l *Labeler) NumTransitions() int { return 0 }
+
+// MemoryBytes implements reduce.Labeler (always 0; see NumStates).
+func (l *Labeler) MemoryBytes() int { return 0 }
+
+// LabelResult labels all nodes of f bottom-up (topological order, which
+// also covers DAG inputs) and returns the per-node cost/rule tables.
+func (l *Labeler) LabelResult(f *ir.Forest) *Result {
 	numNT := l.g.NumNonterms()
 	res := &Result{
 		g:     l.g,

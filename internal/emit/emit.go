@@ -51,6 +51,17 @@ func New(g *grammar.Grammar) *Emitter {
 	return &Emitter{g: g, operands: map[int64]string{}, applied: map[int64]*grammar.Rule{}}
 }
 
+// Reset clears all per-forest state so the emitter can be reused for the
+// next Cover, keeping its maps' capacity. Previously returned Asm strings
+// stay valid: the builder's storage is never rewritten after Reset.
+func (e *Emitter) Reset() {
+	e.b.Reset()
+	clear(e.operands)
+	clear(e.applied)
+	e.nextReg = 0
+	e.instrs = 0
+}
+
 // Visit is the reduce.Visitor that drives emission.
 func (e *Emitter) Visit(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
 	key := opKey(n, nt)

@@ -248,7 +248,7 @@ int f(int n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := l.Label(f)
+	res := l.LabelResult(f)
 	for i, r := range f.Roots {
 		if !res.Derivable(r) {
 			t.Errorf("root %d (%s) not derivable", i, g.OpName(r.Op))

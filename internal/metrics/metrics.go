@@ -9,13 +9,27 @@
 // and states constructed. Counts are exactly reproducible run to run,
 // which the experiment tables rely on; wall-clock numbers come from
 // testing.B benchmarks separately.
+//
+// Counters are race-safe: every Count* method performs an atomic add, so a
+// single Counters value can sit behind an engine that labels from many
+// goroutines (see core.Engine). Totals of a parallel session remain
+// deterministic because atomic adds commute; only the interleaving varies.
+// For fully independent accounting, give each worker its own Counters and
+// combine them with Add after the workers join.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Counters accumulates engine events. The zero value is ready to use.
 // A nil *Counters is also accepted by all methods, so engines can be run
 // uninstrumented at full speed.
+//
+// The fields may be read directly once the writers have stopped (or been
+// joined); while labeling is in flight from other goroutines, use Clone to
+// take an atomically consistent-per-field snapshot.
 type Counters struct {
 	// NodesLabeled counts IR nodes processed by a labeler.
 	NodesLabeled int64
@@ -42,28 +56,28 @@ type Counters struct {
 // CountNode records a labeled node.
 func (c *Counters) CountNode() {
 	if c != nil {
-		c.NodesLabeled++
+		atomic.AddInt64(&c.NodesLabeled, 1)
 	}
 }
 
 // CountRules records n base-rule cost computations.
 func (c *Counters) CountRules(n int) {
 	if c != nil {
-		c.RulesExamined += int64(n)
+		atomic.AddInt64(&c.RulesExamined, int64(n))
 	}
 }
 
 // CountChain records n chain-rule relaxation attempts.
 func (c *Counters) CountChain(n int) {
 	if c != nil {
-		c.ChainRelaxations += int64(n)
+		atomic.AddInt64(&c.ChainRelaxations, int64(n))
 	}
 }
 
 // CountDyn records n dynamic-cost evaluations.
 func (c *Counters) CountDyn(n int) {
 	if c != nil {
-		c.DynEvals += int64(n)
+		atomic.AddInt64(&c.DynEvals, int64(n))
 	}
 }
 
@@ -71,9 +85,9 @@ func (c *Counters) CountDyn(n int) {
 // transition had to be constructed.
 func (c *Counters) CountProbe(miss bool) {
 	if c != nil {
-		c.TableProbes++
+		atomic.AddInt64(&c.TableProbes, 1)
 		if miss {
-			c.TableMisses++
+			atomic.AddInt64(&c.TableMisses, 1)
 		}
 	}
 }
@@ -81,37 +95,70 @@ func (c *Counters) CountProbe(miss bool) {
 // CountState records an interned state.
 func (c *Counters) CountState() {
 	if c != nil {
-		c.StatesBuilt++
+		atomic.AddInt64(&c.StatesBuilt, 1)
 	}
 }
 
 // CountTransition records a transition-table entry write.
 func (c *Counters) CountTransition() {
 	if c != nil {
-		c.TransitionsAdded++
+		atomic.AddInt64(&c.TransitionsAdded, 1)
 	}
 }
 
 // CountReduce records a (node, nonterminal) reduction visit.
 func (c *Counters) CountReduce() {
 	if c != nil {
-		c.NodesReduced++
+		atomic.AddInt64(&c.NodesReduced, 1)
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. It must not race with in-flight Count* calls
+// if an exact zero point matters.
 func (c *Counters) Reset() {
-	if c != nil {
-		*c = Counters{}
+	if c == nil {
+		return
+	}
+	for _, p := range c.fields() {
+		atomic.StoreInt64(p, 0)
 	}
 }
 
-// Clone returns a copy (nil-safe).
+// Clone returns a copy (nil-safe). Each field is loaded atomically, so
+// Clone may run concurrently with counting.
 func (c *Counters) Clone() Counters {
+	var out Counters
 	if c == nil {
-		return Counters{}
+		return out
 	}
-	return *c
+	src := c.fields()
+	dst := out.fields()
+	for i := range src {
+		*dst[i] = atomic.LoadInt64(src[i])
+	}
+	return out
+}
+
+// Add accumulates other into c (nil-safe on both sides): the merge step
+// for per-worker counters after a parallel labeling session.
+func (c *Counters) Add(other *Counters) {
+	if c == nil || other == nil {
+		return
+	}
+	src := other.fields()
+	dst := c.fields()
+	for i := range src {
+		atomic.AddInt64(dst[i], atomic.LoadInt64(src[i]))
+	}
+}
+
+// fields enumerates the counter slots in declaration order.
+func (c *Counters) fields() []*int64 {
+	return []*int64{
+		&c.NodesLabeled, &c.RulesExamined, &c.ChainRelaxations, &c.DynEvals,
+		&c.TableProbes, &c.TableMisses, &c.StatesBuilt, &c.TransitionsAdded,
+		&c.NodesReduced,
+	}
 }
 
 // WorkUnits collapses the counters into a single figure comparable across
@@ -122,16 +169,23 @@ func (c *Counters) WorkUnits() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.RulesExamined + c.ChainRelaxations + c.DynEvals +
-		c.TableProbes + 4*c.TableMisses
+	return atomic.LoadInt64(&c.RulesExamined) +
+		atomic.LoadInt64(&c.ChainRelaxations) +
+		atomic.LoadInt64(&c.DynEvals) +
+		atomic.LoadInt64(&c.TableProbes) +
+		4*atomic.LoadInt64(&c.TableMisses)
 }
 
 // PerNode returns work units per labeled node.
 func (c *Counters) PerNode() float64 {
-	if c == nil || c.NodesLabeled == 0 {
+	if c == nil {
 		return 0
 	}
-	return float64(c.WorkUnits()) / float64(c.NodesLabeled)
+	nodes := atomic.LoadInt64(&c.NodesLabeled)
+	if nodes == 0 {
+		return 0
+	}
+	return float64(c.WorkUnits()) / float64(nodes)
 }
 
 // String renders the counters compactly.
@@ -139,8 +193,9 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "<nil counters>"
 	}
+	s := c.Clone()
 	return fmt.Sprintf("nodes=%d rules=%d chain=%d dyn=%d probes=%d misses=%d states=%d trans=%d work=%d",
-		c.NodesLabeled, c.RulesExamined, c.ChainRelaxations, c.DynEvals,
-		c.TableProbes, c.TableMisses, c.StatesBuilt, c.TransitionsAdded,
-		c.WorkUnits())
+		s.NodesLabeled, s.RulesExamined, s.ChainRelaxations, s.DynEvals,
+		s.TableProbes, s.TableMisses, s.StatesBuilt, s.TransitionsAdded,
+		s.WorkUnits())
 }

@@ -26,6 +26,35 @@ type Labeling interface {
 	RuleAt(n *ir.Node, nt grammar.NT) int32
 }
 
+// Labeler is a labeling engine: the common face of the three
+// interchangeable implementations the paper compares — dp.Labeler
+// (dynamic programming at selection time), automaton.Static (offline
+// burg-style automaton) and core.Engine (the paper's on-demand
+// automaton). New engine kinds implement this interface and register a
+// constructor with the API layer; nothing else in the pipeline needs to
+// know about them.
+//
+// The stats methods describe the engine's automaton, when it has one:
+// states materialized, transition entries tabulated or memoized, and the
+// estimated table footprint. Engines without tables (dp) report zeros.
+//
+// Concurrency: every built-in Labeler is safe for concurrent Label calls
+// on distinct forests — dp.Labeler keeps all working state per call,
+// automaton.Static is immutable after generation, and core.Engine
+// synchronizes its construct slow path internally (see package core).
+type Labeler interface {
+	// Label assigns a labeling to every node of f.
+	Label(f *ir.Forest) Labeling
+	// NumStates reports automaton states (materialized so far for the
+	// on-demand engine, total for the static one, 0 for dp).
+	NumStates() int
+	// NumTransitions reports tabulated/memoized transition entries (0
+	// for dp).
+	NumTransitions() int
+	// MemoryBytes estimates the engine's table footprint (0 for dp).
+	MemoryBytes() int
+}
+
 // Visitor receives each applied rule in bottom-up (post-order) position —
 // the point where code generation actions run. nt is the nonterminal the
 // rule was applied for at n.

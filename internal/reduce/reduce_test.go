@@ -1,4 +1,4 @@
-package reduce
+package reduce_test
 
 import (
 	"strings"
@@ -10,16 +10,17 @@ import (
 	"repro/internal/ir"
 	"repro/internal/md"
 	"repro/internal/metrics"
+	"repro/internal/reduce"
 )
 
-func setup(t testing.TB) (md.Desc, *dp.Labeler, *Reducer) {
+func setup(t testing.TB) (md.Desc, *dp.Labeler, *reduce.Reducer) {
 	t.Helper()
 	d := md.MustLoad("demo")
 	l, err := dp.New(d.Grammar, d.Env, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := New(d.Grammar, d.Env, nil)
+	rd, err := reduce.New(d.Grammar, d.Env, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestReduceCostMatchesLabelCost(t *testing.T) {
 			RootOps:  []grammar.OpID{g.MustOp("Store")},
 			InnerOps: []grammar.OpID{g.MustOp("Plus"), g.MustOp("Load")},
 		})
-		res := l.Label(f)
+		res := l.LabelResult(f)
 		var want grammar.Cost
 		ok := true
 		for _, r := range f.Roots {
@@ -197,7 +198,7 @@ func TestReduceMetrics(t *testing.T) {
 	d := md.MustLoad("demo")
 	l, _ := dp.New(d.Grammar, d.Env, nil)
 	m := &metrics.Counters{}
-	rd, err := New(d.Grammar, d.Env, m)
+	rd, err := reduce.New(d.Grammar, d.Env, m)
 	if err != nil {
 		t.Fatal(err)
 	}

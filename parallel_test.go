@@ -1,0 +1,179 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+const parallelSrc = `
+int a[64];
+int fill(int n) {
+	int i;
+	for (i = 0; i < n; i += 1) { a[i] = i * 3; }
+	return n;
+}
+int sum(int n) {
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i += 1) { s += a[i]; }
+	return s;
+}
+int dot(int n) {
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i += 1) { s += a[i] * a[i]; }
+	return s;
+}
+int max(int x, int y) {
+	if (x < y) { return y; }
+	return x;
+}
+`
+
+// TestCompileUnitParallel: the parallel driver must produce exactly the
+// outputs of sequential compilation, function by function, while sharing
+// one warm on-demand engine across workers.
+func TestCompileUnitParallel(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := m.CompileMinC(parallelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seqSel.CompileUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 1, 2, 4} {
+		parSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.CompileUnitParallel(parSel, unit, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Asm != want[i].Asm || got[i].Cost != want[i].Cost ||
+				got[i].Instructions != want[i].Instructions {
+				t.Errorf("workers=%d func %d: parallel output differs from sequential", workers, i)
+			}
+		}
+		if parSel.States() != seqSel.States() {
+			t.Errorf("workers=%d: states %d != sequential %d", workers, parSel.States(), seqSel.States())
+		}
+	}
+
+	// A selector from another machine must be rejected.
+	other, err := repro.LoadMachine("mips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSel, err := other.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CompileUnitParallel(otherSel, unit, 2); err == nil {
+		t.Error("expected machine-mismatch error")
+	}
+}
+
+// TestSelectorConcurrentCompile: one selector, many goroutines, repeated
+// Compile calls on the same forests — outputs must stay deterministic, a
+// property the pooled emitters must not break.
+func TestSelectorConcurrentCompile(t *testing.T) {
+	m, err := repro.LoadMachine("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := m.CompileMinC(parallelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sel.CompileUnit(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := range unit.Funcs {
+					out, err := sel.Compile(unit.Funcs[i].Forest)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if out.Asm != want[i].Asm || out.Cost != want[i].Cost {
+						errc <- errMismatch(i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+type errMismatch int
+
+func (e errMismatch) Error() string { return "concurrent Compile output mismatch" }
+
+// TestKindsRegistry: the three built-ins are registered in declaration
+// order, and every registered kind constructs through the registry.
+func TestKindsRegistry(t *testing.T) {
+	kinds := repro.Kinds()
+	if len(kinds) < 3 {
+		t.Fatalf("kinds = %v, want at least the three built-ins", kinds)
+	}
+	if kinds[0] != repro.KindDP || kinds[1] != repro.KindStatic || kinds[2] != repro.KindOnDemand {
+		t.Errorf("built-in kinds out of order: %v", kinds)
+	}
+	m, err := repro.LoadMachine("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fixed.ParseTree("Store(Reg[1], Reg[2])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range kinds[:3] {
+		sel, err := fixed.NewSelector(kind, repro.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sel.Labeler() == nil {
+			t.Fatalf("%s: no engine behind the selector", kind)
+		}
+		if _, err := sel.Compile(f); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
