@@ -36,7 +36,11 @@
 // its construct slow path internally (see package core), which is the
 // paper's scenario extended to a parallel compilation server: one warm
 // automaton serving every worker, each worker's misses warming the tables
-// for all. CompileUnitParallel is the built-in driver for that shape.
+// for all. CompileUnitParallel is the built-in driver for that shape;
+// internal/server (fronted by cmd/iselserver) is the full compilation
+// server built on it, using CompileMetered and Snapshot to attribute one
+// shared engine's work to individual clients and to report automaton
+// warmth over a session.
 // Only selector-wide reconfiguration (LoadAutomaton) must be serialized
 // against in-flight compilation.
 package repro
@@ -318,11 +322,22 @@ func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
 
 // Compile selects instructions for f: label, reduce, emit.
 func (s *Selector) Compile(f *Forest) (*Output, error) {
-	lab := s.eng.Label(f)
+	return s.CompileMetered(f, nil)
+}
+
+// CompileMetered is Compile with per-call counter attribution: the
+// labeling and reduction events of this one call are counted into m
+// instead of the selector's configured Options.Metrics sink (nil m is
+// plain Compile). m may be a fresh Counters per call; callers merge the
+// deltas with Counters.Add. This is the session hook the compilation
+// server (internal/server) uses to account one shared warm engine's work
+// to individual clients.
+func (s *Selector) CompileMetered(f *Forest, m *Counters) (*Output, error) {
+	lab := s.labelMetered(f, m)
 	em := s.emitters.Get().(*emit.Emitter)
 	defer s.emitters.Put(em)
 	em.Reset()
-	cost, err := s.rd.Cover(f, lab, em.Visit)
+	cost, err := s.rd.CoverMetered(f, lab, em.Visit, m)
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +348,24 @@ func (s *Selector) Compile(f *Forest) (*Output, error) {
 // derivation cost — the cheap path for experiments.
 func (s *Selector) SelectCost(f *Forest) (Cost, error) {
 	return s.rd.Cover(f, s.eng.Label(f), nil)
+}
+
+// SelectCostMetered is SelectCost with per-call counter attribution (see
+// CompileMetered).
+func (s *Selector) SelectCostMetered(f *Forest, m *Counters) (Cost, error) {
+	return s.rd.CoverMetered(f, s.labelMetered(f, m), nil, m)
+}
+
+// labelMetered labels through the engine's MeteredLabeler capability when
+// a per-call sink is requested and the engine has one; otherwise it falls
+// back to the plain engine sink.
+func (s *Selector) labelMetered(f *Forest, m *Counters) reduce.Labeling {
+	if m != nil {
+		if ml, ok := s.eng.(reduce.MeteredLabeler); ok {
+			return ml.LabelMetered(f, m)
+		}
+	}
+	return s.eng.Label(f)
 }
 
 // CompileUnit compiles every function of unit in order, returning one
@@ -390,6 +423,29 @@ func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) 
 		}
 	}
 	return outs, nil
+}
+
+// Snapshot is a point-in-time view of a selector's automaton warmth. The
+// compilation server samples it over a session to report the paper's
+// amortization story end to end: states and transitions climb while the
+// automaton is cold and flatten as every client's trees hit warm tables.
+type Snapshot struct {
+	Kind        Kind
+	States      int
+	Transitions int
+	MemoryBytes int
+}
+
+// Snapshot captures the selector's current automaton warmth. It is safe
+// to call concurrently with compilation (the counts are monotonic and read
+// atomically, though States and Transitions are sampled independently).
+func (s *Selector) Snapshot() Snapshot {
+	return Snapshot{
+		Kind:        s.kind,
+		States:      s.eng.NumStates(),
+		Transitions: s.eng.NumTransitions(),
+		MemoryBytes: s.eng.MemoryBytes(),
+	}
 }
 
 // States reports the number of automaton states (materialized so far for

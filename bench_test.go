@@ -277,6 +277,28 @@ func BenchmarkAblationAllHash(b *testing.B)     { benchForceHash(b, true) }
 // compilation-server scenario; tracks the scalability of the lock-free
 // fast path)
 
+// labelPool labels every forest once across `workers` goroutines pulling
+// from a shared atomic index — the worker-pool schedule both parallel
+// benchmarks measure.
+func labelPool(e *core.Engine, fs []*ir.Forest, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(fs) {
+					return
+				}
+				e.Label(fs[j])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func benchParallelLabel(b *testing.B, gname string, workers int) {
 	d := md.MustLoad(gname)
 	fs := corpus(b, gname)
@@ -291,22 +313,7 @@ func benchParallelLabel(b *testing.B, gname string, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					j := int(next.Add(1)) - 1
-					if j >= len(fs) {
-						return
-					}
-					e.Label(fs[j])
-				}
-			}()
-		}
-		wg.Wait()
+		labelPool(e, fs, workers)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
 	b.ReportMetric(float64(b.N*nodes)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
@@ -316,6 +323,36 @@ func BenchmarkParallelLabel(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			benchParallelLabel(b, "x86", w)
+		})
+	}
+}
+
+// benchParallelLabelCold is the cold-start-contention variant: every
+// iteration starts a FRESH engine, so all workers hit the construct slow
+// path at once. This is the case the per-operator mutex shards exist for:
+// misses on different operators construct concurrently instead of
+// serializing on one engine-global lock (visible only with GOMAXPROCS > 1;
+// the warm benchmark above never takes a lock either way).
+func benchParallelLabelCold(b *testing.B, gname string, workers int) {
+	d := md.MustLoad(gname)
+	fs := corpus(b, gname)
+	nodes := corpusNodes(fs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(d.Grammar, d.Env, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		labelPool(e, fs, workers)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+}
+
+func BenchmarkParallelLabelColdStart(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchParallelLabelCold(b, "x86", w)
 		})
 	}
 }

@@ -10,6 +10,11 @@
 //	iselbench -experiment EP -workers 1,2,4,8
 //	                           # parallel labeling scaling (one warm
 //	                           # engine shared by a worker pool)
+//	iselbench -experiment SV -clients 1,2,4,8
+//	                           # compilation-server replay: N concurrent
+//	                           # clients multiplexed onto one warm engine
+//	                           # through internal/server (the Server that
+//	                           # cmd/iselserver fronts)
 package main
 
 import (
@@ -23,25 +28,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: E1..E8, EP or all")
-	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7, EP)")
+	exp := flag.String("experiment", "all", "experiment to run: E1..E8, EP, SV or all")
+	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7, EP, SV)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	workers := flag.String("workers", "1,2,4,8", "worker counts for the EP parallel-scaling experiment")
 	passes := flag.Int("passes", 20, "corpus passes per EP configuration")
+	clients := flag.String("clients", "1,2,4,8", "client counts for the SV compilation-server experiment")
+	svWorkers := flag.Int("sv-workers", 0, "server worker-pool size for SV (0 = GOMAXPROCS)")
+	svPasses := flag.Int("sv-passes", 10, "corpus passes per client per SV configuration")
 	flag.Parse()
 
-	ws, err := parseWorkers(*workers)
+	ws, err := parseCounts("-workers", *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *gname, *ablations, ws, *passes); err != nil {
+	cs, err := parseCounts("-clients", *clients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, *gname, *ablations, ws, *passes, cs, *svWorkers, *svPasses); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
 }
 
-func parseWorkers(s string) ([]int, error) {
+func parseCounts(flagName, s string) ([]int, error) {
 	var ws []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -50,14 +63,14 @@ func parseWorkers(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", part)
+			return nil, fmt.Errorf("bad %s entry %q (want positive integers)", flagName, part)
 		}
 		ws = append(ws, n)
 	}
 	return ws, nil
 }
 
-func run(exp, gname string, ablations bool, workers []int, passes int) error {
+func run(exp, gname string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int) error {
 	type step struct {
 		id string
 		fn func() error
@@ -90,6 +103,12 @@ func run(exp, gname string, ablations bool, workers []int, passes int) error {
 		{"E7", func() error { _, t, err := bench.RunE7(gname); show(t, err); return err }},
 		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
 		{"EP", func() error { _, t, err := bench.RunParallel(gname, workers, passes); show(t, err); return err }},
+		{"SV", func() error {
+			_, t, warmth, err := bench.RunServer(gname, clients, svWorkers, svPasses)
+			show(warmth, err)
+			show(t, err)
+			return err
+		}},
 	}
 	ran := false
 	for _, s := range steps {
@@ -102,7 +121,7 @@ func run(exp, gname string, ablations bool, workers []int, passes int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want E1..E8, EP or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E8, EP, SV or all)", exp)
 	}
 	if ablations {
 		t, err := bench.RunAblationDeltaCap()

@@ -1,0 +1,85 @@
+// Command iselserver runs the compilation server: one warm labeling
+// engine shared by every client that connects — the deployment shape the
+// paper's on-demand automata amortize best in (see internal/server).
+//
+// Usage:
+//
+//	iselserver -machine x86 -addr :8931
+//	iselserver -machine jit64 -kind ondemand -workers 8 -queue 64
+//
+// Protocol (HTTP/JSON; see internal/server for the request schemas):
+//
+//	POST /compile  {"client":"ci-1","trees":"ADD(REG[1], CNST[2])"}
+//	POST /compile  {"client":"ci-2","minc":"int main() { return 42; }"}
+//	GET  /stats
+//	GET  /healthz
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight compilations drain and
+// the final warmth/throughput stats are printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	machine := flag.String("machine", "x86", "machine description to serve")
+	kind := flag.String("kind", string(repro.KindOnDemand), "labeling engine kind (dp, static, ondemand)")
+	addr := flag.String("addr", ":8931", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "work-queue depth (0 = 4*workers)")
+	flag.Parse()
+
+	if err := run(*machine, *kind, *addr, *workers, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "iselserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machine, kind, addr string, workers, queue int) error {
+	m, err := repro.LoadMachine(machine)
+	if err != nil {
+		return err
+	}
+	sel, err := m.NewSelector(repro.Kind(kind), repro.Options{})
+	if err != nil {
+		return err
+	}
+	srv := server.New(sel, server.Config{Workers: workers, QueueDepth: queue})
+	hs := &http.Server{Addr: addr, Handler: server.NewHandler(srv, m)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("iselserver: serving %s (%s engine, %d workers) on %s\n",
+		machine, sel.Kind(), srv.Workers(), addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("iselserver: %v, draining...\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Even if the HTTP drain deadline is exceeded, the compilation server
+	// itself must still drain (every accepted future resolves) and the
+	// final stats must print.
+	httpErr := hs.Shutdown(ctx)
+	srv.Shutdown()
+	st := srv.Stats()
+	fmt.Printf("iselserver: served %d jobs (%d IR nodes) for %d clients; automaton ended at %d states, %d transitions, %d table bytes\n",
+		st.Jobs, st.Nodes, st.Clients, st.Warmth.States, st.Warmth.Transitions, st.Warmth.MemoryBytes)
+	return httpErr
+}

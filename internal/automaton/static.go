@@ -398,7 +398,16 @@ func (l *Labeling) StateAt(n *ir.Node) *State { return l.States[n.Index] }
 // offline automaton's fast path. Events are recorded against the counters
 // configured at generation (StaticConfig.Metrics) or via SetMetrics.
 func (a *Static) LabelStates(f *ir.Forest) *Labeling {
-	m := a.m
+	return a.LabelStatesMetered(f, nil)
+}
+
+// LabelStatesMetered is LabelStates with per-call counter attribution:
+// events are counted into m instead of the automaton's configured sink
+// (nil falls back to it).
+func (a *Static) LabelStatesMetered(f *ir.Forest, m *metrics.Counters) *Labeling {
+	if m == nil {
+		m = a.m
+	}
 	states := make([]*State, len(f.Nodes))
 	for i, n := range f.Nodes {
 		m.CountNode()
@@ -421,3 +430,8 @@ func (a *Static) LabelStates(f *ir.Forest) *Labeling {
 
 // Label implements reduce.Labeler.
 func (a *Static) Label(f *ir.Forest) reduce.Labeling { return a.LabelStates(f) }
+
+// LabelMetered implements reduce.MeteredLabeler.
+func (a *Static) LabelMetered(f *ir.Forest, m *metrics.Counters) reduce.Labeling {
+	return a.LabelStatesMetered(f, m)
+}

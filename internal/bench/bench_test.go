@@ -199,6 +199,36 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestSVShapes(t *testing.T) {
+	rows, table, warmth, err := RunServer("jit64", []int{1, 2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // direct baseline + two client counts
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Clients != 0 || rows[0].Speedup != 1.0 {
+		t.Errorf("first row must be the direct baseline: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Jobs != int64(r.Clients)*rows[0].Jobs/int64(rows[0].Passes)*int64(r.Passes) {
+			t.Errorf("clients=%d: jobs=%d inconsistent with corpus size", r.Clients, r.Jobs)
+		}
+		// Identical traffic on identically warmed engines: the automaton
+		// must end at the same size in every configuration.
+		if r.States != rows[0].States || r.Trans != rows[0].Trans {
+			t.Errorf("clients=%d: warmth %d/%d differs from direct %d/%d",
+				r.Clients, r.States, r.Trans, rows[0].States, rows[0].Trans)
+		}
+		if r.NsPerNode <= 0 {
+			t.Errorf("clients=%d: no throughput measured", r.Clients)
+		}
+	}
+	if len(warmth.Rows) == 0 || len(table.Rows) != 3 {
+		t.Error("tables incomplete")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tab := &Table{ID: "T", Title: "title", Header: []string{"a", "bb"}}
 	tab.AddRow("1", "2")

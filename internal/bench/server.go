@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// The SV experiment measures the compilation-server scenario end to end:
+// synthetic multi-client traffic replayed against one internal/server
+// Server (the engine cmd/iselserver fronts), compared with a single
+// client calling Selector.CompileUnit directly on the same warm engine.
+// It reports throughput per client count plus the automaton-warmth curve
+// (states/transitions over time) of the server's cold first pass — the
+// amortization story: every client's misses warm the shared tables, so
+// per-node cost converges to a lookup no matter which client's unit is
+// next.
+
+// SVWarmthPoint is one sample of the server-side warmth curve.
+type SVWarmthPoint struct {
+	Unit   string
+	Nodes  int // cumulative IR nodes served
+	States int
+	Trans  int
+}
+
+// SVRow is one throughput sample: Clients concurrent clients replaying
+// the corpus through the server (Clients == 0 is the direct single-client
+// CompileUnit baseline, no server in the path).
+type SVRow struct {
+	Grammar    string
+	Clients    int
+	Workers    int
+	Passes     int
+	Jobs       int64
+	Nodes      int64
+	NsPerNode  float64
+	KNodesPerS float64
+	Speedup    float64 // vs the direct baseline
+	States     int
+	Trans      int
+}
+
+// RunServer runs the SV experiment on one grammar. Each configuration
+// replays the whole MinC corpus `passes` times per client on a freshly
+// warmed engine; workers <= 0 sizes the pool by GOMAXPROCS. It fails if
+// the per-client counters do not sum exactly to the server's global
+// counters — the accounting invariant the server promises.
+func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, *Table, *Table, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 2, 4, 8}
+	}
+	if passes <= 0 {
+		passes = 10
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m, err := repro.LoadMachine(gname)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var units []*repro.Unit
+	var names []string
+	for _, p := range workload.All() {
+		u, err := m.CompileMinC(p.Src)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		units = append(units, u)
+		names = append(names, p.Name)
+	}
+	nodesPerPass := 0
+	jobsPerPass := 0
+	for _, u := range units {
+		nodesPerPass += u.TotalNodes()
+		jobsPerPass += len(u.Funcs)
+	}
+
+	// Warmth curve: a cold server engine serves its first pass of traffic;
+	// sample the automaton after each unit.
+	warmth := &Table{
+		ID: "SV.warmth",
+		Title: fmt.Sprintf("automaton warmth over server traffic on %s (cold engine, one unit per row)",
+			gname),
+		Header: []string{"unit", "cum-nodes", "states", "transitions"},
+	}
+	coldSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	coldSrv := server.New(coldSel, server.Config{Workers: workers})
+	var points []SVWarmthPoint
+	cum := 0
+	for i, u := range units {
+		if _, err := coldSrv.CompileUnit("warmup", u); err != nil {
+			return nil, nil, nil, err
+		}
+		cum += u.TotalNodes()
+		snap := coldSel.Snapshot()
+		points = append(points, SVWarmthPoint{Unit: names[i], Nodes: cum, States: snap.States, Trans: snap.Transitions})
+		warmth.AddRow(names[i], itoa(cum), itoa(snap.States), itoa(snap.Transitions))
+	}
+	coldSrv.Shutdown()
+	warmth.Note("the curve flattens: late units ride tables earlier units (and other clients) built")
+
+	t := &Table{
+		ID: "SV",
+		Title: fmt.Sprintf("compilation-server throughput on %s (%d workers, %d corpus passes per client, GOMAXPROCS=%d)",
+			gname, workers, passes, runtime.GOMAXPROCS(0)),
+		Header: []string{"mode", "clients", "jobs", "ns/node", "knodes/s", "vs-direct", "states", "trans"},
+	}
+
+	// Direct baseline: one client, sequential CompileUnit, same warm
+	// engine shape, no server in the path.
+	baseSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, u := range units {
+		if _, err := baseSel.CompileUnit(u); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, u := range units {
+			if _, err := baseSel.CompileUnit(u); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	baseElapsed := time.Since(start)
+	baseNodes := int64(passes * nodesPerPass)
+	baseNs := float64(baseElapsed.Nanoseconds()) / float64(baseNodes)
+	baseSnap := baseSel.Snapshot()
+	rows := []SVRow{{
+		Grammar: gname, Clients: 0, Workers: 0, Passes: passes,
+		Jobs: int64(passes * jobsPerPass), Nodes: baseNodes,
+		NsPerNode: baseNs, KNodesPerS: 1e6 / baseNs, Speedup: 1.0,
+		States: baseSnap.States, Trans: baseSnap.Transitions,
+	}}
+	t.AddRow("direct", "1", itoa(passes*jobsPerPass), f1(baseNs), f1(1e6/baseNs), f2(1.0),
+		itoa(baseSnap.States), itoa(baseSnap.Transitions))
+
+	for _, clients := range clientCounts {
+		row, err := runServerConfig(m, gname, units, clients, workers, passes, nodesPerPass, jobsPerPass)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		row.Speedup = baseNs / row.NsPerNode
+		rows = append(rows, row)
+		t.AddRow("server", itoa(clients), itoa(int(row.Jobs)), f1(row.NsPerNode), f1(row.KNodesPerS),
+			f2(row.Speedup), itoa(row.States), itoa(row.Trans))
+	}
+	t.Note("vs-direct ≥ 1.00 means the server front end costs nothing over direct CompileUnit on one warm engine")
+	t.Note("per-client counters verified to sum exactly to the server-global counters in every configuration")
+	return rows, t, warmth, nil
+}
+
+// runServerConfig measures one (clients, workers) configuration on a
+// freshly warmed server and checks the counter-accounting invariant.
+func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, clients, workers, passes, nodesPerPass, jobsPerPass int) (SVRow, error) {
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		return SVRow{}, err
+	}
+	srv := server.New(sel, server.Config{Workers: workers})
+	defer srv.Shutdown()
+	// Warm up over one pass so the measured passes ride the fast path,
+	// like the direct baseline.
+	for _, u := range units {
+		if _, err := srv.CompileUnit("warmup", u); err != nil {
+			return SVRow{}, err
+		}
+	}
+
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("client-%d", c)
+			for p := 0; p < passes; p++ {
+				for _, u := range units {
+					if _, err := srv.CompileUnit(name, u); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return SVRow{}, err
+		}
+	}
+
+	// Accounting invariant: per-client counters sum to the global.
+	var merged metrics.Counters
+	for _, name := range srv.Clients() {
+		cc := srv.ClientCounters(name)
+		merged.Add(&cc)
+	}
+	if global := srv.GlobalCounters(); merged != global {
+		return SVRow{}, fmt.Errorf("SV %s clients=%d: per-client counters do not sum to global:\n  merged: %v\n  global: %v",
+			gname, clients, &merged, &global)
+	}
+
+	nodes := int64(clients * passes * nodesPerPass)
+	ns := float64(elapsed.Nanoseconds()) / float64(nodes)
+	snap := sel.Snapshot()
+	return SVRow{
+		Grammar: gname, Clients: clients, Workers: workers, Passes: passes,
+		Jobs: int64(clients * passes * jobsPerPass), Nodes: nodes,
+		NsPerNode: ns, KNodesPerS: 1e6 / ns,
+		States: snap.States, Trans: snap.Transitions,
+	}, nil
+}

@@ -28,13 +28,18 @@
 //
 //   - Dense leaf/unary/binary transition rows are published
 //     copy-on-write through atomic pointers; fast-path lookups are plain
-//     atomic loads. Rows grow only under the engine mutex, and a grown
-//     row is fully populated before its pointer is released.
+//     atomic loads. Rows grow only under the operator's slow-path mutex,
+//     and a grown row is fully populated before its pointer is released.
+//   - The construct slow path is sharded per operator: misses on
+//     different operators construct concurrently (the dense rows and hash
+//     maps they write are per-op; the shared state table synchronizes
+//     interning internally). Cold-start contention therefore scales with
+//     the operator mix instead of serializing on one engine-global lock.
 //   - The hash-consing state table (automaton.Table) serializes interning
 //     internally; see its documentation.
 //   - The hash transition path (dynamic operators, ForceHash) uses one
 //     sync.Map per operator: lock-free hit path, misses serialized on the
-//     engine mutex.
+//     operator's mutex.
 //   - Per-call scratch (dynamic-cost values and signature bytes) comes
 //     from a sync.Pool instead of engine fields, so concurrent labelers
 //     never share buffers. Per-forest state slices are allocated per
@@ -43,7 +48,10 @@
 // Label, LabelNode and Save may be called concurrently; SetMetrics and
 // Load must be serialized against labeling (Load additionally requires a
 // fresh engine). Metrics counters are themselves race-safe (atomic adds),
-// so one Counters sink can instrument a parallel session.
+// so one Counters sink can instrument a parallel session. For per-caller
+// accounting — the compilation server attributes work to clients —
+// LabelStatesMetered counts one call's events into a caller-supplied
+// sink instead of the engine's own.
 package core
 
 import (
@@ -82,7 +90,8 @@ type binTable []atomic.Pointer[stateRow]
 // Label calls — exactly the JIT scenario the paper targets: the automaton
 // warms up as the compiler runs, and per-node labeling cost converges to a
 // table lookup. Engines are safe for concurrent labeling (see the package
-// documentation for the contract). Engine implements reduce.Labeler.
+// documentation for the contract). Engine implements reduce.Labeler and
+// reduce.MeteredLabeler.
 type Engine struct {
 	g        *grammar.Grammar
 	dynFns   []grammar.DynFunc
@@ -91,9 +100,12 @@ type Engine struct {
 	m        *metrics.Counters
 	force    bool
 
-	// mu serializes the construct slow path: state construction, dense
-	// row growth and hash insertion. The warm fast path never takes it.
-	mu sync.Mutex
+	// mus serializes the construct slow path per operator: state
+	// construction, dense row growth and hash insertion. Misses on
+	// different operators proceed concurrently; the warm fast path never
+	// locks. Save and Load lock every shard (lockAll) for a consistent
+	// whole-automaton snapshot.
+	mus []sync.Mutex
 
 	// Fixed-cost fast paths: dense, grown on demand, published atomically.
 	leaf []atomic.Pointer[automaton.State] // [op]
@@ -138,6 +150,7 @@ func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
 		deltaCap: cfg.DeltaCap,
 		m:        cfg.Metrics,
 		force:    cfg.ForceHash,
+		mus:      make([]sync.Mutex, g.NumOps()),
 		leaf:     make([]atomic.Pointer[automaton.State], g.NumOps()),
 		un:       make([]atomic.Pointer[stateRow], g.NumOps()),
 		bin:      make([]atomic.Pointer[binTable], g.NumOps()),
@@ -164,13 +177,42 @@ func (e *Engine) NumStates() int { return e.table.Len() }
 // NumTransitions returns the number of transitions memoized so far.
 func (e *Engine) NumTransitions() int { return int(e.transitions.Load()) }
 
+// lockAll acquires every per-operator slow-path mutex (in index order, so
+// concurrent lockAll calls cannot deadlock). Save and Load use it to
+// freeze the whole automaton.
+func (e *Engine) lockAll() {
+	for op := range e.mus {
+		e.mus[op].Lock()
+	}
+}
+
+// unlockAll releases every per-operator slow-path mutex.
+func (e *Engine) unlockAll() {
+	for op := range e.mus {
+		e.mus[op].Unlock()
+	}
+}
+
 // LabelStates assigns a state to every node of f (topological order, so
 // DAGs are covered), constructing missing states and transitions on
 // demand.
 func (e *Engine) LabelStates(f *ir.Forest) *automaton.Labeling {
+	return e.LabelStatesMetered(f, nil)
+}
+
+// LabelStatesMetered is LabelStates with per-call counter attribution:
+// every event of this one call — fast-path probes, misses, dynamic
+// evaluations, state constructions — is counted into m instead of the
+// engine's configured sink. A nil m falls back to the engine sink. This is
+// the metrics hook the compilation server uses to account one shared warm
+// engine's work to individual clients.
+func (e *Engine) LabelStatesMetered(f *ir.Forest, m *metrics.Counters) *automaton.Labeling {
+	if m == nil {
+		m = e.m
+	}
 	states := make([]*automaton.State, len(f.Nodes))
 	for i, n := range f.Nodes {
-		states[i] = e.LabelNode(n, states)
+		states[i] = e.labelNode(n, states, m)
 	}
 	return &automaton.Labeling{States: states}
 }
@@ -179,43 +221,53 @@ func (e *Engine) LabelStates(f *ir.Forest) *automaton.Labeling {
 // per-node state assignment.
 func (e *Engine) Label(f *ir.Forest) reduce.Labeling { return e.LabelStates(f) }
 
+// LabelMetered implements reduce.MeteredLabeler.
+func (e *Engine) LabelMetered(f *ir.Forest, m *metrics.Counters) reduce.Labeling {
+	return e.LabelStatesMetered(f, m)
+}
+
 // LabelNode labels one node whose children are already labeled in states
 // (indexed by node index). Exposed so incremental clients (the JIT
 // example) can interleave labeling with other per-node work.
 func (e *Engine) LabelNode(n *ir.Node, states []*automaton.State) *automaton.State {
-	e.m.CountNode()
+	return e.labelNode(n, states, e.m)
+}
+
+// labelNode labels one node, counting events into m.
+func (e *Engine) labelNode(n *ir.Node, states []*automaton.State, m *metrics.Counters) *automaton.State {
+	m.CountNode()
 	op := n.Op
 
 	// The fast path evaluates the operator's dynamic costs (rarely any)
 	// and performs one lookup.
 	if e.g.HasDynRules(op) {
 		sc := e.scratch.Get().(*dynScratch)
-		sig := e.evalDyn(n, states, sc)
-		s := e.lookupHash(op, n, states, sig, sc.dyn)
+		sig := e.evalDyn(n, states, sc, m)
+		s := e.lookupHash(op, n, states, sig, sc.dyn, m)
 		e.scratch.Put(sc)
 		return s
 	}
 	if e.force {
-		return e.lookupHash(op, n, states, "", nil)
+		return e.lookupHash(op, n, states, "", nil, m)
 	}
 	switch len(n.Kids) {
 	case 0:
 		if s := e.leaf[op].Load(); s != nil {
-			e.m.CountProbe(false)
+			m.CountProbe(false)
 			return s
 		}
-		return e.missLeaf(op)
+		return e.missLeaf(op, m)
 	case 1:
 		kid := states[n.Kids[0].Index]
 		if rp := e.un[op].Load(); rp != nil {
 			if row := *rp; int(kid.ID) < len(row) {
 				if s := row[kid.ID].Load(); s != nil {
-					e.m.CountProbe(false)
+					m.CountProbe(false)
 					return s
 				}
 			}
 		}
-		return e.missUn(op, kid)
+		return e.missUn(op, kid, m)
 	default:
 		l := states[n.Kids[0].Index]
 		r := states[n.Kids[1].Index]
@@ -224,79 +276,79 @@ func (e *Engine) LabelNode(n *ir.Node, states []*automaton.State) *automaton.Sta
 				if rp := tbl[l.ID].Load(); rp != nil {
 					if row := *rp; int(r.ID) < len(row) {
 						if s := row[r.ID].Load(); s != nil {
-							e.m.CountProbe(false)
+							m.CountProbe(false)
 							return s
 						}
 					}
 				}
 			}
 		}
-		return e.missBin(op, l, r)
+		return e.missBin(op, l, r, m)
 	}
 }
 
-// missLeaf is the leaf slow path: construct under the engine mutex,
+// missLeaf is the leaf slow path: construct under the operator's mutex,
 // re-checking first because another goroutine may have won the race.
-func (e *Engine) missLeaf(op grammar.OpID) *automaton.State {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+func (e *Engine) missLeaf(op grammar.OpID, m *metrics.Counters) *automaton.State {
+	e.mus[op].Lock()
+	defer e.mus[op].Unlock()
 	if s := e.leaf[op].Load(); s != nil {
-		e.m.CountProbe(false)
+		m.CountProbe(false)
 		return s
 	}
-	e.m.CountProbe(true)
-	s := e.construct(op, nil, nil)
+	m.CountProbe(true)
+	s := e.construct(op, nil, nil, m)
 	e.leaf[op].Store(s)
-	e.addTransition()
+	e.addTransition(m)
 	return s
 }
 
-func (e *Engine) missUn(op grammar.OpID, kid *automaton.State) *automaton.State {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+func (e *Engine) missUn(op grammar.OpID, kid *automaton.State, m *metrics.Counters) *automaton.State {
+	e.mus[op].Lock()
+	defer e.mus[op].Unlock()
 	k := int(kid.ID)
 	if rp := e.un[op].Load(); rp != nil {
 		if row := *rp; k < len(row) {
 			if s := row[k].Load(); s != nil {
-				e.m.CountProbe(false)
+				m.CountProbe(false)
 				return s
 			}
 		}
 	}
-	e.m.CountProbe(true)
-	s := e.construct(op, []*automaton.State{kid}, nil)
+	m.CountProbe(true)
+	s := e.construct(op, []*automaton.State{kid}, nil, m)
 	row := growRow(e.un[op].Load(), k)
 	row[k].Store(s)
 	e.un[op].Store(&row)
-	e.addTransition()
+	e.addTransition(m)
 	return s
 }
 
-func (e *Engine) missBin(op grammar.OpID, l, r *automaton.State) *automaton.State {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+func (e *Engine) missBin(op grammar.OpID, l, r *automaton.State, m *metrics.Counters) *automaton.State {
+	e.mus[op].Lock()
+	defer e.mus[op].Unlock()
 	li, ri := int(l.ID), int(r.ID)
 	if tp := e.bin[op].Load(); tp != nil {
 		if tbl := *tp; li < len(tbl) {
 			if rp := tbl[li].Load(); rp != nil {
 				if row := *rp; ri < len(row) {
 					if s := row[ri].Load(); s != nil {
-						e.m.CountProbe(false)
+						m.CountProbe(false)
 						return s
 					}
 				}
 			}
 		}
 	}
-	e.m.CountProbe(true)
-	s := e.construct(op, []*automaton.State{l, r}, nil)
+	m.CountProbe(true)
+	s := e.construct(op, []*automaton.State{l, r}, nil, m)
 	e.setBinLocked(op, li, ri, s)
-	e.addTransition()
+	e.addTransition(m)
 	return s
 }
 
 // setBinLocked writes bin[op][l][r] = s, growing both levels as needed.
-// Caller holds e.mu.
+// Caller holds e.mus[op].
 func (e *Engine) setBinLocked(op grammar.OpID, l, r int, s *automaton.State) {
 	var tbl binTable
 	if tp := e.bin[op].Load(); tp != nil {
@@ -320,7 +372,8 @@ func (e *Engine) setBinLocked(op grammar.OpID, l, r int, s *automaton.State) {
 }
 
 // growRow returns a row long enough to index idx, copying the old one if
-// it must grow. Copies happen under e.mu, before the new row is published.
+// it must grow. Copies happen under the operator's mutex, before the new
+// row is published.
 func growRow(rp *stateRow, idx int) stateRow {
 	var row stateRow
 	if rp != nil {
@@ -336,15 +389,16 @@ func growRow(rp *stateRow, idx int) stateRow {
 	return t
 }
 
-// addTransition accounts one memoized transition. Caller holds e.mu.
-func (e *Engine) addTransition() {
+// addTransition accounts one memoized transition. Caller holds the
+// operator's slow-path mutex.
+func (e *Engine) addTransition(m *metrics.Counters) {
 	e.transitions.Add(1)
-	e.m.CountTransition()
+	m.CountTransition()
 }
 
 // lookupHash handles operators with dynamic rules (and the ForceHash
 // ablation): one map probe keyed by child states and signature.
-func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string, dynVals []grammar.Cost) *automaton.State {
+func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string, dynVals []grammar.Cost, m *metrics.Counters) *automaton.State {
 	var key transKey
 	key.sig = sig
 	var kbuf [2]*automaton.State
@@ -360,19 +414,19 @@ func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.Sta
 	}
 	h := &e.hash[op]
 	if s, ok := h.Load(key); ok {
-		e.m.CountProbe(false)
+		m.CountProbe(false)
 		return s.(*automaton.State)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mus[op].Lock()
+	defer e.mus[op].Unlock()
 	if s, ok := h.Load(key); ok {
-		e.m.CountProbe(false)
+		m.CountProbe(false)
 		return s.(*automaton.State)
 	}
-	e.m.CountProbe(true)
-	s := e.construct(op, kids, dynVals)
+	m.CountProbe(true)
+	s := e.construct(op, kids, dynVals, m)
 	h.Store(key, s)
-	e.addTransition()
+	e.addTransition(m)
 	return s
 }
 
@@ -383,7 +437,7 @@ func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.Sta
 // functions inspect the matched pattern's shape, so calling them on
 // non-matching nodes would be wrong — and skipping them also keeps the
 // fast path's dynamic-evaluation count low.
-func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch) string {
+func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch, m *metrics.Counters) string {
 	rules := e.g.DynRules(n.Op)
 	sc.dyn = sc.dyn[:0]
 	sc.sig = sc.sig[:0]
@@ -398,7 +452,7 @@ func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch) 
 			}
 		}
 		if applicable {
-			e.m.CountDyn(1)
+			m.CountDyn(1)
 			c = e.dynFns[ri](n)
 			if c >= grammar.Inf {
 				c = grammar.Inf
@@ -413,11 +467,13 @@ func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch) 
 }
 
 // construct is the slow path: run the DP step once and intern the result.
-// Callers hold e.mu, so concurrent misses of the same transition construct
-// once; the state table additionally dedups by content.
-func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []grammar.Cost) *automaton.State {
-	delta, rule := automaton.Compute(e.g, op, kids, dynVals, e.deltaCap, e.m)
-	s, _ := e.table.Intern(delta, rule, e.m)
+// Callers hold the operator's slow-path mutex, so concurrent misses of the
+// same transition construct once; the state table additionally dedups by
+// content (which also keeps states interned from different operators'
+// shards consistent).
+func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []grammar.Cost, m *metrics.Counters) *automaton.State {
+	delta, rule := automaton.Compute(e.g, op, kids, dynVals, e.deltaCap, m)
+	s, _ := e.table.Intern(delta, rule, m)
 	return s
 }
 

@@ -32,13 +32,13 @@ func Fingerprint(g *grammar.Grammar) uint64 {
 }
 
 // Save writes the engine's automaton (states + transitions) to w. It
-// holds the engine's construct lock for the duration, so the state list
-// and the transition tables are written as one consistent snapshot even
-// while other goroutines keep labeling (their fast paths are unaffected;
-// their misses wait).
+// holds every per-operator construct lock for the duration, so the state
+// list and the transition tables are written as one consistent snapshot
+// even while other goroutines keep labeling (their fast paths are
+// unaffected; their misses wait).
 func (e *Engine) Save(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -129,9 +129,9 @@ func (e *Engine) Load(r io.Reader) error {
 		return fmt.Errorf("core: Load requires a fresh engine")
 	}
 	// Load must be serialized against labeling (fresh engine, single
-	// goroutine); the lock keeps the *Locked helpers' invariant honest.
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// goroutine); the locks keep the *Locked helpers' invariant honest.
+	e.lockAll()
+	defer e.unlockAll()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {

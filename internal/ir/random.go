@@ -24,6 +24,9 @@ type RandomConfig struct {
 	// root (e.g. expression operators, so statement operators do not
 	// appear in expression position and every root stays derivable).
 	InnerOps []grammar.OpID
+	// LeafOps optionally restricts the leaf operators (e.g. value leaves
+	// only, so label/nop leaves do not end up in expression position).
+	LeafOps []grammar.OpID
 	// Share, when true, value-numbers subtrees so the result is a DAG.
 	Share bool
 	// MaxLeafVal bounds generated leaf payload values (inclusive). Leaf
@@ -68,6 +71,14 @@ func RandomForest(g *grammar.Grammar, cfg RandomConfig) *Forest {
 		for _, op := range cfg.InnerOps {
 			if g.Arity(op) > 0 {
 				inner = append(inner, op)
+			}
+		}
+	}
+	if len(cfg.LeafOps) > 0 {
+		leaves = nil
+		for _, op := range cfg.LeafOps {
+			if g.Arity(op) == 0 {
+				leaves = append(leaves, op)
 			}
 		}
 	}

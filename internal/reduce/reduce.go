@@ -55,6 +55,17 @@ type Labeler interface {
 	MemoryBytes() int
 }
 
+// MeteredLabeler is the optional engine capability behind per-caller work
+// accounting: LabelMetered counts the events of one Label call into a
+// caller-supplied sink instead of the engine's configured one (nil falls
+// back to the engine sink). All built-in engines implement it; the
+// compilation server relies on it to attribute one shared warm engine's
+// work to individual clients, whose counters then merge back into the
+// session totals via metrics.Counters.Add.
+type MeteredLabeler interface {
+	LabelMetered(f *ir.Forest, m *metrics.Counters) Labeling
+}
+
 // Visitor receives each applied rule in bottom-up (post-order) position —
 // the point where code generation actions run. nt is the nonterminal the
 // rule was applied for at n.
@@ -82,10 +93,21 @@ func New(g *grammar.Grammar, env grammar.DynEnv, m *metrics.Counters) (*Reducer,
 // rule's cost exactly once, with dynamic costs evaluated at the node).
 // visit may be nil. Cover fails if some root has no derivation.
 func (rd *Reducer) Cover(f *ir.Forest, lab Labeling, visit Visitor) (grammar.Cost, error) {
+	return rd.CoverMetered(f, lab, visit, nil)
+}
+
+// CoverMetered is Cover with per-call counter attribution: reduction
+// visits are counted into m instead of the reducer's configured sink (nil
+// falls back to it) — the reducer half of the per-client accounting the
+// compilation server does via reduce.MeteredLabeler.
+func (rd *Reducer) CoverMetered(f *ir.Forest, lab Labeling, visit Visitor, m *metrics.Counters) (grammar.Cost, error) {
+	if m == nil {
+		m = rd.m
+	}
 	visited := make(map[int64]bool)
 	var total grammar.Cost
 	for _, root := range f.Roots {
-		c, err := rd.reduce(root, rd.g.Start, lab, visit, visited)
+		c, err := rd.reduce(root, rd.g.Start, lab, visit, visited, m)
 		if err != nil {
 			return 0, err
 		}
@@ -96,10 +118,10 @@ func (rd *Reducer) Cover(f *ir.Forest, lab Labeling, visit Visitor) (grammar.Cos
 
 // CoverTree reduces a single node from an arbitrary goal nonterminal.
 func (rd *Reducer) CoverTree(root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor) (grammar.Cost, error) {
-	return rd.reduce(root, goal, lab, visit, make(map[int64]bool))
+	return rd.reduce(root, goal, lab, visit, make(map[int64]bool), rd.m)
 }
 
-func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor, visited map[int64]bool) (grammar.Cost, error) {
+func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor, visited map[int64]bool, m *metrics.Counters) (grammar.Cost, error) {
 	key := int64(n.Index)<<16 | int64(nt)
 	if visited[key] {
 		// DAG sharing: this (node, nonterminal) was already reduced via
@@ -107,7 +129,7 @@ func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor
 		return 0, nil
 	}
 	visited[key] = true
-	rd.m.CountReduce()
+	m.CountReduce()
 
 	ri := lab.RuleAt(n, nt)
 	if ri < 0 {
@@ -117,7 +139,7 @@ func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor
 	r := &rd.g.Rules[ri]
 	var total grammar.Cost
 	if r.IsChain {
-		c, err := rd.reduce(n, r.ChainRHS, lab, visit, visited)
+		c, err := rd.reduce(n, r.ChainRHS, lab, visit, visited, m)
 		if err != nil {
 			return 0, err
 		}
@@ -128,7 +150,7 @@ func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor
 				rd.g.RuleName(int(ri)), rd.g.OpName(r.Op), rd.g.OpName(n.Op))
 		}
 		for ki, kid := range n.Kids {
-			c, err := rd.reduce(kid, r.Kids[ki], lab, visit, visited)
+			c, err := rd.reduce(kid, r.Kids[ki], lab, visit, visited, m)
 			if err != nil {
 				return 0, err
 			}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// The HTTP/JSON protocol of cmd/iselserver. One handler fronts one
+// Server (and therefore one machine description and one warm engine):
+//
+//	POST /compile   CompileRequest -> CompileResponse
+//	GET  /stats     -> StatsResponse
+//	GET  /healthz   -> 200 "ok"
+//
+// A compile request carries either textual IR trees (the ir.ParseTrees
+// syntax, e.g. "ADD(REG[1], CNST[2])") or a MinC source file; MinC units
+// lower to one forest per function. Each forest becomes one server job,
+// so a single request from one client is the unit-sized batch the paper's
+// amortization argument is about.
+
+// CompileRequest is the body of POST /compile.
+type CompileRequest struct {
+	// Client identifies the submitting client for per-client work
+	// accounting; the remote address is used when empty.
+	Client string `json:"client,omitempty"`
+	// Trees is textual IR (one tree per line or semicolon-separated).
+	Trees string `json:"trees,omitempty"`
+	// MinC is a MinC source unit. Exactly one of Trees/MinC must be set.
+	MinC string `json:"minc,omitempty"`
+}
+
+// CompileOutput is one compiled forest (per tree batch or per function).
+type CompileOutput struct {
+	Name         string `json:"name,omitempty"` // function name for MinC units
+	Asm          string `json:"asm"`
+	Instructions int    `json:"instructions"`
+	Cost         int64  `json:"cost"`
+}
+
+// CompileResponse is the body of a successful POST /compile.
+type CompileResponse struct {
+	Outputs []CompileOutput `json:"outputs"`
+	// States/Transitions snapshot the shared automaton after this request:
+	// successive responses show the warmth curve flattening.
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Machine     string                      `json:"machine"`
+	Kind        string                      `json:"kind"`
+	Workers     int                         `json:"workers"`
+	QueueDepth  int                         `json:"queueDepth"`
+	Jobs        int64                       `json:"jobs"`
+	Nodes       int64                       `json:"nodes"`
+	Queued      int                         `json:"queued"`
+	States      int                         `json:"states"`
+	Transitions int                         `json:"transitions"`
+	MemoryBytes int                         `json:"memoryBytes"`
+	Global      metrics.Counters            `json:"global"`
+	Clients     map[string]metrics.Counters `json:"clients"`
+}
+
+// Handler is the HTTP front end over one Server.
+type Handler struct {
+	srv *Server
+	m   *repro.Machine
+	mux *http.ServeMux
+}
+
+// NewHandler builds the HTTP front end. m must be the machine the
+// server's selector was built for (it parses request trees and lowers
+// MinC against the same operator vocabulary).
+func NewHandler(srv *Server, m *repro.Machine) *Handler {
+	h := &Handler{srv: srv, m: m, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /compile", h.compile)
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	client := req.Client
+	if client == "" {
+		// Fall back to the peer host, so unnamed clients still aggregate.
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+
+	var names []string
+	var forests []*repro.Forest
+	switch {
+	case req.Trees != "" && req.MinC != "":
+		httpError(w, http.StatusBadRequest, "set exactly one of trees/minc, not both")
+		return
+	case req.Trees != "":
+		f, err := h.m.ParseTree(req.Trees)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing trees: %v", err)
+			return
+		}
+		names = []string{""}
+		forests = []*repro.Forest{f}
+	case req.MinC != "":
+		u, err := h.m.CompileMinC(req.MinC)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "compiling minc: %v", err)
+			return
+		}
+		for _, fn := range u.Funcs {
+			names = append(names, fn.Name)
+			forests = append(forests, fn.Forest)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "set one of trees/minc")
+		return
+	}
+
+	futs, err := h.srv.SubmitBatch(client, forests)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := CompileResponse{Outputs: make([]CompileOutput, len(futs))}
+	for i, fut := range futs {
+		out, err := fut.Wait()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%s: %v", names[i], err)
+			return
+		}
+		resp.Outputs[i] = CompileOutput{
+			Name: names[i], Asm: out.Asm,
+			Instructions: out.Instructions, Cost: int64(out.Cost),
+		}
+	}
+	snap := h.srv.sel.Snapshot()
+	resp.States, resp.Transitions = snap.States, snap.Transitions
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.srv.Stats()
+	resp := StatsResponse{
+		Machine:     h.m.Name,
+		Kind:        string(h.srv.sel.Kind()),
+		Workers:     st.Workers,
+		QueueDepth:  st.QueueDepth,
+		Jobs:        st.Jobs,
+		Nodes:       st.Nodes,
+		Queued:      st.Queued,
+		States:      st.Warmth.States,
+		Transitions: st.Warmth.Transitions,
+		MemoryBytes: st.Warmth.MemoryBytes,
+		Global:      st.Global,
+		Clients:     map[string]metrics.Counters{},
+	}
+	for _, c := range h.srv.Clients() {
+		resp.Clients[c] = h.srv.ClientCounters(c)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

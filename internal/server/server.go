@@ -1,0 +1,327 @@
+// Package server implements the compilation server the paper's on-demand
+// automata are built for: one long-lived warm engine multiplexed across
+// many concurrent clients.
+//
+// The economics of on-demand tree-parsing automata (Ertl, Casey, Gregg;
+// PLDI 2006) are amortization: every state and transition constructed
+// while labeling one compilation unit makes every later unit cheaper, so
+// the engine pays off most when many units flow through a single
+// long-lived instance. Server is that instance's front end. Clients
+// submit forests (or whole lowered units) and get futures back; a bounded
+// work queue feeds a worker pool that shares one Selector — and therefore
+// one automaton, whose warm fast path is lock-free. Every client's misses
+// warm the tables for all clients.
+//
+// Work accounting is per client: each job's labeling and reduction events
+// are counted into a per-job metrics.Counters via Selector.CompileMetered,
+// then merged into the submitting client's counters and the server-global
+// counters with Counters.Add. The per-client totals therefore sum exactly
+// to the global totals, which the race tests assert.
+//
+// Shutdown is graceful: new submissions are refused, queued and in-flight
+// jobs drain, and every future still resolves.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// ErrShutdown is returned by Submit variants after Shutdown has begun.
+var ErrShutdown = errors.New("server: shut down")
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the worker-pool size (GOMAXPROCS if <= 0). Each worker
+	// pulls jobs off the shared queue and compiles on the shared selector.
+	Workers int
+	// QueueDepth bounds the work queue (4*Workers if <= 0). Submit blocks
+	// when the queue is full — backpressure, not unbounded buffering.
+	QueueDepth int
+}
+
+// Future is the pending result of one submitted forest. It resolves
+// exactly once, when a worker finishes the job (or when the job is
+// rejected at submission, which returns an error instead of a future).
+type Future struct {
+	out  *repro.Output
+	err  error
+	done chan struct{}
+}
+
+// Wait blocks until the job completes and returns its output.
+func (f *Future) Wait() (*repro.Output, error) {
+	<-f.done
+	return f.out, f.err
+}
+
+// Done returns a channel closed when the future resolves, for select
+// loops.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// resolve publishes the result. Resolving twice is a server bug; the
+// panic keeps the exactly-once contract honest under the race tests.
+func (f *Future) resolve(out *repro.Output, err error) {
+	select {
+	case <-f.done:
+		panic("server: future resolved twice")
+	default:
+	}
+	f.out, f.err = out, err
+	close(f.done)
+}
+
+type job struct {
+	client string
+	forest *repro.Forest
+	fut    *Future
+}
+
+// Server multiplexes compilation units from many concurrent clients onto
+// one shared warm engine. All methods are safe for concurrent use.
+type Server struct {
+	sel *repro.Selector
+	cfg Config
+
+	jobs chan job
+	wg   sync.WaitGroup
+
+	// mu guards the closed flag against racing submits; submitters hold
+	// the read side so they can block on a full queue concurrently.
+	mu     sync.RWMutex
+	closed bool
+
+	// cmu guards the per-client counter map (a separate lock from mu so
+	// workers recording results never contend with a pending Shutdown).
+	cmu     sync.Mutex
+	clients map[string]*metrics.Counters
+
+	global    metrics.Counters
+	jobsDone  atomic.Int64
+	nodesDone atomic.Int64
+}
+
+// New starts a server over sel. The selector — and for KindOnDemand, its
+// automaton — is shared by every worker and persists for the server's
+// lifetime: the warm-engine scenario. The caller keeps ownership of sel
+// and may inspect its warmth (Snapshot) at any time, but must not call
+// LoadAutomaton while the server runs.
+func New(sel *repro.Selector, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	s := &Server{
+		sel:     sel,
+		cfg:     cfg,
+		jobs:    make(chan job, cfg.QueueDepth),
+		clients: map[string]*metrics.Counters{},
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Selector returns the shared selector (for warmth inspection).
+func (s *Server) Selector() *repro.Selector { return s.sel }
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var jm metrics.Counters // reused per job; deltas merge after each
+	for j := range s.jobs {
+		jm.Reset()
+		s.runJob(j, &jm)
+	}
+}
+
+// runJob compiles one job and resolves its future, containing panics:
+// dynamic-cost functions are arbitrary grammar-supplied Go code, and one
+// poisoned tree must fail its own future with an error rather than kill
+// the worker, strand later futures and wedge Shutdown.
+func (s *Server) runJob(j job, jm *metrics.Counters) {
+	var out *repro.Output
+	var err error
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("server: compile panicked: %v", r)
+		}
+		s.clientCounters(j.client).Add(jm)
+		s.global.Add(jm)
+		s.jobsDone.Add(1)
+		s.nodesDone.Add(int64(j.forest.NumNodes()))
+		j.fut.resolve(out, err)
+	}()
+	out, err = s.sel.CompileMetered(j.forest, jm)
+}
+
+// Submit enqueues one forest for client and returns its future. It blocks
+// while the queue is full (backpressure) and fails with ErrShutdown once
+// Shutdown has begun.
+func (s *Server) Submit(client string, f *repro.Forest) (*Future, error) {
+	if f == nil {
+		return nil, fmt.Errorf("server: nil forest")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrShutdown
+	}
+	fut := &Future{done: make(chan struct{})}
+	s.jobs <- job{client: client, forest: f, fut: fut}
+	return fut, nil
+}
+
+// SubmitBatch enqueues several forests for client, returning one future
+// per forest (in order). A batch is not atomic: if the server shuts down
+// mid-batch, the futures enqueued so far remain valid and the error
+// reports how many were accepted.
+func (s *Server) SubmitBatch(client string, fs []*repro.Forest) ([]*Future, error) {
+	futs := make([]*Future, 0, len(fs))
+	for _, f := range fs {
+		fut, err := s.Submit(client, f)
+		if err != nil {
+			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
+		}
+		futs = append(futs, fut)
+	}
+	return futs, nil
+}
+
+// SubmitUnit enqueues every function of a lowered unit, one future per
+// function in unit order — the server-side mirror of
+// Selector.CompileUnit.
+func (s *Server) SubmitUnit(client string, u *repro.Unit) ([]*Future, error) {
+	fs := make([]*repro.Forest, len(u.Funcs))
+	for i, fn := range u.Funcs {
+		fs[i] = fn.Forest
+	}
+	return s.SubmitBatch(client, fs)
+}
+
+// CompileUnit submits a unit and waits for all of it: the synchronous
+// client call. Outputs are indexed by function; the first error (by
+// function order) is returned after all futures resolve.
+func (s *Server) CompileUnit(client string, u *repro.Unit) ([]*repro.Output, error) {
+	futs, err := s.SubmitUnit(client, u)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*repro.Output, len(futs))
+	var firstErr error
+	for i, fut := range futs {
+		out, err := fut.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
+		}
+		outs[i] = out
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// Shutdown refuses new submissions, drains every queued and in-flight
+// job (all futures resolve), and stops the workers. It is idempotent and
+// safe to call concurrently.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// clientCounters returns the counter sink for client, creating it on
+// first use.
+func (s *Server) clientCounters(client string) *metrics.Counters {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	c, ok := s.clients[client]
+	if !ok {
+		c = &metrics.Counters{}
+		s.clients[client] = c
+	}
+	return c
+}
+
+// Clients lists the clients that have completed at least one job, sorted.
+func (s *Server) Clients() []string {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	names := make([]string, 0, len(s.clients))
+	for n := range s.clients {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClientCounters returns a snapshot of one client's merged work counters
+// (zero counters for unknown clients).
+func (s *Server) ClientCounters(client string) metrics.Counters {
+	s.cmu.Lock()
+	c := s.clients[client]
+	s.cmu.Unlock()
+	return c.Clone() // Clone is nil-safe
+}
+
+// GlobalCounters returns a snapshot of the server-wide work counters: the
+// merge of every completed job's delta, and therefore exactly the sum of
+// the per-client counters.
+func (s *Server) GlobalCounters() metrics.Counters { return s.global.Clone() }
+
+// Stats is a point-in-time view of the server and its engine's warmth.
+type Stats struct {
+	// Workers and QueueDepth echo the configuration.
+	Workers    int
+	QueueDepth int
+	// Jobs and Nodes count completed jobs and their IR nodes.
+	Jobs  int64
+	Nodes int64
+	// Queued is the current queue occupancy (instantaneous).
+	Queued int
+	// Clients is the number of distinct clients served.
+	Clients int
+	// Warmth is the shared automaton's size — the amortization story:
+	// it climbs while cold and flattens once the traffic mix is covered.
+	Warmth repro.Snapshot
+	// Global is a snapshot of the server-wide work counters.
+	Global metrics.Counters
+}
+
+// Stats samples the server. Safe to call concurrently with compilation.
+func (s *Server) Stats() Stats {
+	s.cmu.Lock()
+	nClients := len(s.clients)
+	s.cmu.Unlock()
+	return Stats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Jobs:       s.jobsDone.Load(),
+		Nodes:      s.nodesDone.Load(),
+		Queued:     len(s.jobs),
+		Clients:    nClients,
+		Warmth:     s.sel.Snapshot(),
+		Global:     s.global.Clone(),
+	}
+}

@@ -1,0 +1,391 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// loadUnits lowers the whole MinC workload corpus against machine's
+// grammar: the mixed-unit traffic the stress tests replay.
+func loadUnits(t testing.TB, m *repro.Machine) []*repro.Unit {
+	t.Helper()
+	var units []*repro.Unit
+	for _, p := range workload.All() {
+		u, err := m.CompileMinC(p.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		units = append(units, u)
+	}
+	return units
+}
+
+// oracle compiles every unit on a fresh single-threaded selector and
+// returns the expected outputs plus the deterministic work counters of
+// the whole session.
+func oracle(t testing.TB, m *repro.Machine, kind repro.Kind, units []*repro.Unit, passes int) ([][]*repro.Output, metrics.Counters) {
+	t.Helper()
+	var om metrics.Counters
+	sel, err := m.NewSelector(kind, repro.Options{Metrics: &om})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]*repro.Output
+	for p := 0; p < passes; p++ {
+		for _, u := range units {
+			outs, err := sel.CompileUnit(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p == 0 {
+				want = append(want, outs)
+			}
+		}
+	}
+	return want, om.Clone()
+}
+
+// TestServerStress is the race/stress satellite: N clients submit mixed
+// units to one Server concurrently. Every future must resolve exactly
+// once, every output must match the single-threaded oracle, and the
+// merged per-client counters must equal the server-global counters —
+// which in turn must equal the oracle's deterministic totals.
+func TestServerStress(t *testing.T) {
+	const (
+		clients = 8
+		passes  = 3
+	)
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := loadUnits(t, m)
+	// The oracle replays the traffic of every client: clients*passes
+	// sequential passes over the corpus on one warm engine.
+	want, wantCounters := oracle(t, m, repro.KindOnDemand, units, clients*passes)
+
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately tight queue so submitters exercise backpressure.
+	srv := server.New(sel, server.Config{Workers: 4, QueueDepth: 2})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("client-%d", c)
+			for p := 0; p < passes; p++ {
+				for ui, u := range units {
+					futs, err := srv.SubmitUnit(name, u)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for fi, fut := range futs {
+						out, err := fut.Wait()
+						if err != nil {
+							errc <- err
+							return
+						}
+						w := want[ui][fi]
+						if out.Asm != w.Asm || out.Cost != w.Cost || out.Instructions != w.Instructions {
+							errc <- fmt.Errorf("client %d unit %d func %d: output differs from sequential", c, ui, fi)
+							return
+						}
+						// A second Wait must return the same resolved value
+						// (futures resolve exactly once and stay resolved).
+						again, err2 := fut.Wait()
+						if again != out || err2 != nil {
+							errc <- fmt.Errorf("future re-wait returned a different result")
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+
+	// Per-client counters must merge exactly to the global counters.
+	var merged metrics.Counters
+	names := srv.Clients()
+	if len(names) != clients {
+		t.Fatalf("served %d clients, want %d: %v", len(names), clients, names)
+	}
+	for _, name := range names {
+		cc := srv.ClientCounters(name)
+		if cc.NodesLabeled == 0 {
+			t.Errorf("client %s labeled no nodes", name)
+		}
+		merged.Add(&cc)
+	}
+	global := srv.GlobalCounters()
+	if merged != global {
+		t.Errorf("per-client counters do not sum to global:\n  merged: %v\n  global: %v", &merged, &global)
+	}
+	// The parallel session's totals are deterministic: they must equal
+	// the single-threaded oracle's (clients*passes oracle passes ran).
+	if global != wantCounters {
+		t.Errorf("global counters differ from sequential oracle:\n  global: %v\n  oracle: %v", &global, &wantCounters)
+	}
+
+	st := srv.Stats()
+	wantJobs := int64(0)
+	for _, u := range units {
+		wantJobs += int64(len(u.Funcs))
+	}
+	wantJobs *= clients * passes
+	if st.Jobs != wantJobs {
+		t.Errorf("jobs = %d, want %d", st.Jobs, wantJobs)
+	}
+	if st.Warmth.States == 0 || st.Warmth.Transitions == 0 {
+		t.Errorf("warmth snapshot empty: %+v", st.Warmth)
+	}
+}
+
+// TestServerShutdown: Shutdown drains in-flight work, rejects later
+// submissions, and is idempotent.
+func TestServerShutdown(t *testing.T) {
+	m, err := repro.LoadMachine("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := loadUnits(t, m)
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sel, server.Config{Workers: 2})
+	futs, err := srv.SubmitUnit("c", units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	srv.Shutdown() // idempotent
+	for _, fut := range futs {
+		if _, err := fut.Wait(); err != nil {
+			t.Fatalf("in-flight job failed across shutdown: %v", err)
+		}
+	}
+	if _, err := srv.Submit("c", units[0].Funcs[0].Forest); err != server.ErrShutdown {
+		t.Fatalf("submit after shutdown = %v, want ErrShutdown", err)
+	}
+	if _, err := srv.SubmitBatch("c", []*repro.Forest{units[0].Funcs[0].Forest}); err == nil {
+		t.Fatal("batch after shutdown must fail")
+	}
+}
+
+// TestServerContainsPanics: a dynamic-cost function that panics on one
+// tree must fail that tree's future with an error — not kill the worker,
+// strand later futures, or wedge Shutdown.
+func TestServerContainsPanics(t *testing.T) {
+	const src = `%name boom
+%start stmt
+%term Asgn(2) Reg(0) Cnst(0)
+reg: Reg (0)
+reg: Cnst (dyn boom)
+stmt: Asgn(reg, reg) (1) "mov %1, (%0)"
+`
+	env := repro.DynEnv{"boom": func(n repro.DynNode) repro.Cost {
+		if n.Value() == 13 {
+			panic("unlucky immediate")
+		}
+		return 1
+	}}
+	m, err := repro.NewMachine("boom", src, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sel, server.Config{Workers: 2})
+	bad, err := m.ParseTree("Asgn(Reg[1], Cnst[13])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := m.ParseTree("Asgn(Reg[1], Cnst[7])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	futBad, err := srv.Submit("c", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futBad.Wait(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("poisoned tree future = %v, want contained panic error", err)
+	}
+	// The worker pool survived: later jobs still compile and Shutdown
+	// still drains.
+	futGood, err := srv.Submit("c", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := futGood.Wait(); err != nil || out.Asm == "" {
+		t.Fatalf("job after contained panic: out=%v err=%v", out, err)
+	}
+	srv.Shutdown()
+	if got := srv.Stats().Jobs; got != 2 {
+		t.Errorf("jobs = %d, want 2 (the panicked job still counts as served)", got)
+	}
+}
+
+// TestServerEngineKinds: the server front end works over every registered
+// engine kind that constructs for the machine (dp has no tables, static
+// needs the stripped grammar — the server does not care).
+func TestServerEngineKinds(t *testing.T) {
+	m, err := repro.LoadMachine("mips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range repro.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			mk := m
+			sel, err := m.NewSelector(kind, repro.Options{})
+			if err != nil {
+				// Offline automata cannot host dynamic rules; serve the
+				// stripped grammar instead.
+				mk = fixed
+				sel, err = fixed.NewSelector(kind, repro.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			units := loadUnits(t, mk)
+			ref, err := sel.CompileUnit(units[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := server.New(sel, server.Config{Workers: 2})
+			outs, err := srv.CompileUnit("k", units[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if outs[i].Asm != ref[i].Asm || outs[i].Cost != ref[i].Cost {
+					t.Fatalf("func %d: server output differs from direct CompileUnit", i)
+				}
+			}
+			srv.Shutdown()
+		})
+	}
+}
+
+// TestHTTPHandler drives the HTTP/JSON protocol end to end: tree and MinC
+// compiles, per-client stats, and error paths.
+func TestHTTPHandler(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sel, server.Config{Workers: 2})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(server.NewHandler(srv, m))
+	defer ts.Close()
+
+	post := func(body any) (*http.Response, []byte) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// Trees.
+	resp, body := post(server.CompileRequest{Client: "t", Trees: "ASGN(ADDRL[-8], ADD(REG[1], CNST[2]))"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trees compile: %d %s", resp.StatusCode, body)
+	}
+	var cr server.CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Outputs) != 1 || cr.Outputs[0].Asm == "" || cr.States == 0 {
+		t.Fatalf("unexpected compile response: %s", body)
+	}
+
+	// MinC: one output per function.
+	resp, body = post(server.CompileRequest{Client: "t", MinC: "int f(int x) { return x + 1; }\nint main() { return f(41); }"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("minc compile: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Outputs) != 2 || cr.Outputs[0].Name != "f" || cr.Outputs[1].Name != "main" {
+		t.Fatalf("unexpected minc response: %s", body)
+	}
+
+	// Errors: empty request, both inputs, bad tree.
+	for _, req := range []server.CompileRequest{
+		{},
+		{Trees: "REG", MinC: "int main() { return 0; }"},
+		{Trees: "NOSUCHOP(1)"},
+	} {
+		resp, _ := post(req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, resp.StatusCode)
+		}
+	}
+
+	// Stats reflect the named client.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Machine != "x86" || st.Kind != string(repro.KindOnDemand) {
+		t.Errorf("stats identity: %+v", st)
+	}
+	if st.Jobs != 3 || st.Clients["t"].NodesLabeled == 0 {
+		t.Errorf("stats accounting: jobs=%d clients=%v", st.Jobs, st.Clients)
+	}
+
+	// Health.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
