@@ -1,0 +1,142 @@
+// Allocation-regression guards for the warm path. The paper's pitch is
+// that a warm on-demand automaton labels a node for "the cost of one table
+// lookup"; these tests pin down the Go-side corollary — a warm label +
+// reduce performs zero heap allocations, because labelings, reducer
+// scratch and dynamic-cost buffers are all pooled and the transition
+// tables are flat id arrays.
+//
+// The guards run in the -race CI job too (exercising the pooled paths
+// under the detector), but the strict counts are only asserted in normal
+// builds: under -race, sync.Pool randomly drops Put items by design.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/workload"
+)
+
+// warmSelector builds a selector for gname (stripped of dynamic rules if
+// fixed) and warms it over the whole workload corpus.
+func warmSelector(t *testing.T, gname string, fixed bool) (*repro.Selector, []*ir.Forest) {
+	t.Helper()
+	m, err := repro.LoadMachine(gname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed {
+		if m, err = m.FixedMachine(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(m.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	for i := 0; i < 3; i++ { // warm: all states and transitions constructed
+		for _, f := range fs {
+			if _, err := sel.SelectCost(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sel, fs
+}
+
+func assertZeroAllocs(t *testing.T, what string, allocs float64) {
+	t.Helper()
+	t.Logf("%s: %.2f allocs/op", what, allocs)
+	if raceEnabled {
+		t.Log("race detector enabled: sync.Pool drops items by design; count not asserted")
+		return
+	}
+	if allocs != 0 {
+		t.Errorf("%s allocated %.2f times per op, want 0", what, allocs)
+	}
+}
+
+// TestWarmSelectCostAllocFree: a warm label+reduce over a fixed-cost
+// grammar must not allocate at all — the dense fast path plus the pooled
+// reducer.
+func TestWarmSelectCostAllocFree(t *testing.T) {
+	sel, fs := warmSelector(t, "x86", true)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			sel.SelectCost(f)
+		}
+	})
+	assertZeroAllocs(t, "warm SelectCost (fixed x86, whole corpus)", allocs)
+}
+
+// TestWarmDynSelectCostAllocFree: the same guarantee with dynamic rules
+// active — the hit path probes the per-op hash with a no-copy view of the
+// pooled signature bytes, so even dynamic-op nodes stay allocation-free
+// once their transitions exist.
+func TestWarmDynSelectCostAllocFree(t *testing.T) {
+	sel, fs := warmSelector(t, "x86", false)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			sel.SelectCost(f)
+		}
+	})
+	assertZeroAllocs(t, "warm SelectCost (dynamic x86, whole corpus)", allocs)
+}
+
+// TestWarmLabelReleaseAllocFree pins the engine-level contract: a warm
+// LabelStates whose labeling is handed back with ReleaseLabeling reuses
+// every buffer.
+func TestWarmLabelReleaseAllocFree(t *testing.T) {
+	d := md.MustLoad("x86")
+	e, err := core.New(d.Grammar, d.Env, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(d.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	for _, f := range fs {
+		e.ReleaseLabeling(e.LabelStates(f))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			e.ReleaseLabeling(e.LabelStates(f))
+		}
+	})
+	assertZeroAllocs(t, "warm LabelStates+Release (dynamic x86, whole corpus)", allocs)
+}
+
+// TestWarmCompileAllocsAreResultArenaOnly: a full warm Compile still
+// allocates — the emitted assembly and its operand strings are the result
+// the caller keeps — but the count must stay proportional to emitted
+// instructions (a small constant per node), never to table or automaton
+// work. ~4.6 allocs/node today; the bound leaves headroom without letting
+// a per-node regression (a labeling alloc, a map rebuild) slip through.
+func TestWarmCompileAllocsAreResultArenaOnly(t *testing.T) {
+	sel, fs := warmSelector(t, "x86", true)
+	nodes := 0
+	for _, f := range fs {
+		nodes += f.NumNodes()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, f := range fs {
+			sel.Compile(f)
+		}
+	})
+	perNode := allocs / float64(nodes)
+	t.Logf("warm Compile: %.1f allocs per corpus pass, %.2f/node over %d nodes", allocs, perNode, nodes)
+	if raceEnabled {
+		return
+	}
+	if perNode > 8 {
+		t.Errorf("warm Compile allocates %.2f/node, want <= 8 (emit result arena only)", perNode)
+	}
+}

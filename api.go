@@ -315,7 +315,10 @@ type Output struct {
 }
 
 // Label runs only the labeling pass and returns the labeling for use with
-// lower-level tooling. Most callers want Compile.
+// lower-level tooling. Most callers want Compile. The returned labeling is
+// caller-owned: engines that implement reduce.LabelingRecycler will reuse
+// its buffers if it is handed back via ReleaseLabeling, but keeping it is
+// always safe.
 func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
 	return s.eng.Label(f), nil
 }
@@ -334,6 +337,7 @@ func (s *Selector) Compile(f *Forest) (*Output, error) {
 // to individual clients.
 func (s *Selector) CompileMetered(f *Forest, m *Counters) (*Output, error) {
 	lab := s.labelMetered(f, m)
+	defer s.releaseLabeling(lab)
 	em := s.emitters.Get().(*emit.Emitter)
 	defer s.emitters.Put(em)
 	em.Reset()
@@ -345,15 +349,28 @@ func (s *Selector) CompileMetered(f *Forest, m *Counters) (*Output, error) {
 }
 
 // SelectCost labels and reduces without emitting, returning only the
-// derivation cost — the cheap path for experiments.
+// derivation cost — the cheap path for experiments. Warm, it allocates
+// nothing: the labeling and the reducer's working set are pooled.
 func (s *Selector) SelectCost(f *Forest) (Cost, error) {
-	return s.rd.Cover(f, s.eng.Label(f), nil)
+	return s.SelectCostMetered(f, nil)
 }
 
 // SelectCostMetered is SelectCost with per-call counter attribution (see
 // CompileMetered).
 func (s *Selector) SelectCostMetered(f *Forest, m *Counters) (Cost, error) {
-	return s.rd.CoverMetered(f, s.labelMetered(f, m), nil, m)
+	lab := s.labelMetered(f, m)
+	defer s.releaseLabeling(lab)
+	return s.rd.CoverMetered(f, lab, nil, m)
+}
+
+// releaseLabeling hands a labeling that Compile obtained internally back
+// to the engine's pool, when the engine recycles labelings; for other
+// engines the GC reclaims it. Labelings returned to API callers (Label)
+// are never released here — they are caller-owned.
+func (s *Selector) releaseLabeling(lab reduce.Labeling) {
+	if rc, ok := s.eng.(reduce.LabelingRecycler); ok {
+		rc.ReleaseLabeling(lab)
+	}
 }
 
 // labelMetered labels through the engine's MeteredLabeler capability when

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro"
 	"repro/internal/automaton"
 	"repro/internal/core"
 	"repro/internal/dp"
@@ -134,13 +135,15 @@ func benchLabelOnDemandWarm(b *testing.B, gname string) {
 		b.Fatal(err)
 	}
 	for _, f := range fs { // warm up
-		e.Label(f)
+		e.ReleaseLabeling(e.LabelStates(f))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range fs {
-			e.Label(f)
+			// Release keeps the warm path allocation-free: the labeling's
+			// buffers recycle through the engine's pool.
+			e.ReleaseLabeling(e.LabelStates(f))
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
@@ -183,6 +186,62 @@ func BenchmarkE4LabelOnDemandWarmJit64(b *testing.B) {
 }
 func BenchmarkE4LabelStaticX86(b *testing.B)   { benchLabelStatic(b, "x86") }
 func BenchmarkE4LabelStaticJit64(b *testing.B) { benchLabelStatic(b, "jit64") }
+
+// ---------------------------------------------------------------------------
+// The warm-path anchor: what one fully-warm compilation costs, end to end.
+// This is the benchmark the PR-over-PR BENCH_PR*.json trajectory tracks
+// (see cmd/iselbench -experiment PF). allocs/op is the headline: label and
+// select are pooled end to end, so "label" and "select" must report ~0
+// allocations; "compile" additionally pays the emit result arena (the
+// returned assembly strings), which is the output, not overhead.
+
+func BenchmarkOnDemandWarm(b *testing.B) {
+	d := md.MustLoad("x86")
+	fs := corpus(b, "x86")
+	nodes := corpusNodes(fs)
+	m := &repro.Machine{Name: "x86", Grammar: d.Grammar, Env: d.Env}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range fs { // warm: every transition constructed
+		if _, err := sel.SelectCost(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng := sel.Labeler().(*core.Engine)
+	b.Run("label", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				eng.ReleaseLabeling(eng.LabelStates(f))
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+	})
+	b.Run("select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				if _, err := sel.SelectCost(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+	})
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				if _, err := sel.Compile(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
+	})
+}
 
 // ---------------------------------------------------------------------------
 // E5 — the speedup figure's two bars, directly comparable
@@ -258,12 +317,13 @@ func benchForceHash(b *testing.B, force bool) {
 		b.Fatal(err)
 	}
 	for _, f := range fs {
-		e.Label(f)
+		e.ReleaseLabeling(e.LabelStates(f))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range fs {
-			e.Label(f)
+			e.ReleaseLabeling(e.LabelStates(f))
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/node")
@@ -292,7 +352,7 @@ func labelPool(e *core.Engine, fs []*ir.Forest, workers int) {
 				if j >= len(fs) {
 					return
 				}
-				e.Label(fs[j])
+				e.ReleaseLabeling(e.LabelStates(fs[j]))
 			}
 		}()
 	}

@@ -15,6 +15,11 @@
 //	                           # clients multiplexed onto one warm engine
 //	                           # through internal/server (the Server that
 //	                           # cmd/iselserver fronts)
+//	iselbench -experiment PF -perf-out BENCH_PR3.json
+//	                           # machine-readable warm-path trajectory:
+//	                           # cold/warm ns/node, allocs per corpus pass,
+//	                           # table bytes — committed per PR so hot-path
+//	                           # changes have a history to diff against
 package main
 
 import (
@@ -28,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: E1..E8, EP, SV or all")
+	exp := flag.String("experiment", "all", "experiment to run: E1..E8, EP, SV, PF or all")
 	gname := flag.String("grammar", "x86", "grammar for per-grammar experiments (E3, E4, E5, E7, EP, SV)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	workers := flag.String("workers", "1,2,4,8", "worker counts for the EP parallel-scaling experiment")
@@ -36,6 +41,8 @@ func main() {
 	clients := flag.String("clients", "1,2,4,8", "client counts for the SV compilation-server experiment")
 	svWorkers := flag.Int("sv-workers", 0, "server worker-pool size for SV (0 = GOMAXPROCS)")
 	svPasses := flag.Int("sv-passes", 10, "corpus passes per client per SV configuration")
+	perfOut := flag.String("perf-out", "", "write the PF experiment's report to this JSON file (e.g. BENCH_PR3.json)")
+	perfPasses := flag.Int("perf-passes", 30, "timed corpus passes per grammar for PF")
 	flag.Parse()
 
 	ws, err := parseCounts("-workers", *workers)
@@ -48,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *gname, *ablations, ws, *passes, cs, *svWorkers, *svPasses); err != nil {
+	if err := run(*exp, *gname, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *perfOut, *perfPasses); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
@@ -70,7 +77,7 @@ func parseCounts(flagName, s string) ([]int, error) {
 	return ws, nil
 }
 
-func run(exp, gname string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int) error {
+func run(exp, gname string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int, perfOut string, perfPasses int) error {
 	type step struct {
 		id string
 		fn func() error
@@ -109,6 +116,20 @@ func run(exp, gname string, ablations bool, workers []int, passes int, clients [
 			show(t, err)
 			return err
 		}},
+		{"PF", func() error {
+			rep, t, err := bench.RunPerf(perfPasses)
+			show(t, err)
+			if err != nil {
+				return err
+			}
+			if perfOut != "" {
+				if err := rep.WriteJSON(perfOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", perfOut)
+			}
+			return nil
+		}},
 	}
 	ran := false
 	for _, s := range steps {
@@ -121,7 +142,7 @@ func run(exp, gname string, ablations bool, workers []int, passes int, clients [
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want E1..E8, EP, SV or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want E1..E8, EP, SV, PF or all)", exp)
 	}
 	if ablations {
 		t, err := bench.RunAblationDeltaCap()

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/grammar"
+	"repro/internal/ir"
 	"repro/internal/metrics"
 )
 
@@ -79,9 +80,10 @@ func (s *State) MemoryBytes() int {
 //
 // Table is safe for concurrent use: interning (the construct slow path of
 // the on-demand engine) serializes on an internal mutex, while the read
-// side — Len, Get, States — is lock-free. The state list is append-only
-// and published through an atomic slice header, so readers always observe
-// a consistent prefix and never block on a concurrent intern.
+// side — Len, Get, States, MemoryBytes — is lock-free. The state list is
+// append-only and published through an atomic slice header, so readers
+// always observe a consistent prefix and never block on a concurrent
+// intern.
 type Table struct {
 	g  *grammar.Grammar
 	mu sync.Mutex // guards index and appends to the state list
@@ -93,6 +95,10 @@ type Table struct {
 	// older header never index past their snapshot's length, and new
 	// headers are released with an atomic store.
 	states atomic.Pointer[[]*State]
+	// bytes tracks the footprint of states plus index entries, accumulated
+	// at intern time so MemoryBytes is O(1) and allocation-free — stats
+	// polling (the server's GET /stats) hits it on every request.
+	bytes atomic.Int64
 }
 
 // NewTable creates an empty state table for g.
@@ -132,20 +138,65 @@ func (t *Table) Intern(delta []grammar.Cost, rule []int32, m *metrics.Counters) 
 	next := append(cur, s)
 	t.states.Store(&next)
 	t.index[key] = s
+	t.bytes.Add(int64(s.MemoryBytes() + len(key) + 16)) // state + index entry
 	t.mu.Unlock()
 	m.CountState()
 	return s, true
 }
 
 // MemoryBytes estimates the total footprint of all states plus the index.
-func (t *Table) MemoryBytes() int {
-	total := 0
-	for _, s := range t.States() {
-		total += s.MemoryBytes()
-		total += len(stateKey(s.Delta, s.Rule)) + 16 // index entry
-	}
-	return total
+// The figure is maintained at intern time, so the call is O(1) and safe to
+// poll concurrently with interning.
+func (t *Table) MemoryBytes() int { return int(t.bytes.Load()) }
+
+// Labeling is the per-node state assignment an automaton labeler produces:
+// a dense vector of state ids plus the state-table snapshot that resolves
+// them. Keeping ids instead of pointers halves the per-node footprint and
+// lets engines reuse one labeling's buffers across calls — labelers hand
+// labelings out of internal pools (see reduce.LabelingRecycler).
+//
+// Ownership: a labeling returned by an engine belongs to the caller until
+// it is released back via the engine's ReleaseLabeling, after which it
+// must not be touched. Labelings that are never released are simply
+// garbage collected.
+type Labeling struct {
+	// IDs[i] is the state id assigned to the node with index i.
+	IDs []int32
+	// states resolves ids: an append-only table snapshot taken after the
+	// last id was assigned, so it covers every id in IDs.
+	states []*State
 }
+
+// Reuse resizes the labeling to n nodes, reusing the id buffer when its
+// capacity allows, and returns the id slice to fill.
+func (l *Labeling) Reuse(n int) []int32 {
+	if cap(l.IDs) < n {
+		l.IDs = make([]int32, n)
+	} else {
+		l.IDs = l.IDs[:n]
+	}
+	return l.IDs
+}
+
+// Bind snapshots t's state list so RuleAt/StateAt can resolve ids. Call it
+// after every id in the labeling has been assigned: the list is
+// append-only, so the snapshot covers all of them.
+func (l *Labeling) Bind(t *Table) { l.states = t.States() }
+
+// BindStates binds an already-frozen snapshot (the static automaton's).
+func (l *Labeling) BindStates(states []*State) { l.states = states }
+
+// RuleAt returns the optimal rule for (n, nt), or -1: the lookup the
+// reducer drives.
+func (l *Labeling) RuleAt(n *ir.Node, nt grammar.NT) int32 {
+	return l.states[l.IDs[n.Index]].Rule[nt]
+}
+
+// StateAt returns the state assigned to n.
+func (l *Labeling) StateAt(n *ir.Node) *State { return l.states[l.IDs[n.Index]] }
+
+// StateIDAt returns the state id assigned to n.
+func (l *Labeling) StateIDAt(n *ir.Node) int32 { return l.IDs[n.Index] }
 
 // stateKey builds the hash-consing key. Rules are part of the key: two
 // labelings with equal costs but different optimal rules must be different

@@ -2,6 +2,7 @@ package automaton
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/grammar"
 	"repro/internal/ir"
@@ -29,6 +30,7 @@ type Static struct {
 	states   []*State // table snapshot, frozen at generation time
 	m        *metrics.Counters
 	deltaCap grammar.Cost
+	labels   sync.Pool // *Labeling, recycled across LabelStates calls
 
 	leaf []int32 // [op] -> state id for arity-0 ops; -1 otherwise
 
@@ -306,6 +308,7 @@ func (gen *generator) finish() *Static {
 		t1:       make([][]int32, g.NumOps()),
 		t2:       make([][]int32, g.NumOps()),
 	}
+	a.labels.New = func() any { return &Labeling{} }
 	totalReps := 0
 	for op := 0; op < g.NumOps(); op++ {
 		arity := g.Ops[op].Arity
@@ -380,52 +383,53 @@ func (a *Static) MemoryBytes() int {
 	return b
 }
 
-// Labeling is the per-node state assignment an automaton labeler produces;
-// it implements the rule lookup the reducer needs.
-type Labeling struct {
-	States []*State // indexed by node index
-}
-
-// RuleAt returns the optimal rule for (n, nt), or -1.
-func (l *Labeling) RuleAt(n *ir.Node, nt grammar.NT) int32 {
-	return l.States[n.Index].Rule[nt]
-}
-
-// StateAt returns the state assigned to n.
-func (l *Labeling) StateAt(n *ir.Node) *State { return l.States[n.Index] }
-
 // LabelStates assigns a state to every node of f by pure table lookup: the
 // offline automaton's fast path. Events are recorded against the counters
 // configured at generation (StaticConfig.Metrics) or via SetMetrics.
+// The labeling comes from an internal pool; callers that want its buffers
+// recycled hand it back with ReleaseLabeling when done.
 func (a *Static) LabelStates(f *ir.Forest) *Labeling {
 	return a.LabelStatesMetered(f, nil)
 }
 
 // LabelStatesMetered is LabelStates with per-call counter attribution:
 // events are counted into m instead of the automaton's configured sink
-// (nil falls back to it).
+// (nil falls back to it). The whole pass works on dense state ids — the
+// representer projections are already id-indexed, so no state pointer is
+// touched until the reducer resolves one.
 func (a *Static) LabelStatesMetered(f *ir.Forest, m *metrics.Counters) *Labeling {
 	if m == nil {
 		m = a.m
 	}
-	states := make([]*State, len(f.Nodes))
+	lab := a.labels.Get().(*Labeling)
+	ids := lab.Reuse(len(f.Nodes))
 	for i, n := range f.Nodes {
 		m.CountNode()
 		m.CountProbe(false)
 		op := n.Op
 		switch len(n.Kids) {
 		case 0:
-			states[i] = a.states[a.leaf[op]]
+			ids[i] = a.leaf[op]
 		case 1:
-			rep := a.mu[op][0][states[n.Kids[0].Index].ID]
-			states[i] = a.states[a.t1[op][rep]]
+			rep := a.mu[op][0][ids[n.Kids[0].Index]]
+			ids[i] = a.t1[op][rep]
 		default:
-			r0 := a.mu[op][0][states[n.Kids[0].Index].ID]
-			r1 := a.mu[op][1][states[n.Kids[1].Index].ID]
-			states[i] = a.states[a.t2[op][r0*a.nreps[op][1]+r1]]
+			r0 := a.mu[op][0][ids[n.Kids[0].Index]]
+			r1 := a.mu[op][1][ids[n.Kids[1].Index]]
+			ids[i] = a.t2[op][r0*a.nreps[op][1]+r1]
 		}
 	}
-	return &Labeling{States: states}
+	lab.BindStates(a.states)
+	return lab
+}
+
+// ReleaseLabeling implements reduce.LabelingRecycler: it returns a
+// labeling obtained from this automaton to the pool. The labeling must
+// not be used afterwards.
+func (a *Static) ReleaseLabeling(lab reduce.Labeling) {
+	if l, ok := lab.(*Labeling); ok && l != nil {
+		a.labels.Put(l)
+	}
 }
 
 // Label implements reduce.Labeler.

@@ -73,7 +73,7 @@ func RunAblationHash(gname string) (*Table, error) {
 		for p := 0; p < passes; p++ {
 			for _, u := range units {
 				for _, f := range u.forests {
-					e.Label(f)
+					e.ReleaseLabeling(e.LabelStates(f))
 				}
 			}
 		}

@@ -99,7 +99,7 @@ func RunParallel(gname string, workerCounts []int, passes int) ([]EPRow, *Table,
 func labelAll(e *core.Engine, fs []*ir.Forest, workers int) {
 	if workers <= 1 {
 		for _, f := range fs {
-			e.Label(f)
+			e.ReleaseLabeling(e.LabelStates(f))
 		}
 		return
 	}
@@ -114,7 +114,7 @@ func labelAll(e *core.Engine, fs []*ir.Forest, workers int) {
 				if i >= len(fs) {
 					return
 				}
-				e.Label(fs[i])
+				e.ReleaseLabeling(e.LabelStates(fs[i]))
 			}
 		}()
 	}

@@ -1,0 +1,168 @@
+// The PF experiment: the machine-readable performance trajectory. Every
+// PR that touches a hot path regenerates BENCH_PR<N>.json with
+// `iselbench -experiment PF -perf-out BENCH_PR<N>.json`, so successors
+// can diff warm/cold ns/node, allocations and table bytes against history
+// instead of guessing. Numbers are wall-clock and machine-dependent;
+// allocation counts and table bytes are deterministic.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/md"
+	"repro/internal/reduce"
+)
+
+// allocsPerRun reports the average number of heap allocations per call of
+// fn — the testing.AllocsPerRun measurement, reimplemented on
+// runtime.ReadMemStats so a non-test package does not link the testing
+// framework into the iselbench binary. Pinning to one OS thread's P keeps
+// other goroutines' allocations out of the count.
+func allocsPerRun(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm up: pools filled, lazy growth done
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// PerfRow is one grammar's warm-path measurements over the whole MinC
+// corpus.
+type PerfRow struct {
+	Grammar     string `json:"grammar"`
+	CorpusNodes int    `json:"corpus_nodes"`
+	// Labeling only (engine fast path), pooled labelings released.
+	ColdLabelNsPerNode float64 `json:"cold_label_ns_per_node"`
+	WarmLabelNsPerNode float64 `json:"warm_label_ns_per_node"`
+	// Label + reduce (no emission): the paper's per-node selection cost.
+	WarmSelectNsPerNode float64 `json:"warm_select_ns_per_node"`
+	// Allocations per corpus pass on the warm path.
+	WarmLabelAllocsPerPass  float64 `json:"warm_label_allocs_per_pass"`
+	WarmSelectAllocsPerPass float64 `json:"warm_select_allocs_per_pass"`
+	WarmAllocsPerNode       float64 `json:"warm_select_allocs_per_node"`
+	States                  int     `json:"states"`
+	Transitions             int     `json:"transitions"`
+	TableBytes              int     `json:"table_bytes"`
+}
+
+// PerfReport is the BENCH_PR<N>.json payload.
+type PerfReport struct {
+	Schema     int       `json:"schema"`
+	GoVersion  string    `json:"go_version"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Passes     int       `json:"passes"`
+	Rows       []PerfRow `json:"rows"`
+	Notes      []string  `json:"notes"`
+}
+
+// WriteJSON writes the report to path, pretty-printed for diffing.
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunPerf measures the on-demand engine's warm path per corpus grammar:
+// cold and warm labeling ns/node, warm label+reduce ns/node, allocation
+// counts per corpus pass, and the automaton's size after the corpus.
+func RunPerf(passes int) (*PerfReport, *Table, error) {
+	if passes <= 0 {
+		passes = 30
+	}
+	t := &Table{
+		ID:    "PF",
+		Title: fmt.Sprintf("warm-path performance trajectory (%d timed corpus passes per grammar)", passes),
+		Header: []string{"grammar", "nodes", "cold-label-ns", "warm-label-ns", "warm-select-ns",
+			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "states", "trans", "table-bytes"},
+	}
+	rep := &PerfReport{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Passes:     passes,
+	}
+	for _, name := range CorpusGrammars {
+		d := md.MustLoad(name)
+		var fs []*ir.Forest
+		nodes := 0
+		for _, u := range loadCorpus(d.Grammar) {
+			fs = append(fs, u.forests...)
+			nodes += u.nodes
+		}
+		e, err := core.New(d.Grammar, d.Env, core.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		rd, err := reduce.New(d.Grammar, d.Env, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		labelPass := func() {
+			for _, f := range fs {
+				e.ReleaseLabeling(e.LabelStates(f))
+			}
+		}
+		selectPass := func() {
+			for _, f := range fs {
+				lab := e.LabelStates(f)
+				if _, err := rd.Cover(f, lab, nil); err != nil {
+					panic(err) // corpus is known-derivable; see the tests
+				}
+				e.ReleaseLabeling(lab)
+			}
+		}
+
+		start := time.Now()
+		labelPass() // cold: constructs every state and transition
+		coldNs := float64(time.Since(start).Nanoseconds()) / float64(nodes)
+
+		start = time.Now()
+		for p := 0; p < passes; p++ {
+			labelPass()
+		}
+		warmNs := float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+
+		selectPass() // warm the reducer pool too
+		start = time.Now()
+		for p := 0; p < passes; p++ {
+			selectPass()
+		}
+		selNs := float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+
+		labelAllocs := allocsPerRun(10, labelPass)
+		selAllocs := allocsPerRun(10, selectPass)
+
+		row := PerfRow{
+			Grammar: name, CorpusNodes: nodes,
+			ColdLabelNsPerNode: coldNs, WarmLabelNsPerNode: warmNs,
+			WarmSelectNsPerNode:    selNs,
+			WarmLabelAllocsPerPass: labelAllocs, WarmSelectAllocsPerPass: selAllocs,
+			WarmAllocsPerNode: selAllocs / float64(nodes),
+			States:            e.NumStates(), Transitions: e.NumTransitions(),
+			TableBytes: e.MemoryBytes(),
+		}
+		rep.Rows = append(rep.Rows, row)
+		t.AddRow(name, itoa(nodes), f1(coldNs), f1(warmNs), f1(selNs),
+			f1(labelAllocs), f1(selAllocs), f2(row.WarmAllocsPerNode),
+			itoa(row.States), itoa(row.Transitions), itoa(row.TableBytes))
+	}
+	rep.Notes = append(rep.Notes,
+		"warm label and select must stay at ~0 allocs/pass: labelings, reducer scratch and dyn buffers are pooled",
+		"ns figures are wall-clock and machine-dependent; compare trends, not absolutes, across BENCH_PR*.json",
+	)
+	t.Note("cold includes every state construction of the session; warm is the steady state a JIT/server reaches")
+	t.Note("allocs/pass counted over the whole corpus (runtime.MemStats.Mallocs delta); 0 is the contract for label and select")
+	return rep, t, nil
+}

@@ -11,13 +11,25 @@
 // evaluate the operator's dynamic costs (none, for most operators) and do
 // one table lookup.
 //
-// Operators without dynamic rules get dense transition arrays indexed by
+// Operators without dynamic rules get dense transition tables indexed by
 // child state ids (a direct lookup, like a static automaton); operators
 // with dynamic rules go through a hash table whose key includes the
 // evaluated dynamic-cost signature — the structure the successor literature
 // describes as "computing all the dynamic costs and a hash table lookup per
 // node". Because states are constructed at selection time, dynamic costs
 // work, which no offline automaton can offer.
+//
+// # Table layout
+//
+// The dense tables are flat int32 state-id arrays, not pointer arrays:
+// unary operators get one row indexed by the child state id, binary
+// operators one row-major grid indexed by left×stride+right. Entries are 4
+// bytes instead of 8, and a binary lookup is one atomic pointer load (the
+// operator's current grid) plus one indexed load — the "cost of one table
+// lookup" the paper promises, with no per-row indirection. -1 marks a
+// transition not yet constructed. State ids index automaton.Table, whose
+// state list is append-only, so an id read from any published table cell
+// always resolves.
 //
 // # Concurrency
 //
@@ -26,24 +38,31 @@
 // warm fast path lock-free and pushes all synchronization onto the
 // construct slow path:
 //
-//   - Dense leaf/unary/binary transition rows are published
-//     copy-on-write through atomic pointers; fast-path lookups are plain
-//     atomic loads. Rows grow only under the operator's slow-path mutex,
-//     and a grown row is fully populated before its pointer is released.
+//   - Dense leaf/unary/binary tables are published copy-on-write through
+//     one atomic pointer per operator; cells are written and read with
+//     atomic int32 operations. Tables grow only under the operator's
+//     slow-path mutex, and a grown table is fully populated before its
+//     pointer is released.
 //   - The construct slow path is sharded per operator: misses on
-//     different operators construct concurrently (the dense rows and hash
-//     maps they write are per-op; the shared state table synchronizes
+//     different operators construct concurrently (the dense tables and
+//     hash maps they write are per-op; the shared state table synchronizes
 //     interning internally). Cold-start contention therefore scales with
 //     the operator mix instead of serializing on one engine-global lock.
 //   - The hash-consing state table (automaton.Table) serializes interning
 //     internally; see its documentation.
 //   - The hash transition path (dynamic operators, ForceHash) uses one
 //     sync.Map per operator: lock-free hit path, misses serialized on the
-//     operator's mutex.
+//     operator's mutex. The hit path probes with a no-copy view of the
+//     pooled signature bytes; the key is materialized only when a miss
+//     actually inserts it.
 //   - Per-call scratch (dynamic-cost values and signature bytes) comes
 //     from a sync.Pool instead of engine fields, so concurrent labelers
-//     never share buffers. Per-forest state slices are allocated per
-//     Label call and handed to the caller.
+//     never share buffers; the return to the pool is deferred, so a
+//     panicking user dynamic-cost function cannot leak a buffer (the
+//     panic itself propagates to the caller's containment boundary — the
+//     compilation server recovers it per job). Labelings are pooled the
+//     same way and flow back via ReleaseLabeling, which is what makes the
+//     warm path allocation-free end to end.
 //
 // Label, LabelNode and Save may be called concurrently; SetMetrics and
 // Load must be serialized against labeling (Load additionally requires a
@@ -56,8 +75,10 @@ package core
 
 import (
 	"encoding/binary"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/automaton"
 	"repro/internal/grammar"
@@ -78,20 +99,30 @@ type Config struct {
 	ForceHash bool
 }
 
-// stateRow is a dense transition row indexed by a child state id. Elements
-// are written atomically because published rows are read concurrently.
-type stateRow []atomic.Pointer[automaton.State]
+// growSlack is the headroom added when a dense table grows, so a run of
+// adjacent new states does not trigger a copy per state.
+const growSlack = 8
 
-// binTable is the two-level dense table of a binary operator, indexed by
-// the left child state id; each row is indexed by the right child id.
-type binTable []atomic.Pointer[stateRow]
+// unRow is the dense transition row of a unary operator, indexed by the
+// child state id. Cells hold state ids (-1 until constructed) and are
+// accessed with atomic int32 operations because published rows are read
+// concurrently.
+type unRow []int32
+
+// binGrid is the flat row-major dense table of a binary operator: cell
+// [l*stride+r] holds the state id reached from left child state l and
+// right child state r (-1 until constructed).
+type binGrid struct {
+	rows, stride int32
+	cells        []int32
+}
 
 // Engine is an on-demand tree-parsing automaton. It persists across
 // Label calls — exactly the JIT scenario the paper targets: the automaton
 // warms up as the compiler runs, and per-node labeling cost converges to a
 // table lookup. Engines are safe for concurrent labeling (see the package
-// documentation for the contract). Engine implements reduce.Labeler and
-// reduce.MeteredLabeler.
+// documentation for the contract). Engine implements reduce.Labeler,
+// reduce.MeteredLabeler and reduce.LabelingRecycler.
 type Engine struct {
 	g        *grammar.Grammar
 	dynFns   []grammar.DynFunc
@@ -101,23 +132,25 @@ type Engine struct {
 	force    bool
 
 	// mus serializes the construct slow path per operator: state
-	// construction, dense row growth and hash insertion. Misses on
+	// construction, dense table growth and hash insertion. Misses on
 	// different operators proceed concurrently; the warm fast path never
 	// locks. Save and Load lock every shard (lockAll) for a consistent
 	// whole-automaton snapshot.
 	mus []sync.Mutex
 
-	// Fixed-cost fast paths: dense, grown on demand, published atomically.
-	leaf []atomic.Pointer[automaton.State] // [op]
-	un   []atomic.Pointer[stateRow]        // [op][kidState]
-	bin  []atomic.Pointer[binTable]        // [op][left][right]
+	// Fixed-cost fast paths: dense flat id tables, grown on demand,
+	// published atomically.
+	leaf []atomic.Int32         // [op] -> state id, -1 until constructed
+	un   []atomic.Pointer[unRow]   // [op][kidState] -> state id
+	bin  []atomic.Pointer[binGrid] // [op][left*stride+right] -> state id
 
 	// Dynamic-rule (and ForceHash) path: hash maps, keyed by child state
-	// ids plus the dynamic-cost signature.
-	hash []sync.Map // [op]: transKey -> *automaton.State
+	// ids plus the dynamic-cost signature; values are state ids.
+	hash []sync.Map // [op]: transKey -> int32
 
 	transitions atomic.Int64
 	scratch     sync.Pool // *dynScratch
+	labels      sync.Pool // *automaton.Labeling
 }
 
 type transKey struct {
@@ -151,12 +184,16 @@ func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
 		m:        cfg.Metrics,
 		force:    cfg.ForceHash,
 		mus:      make([]sync.Mutex, g.NumOps()),
-		leaf:     make([]atomic.Pointer[automaton.State], g.NumOps()),
-		un:       make([]atomic.Pointer[stateRow], g.NumOps()),
-		bin:      make([]atomic.Pointer[binTable], g.NumOps()),
+		leaf:     make([]atomic.Int32, g.NumOps()),
+		un:       make([]atomic.Pointer[unRow], g.NumOps()),
+		bin:      make([]atomic.Pointer[binGrid], g.NumOps()),
 		hash:     make([]sync.Map, g.NumOps()),
 	}
+	for op := range e.leaf {
+		e.leaf[op].Store(-1) // 0 is a valid state id; -1 means "no transition yet"
+	}
 	e.scratch.New = func() any { return &dynScratch{} }
+	e.labels.New = func() any { return &automaton.Labeling{} }
 	return e, nil
 }
 
@@ -195,7 +232,9 @@ func (e *Engine) unlockAll() {
 
 // LabelStates assigns a state to every node of f (topological order, so
 // DAGs are covered), constructing missing states and transitions on
-// demand.
+// demand. The labeling comes from an internal pool: hand it back with
+// ReleaseLabeling when done to keep the warm path allocation-free, or
+// keep it and let the GC have it eventually.
 func (e *Engine) LabelStates(f *ir.Forest) *automaton.Labeling {
 	return e.LabelStatesMetered(f, nil)
 }
@@ -210,11 +249,22 @@ func (e *Engine) LabelStatesMetered(f *ir.Forest, m *metrics.Counters) *automato
 	if m == nil {
 		m = e.m
 	}
-	states := make([]*automaton.State, len(f.Nodes))
+	lab := e.labels.Get().(*automaton.Labeling)
+	ids := lab.Reuse(len(f.Nodes))
 	for i, n := range f.Nodes {
-		states[i] = e.labelNode(n, states, m)
+		ids[i] = e.labelNode(n, ids, m)
 	}
-	return &automaton.Labeling{States: states}
+	lab.Bind(e.table)
+	return lab
+}
+
+// ReleaseLabeling implements reduce.LabelingRecycler: it returns a
+// labeling obtained from LabelStates to the pool so the next call reuses
+// its buffers. The labeling must not be used afterwards.
+func (e *Engine) ReleaseLabeling(lab reduce.Labeling) {
+	if l, ok := lab.(*automaton.Labeling); ok && l != nil {
+		e.labels.Put(l)
+	}
 }
 
 // Label implements reduce.Labeler; see LabelStates for the concrete
@@ -226,15 +276,16 @@ func (e *Engine) LabelMetered(f *ir.Forest, m *metrics.Counters) reduce.Labeling
 	return e.LabelStatesMetered(f, m)
 }
 
-// LabelNode labels one node whose children are already labeled in states
-// (indexed by node index). Exposed so incremental clients (the JIT
-// example) can interleave labeling with other per-node work.
-func (e *Engine) LabelNode(n *ir.Node, states []*automaton.State) *automaton.State {
-	return e.labelNode(n, states, e.m)
+// LabelNode labels one node whose children are already labeled in ids
+// (indexed by node index) and returns the node's state id. Exposed so
+// incremental clients (the JIT scenario) can interleave labeling with
+// other per-node work; resolve ids through Table().Get.
+func (e *Engine) LabelNode(n *ir.Node, ids []int32) int32 {
+	return e.labelNode(n, ids, e.m)
 }
 
 // labelNode labels one node, counting events into m.
-func (e *Engine) labelNode(n *ir.Node, states []*automaton.State, m *metrics.Counters) *automaton.State {
+func (e *Engine) labelNode(n *ir.Node, ids []int32, m *metrics.Counters) int32 {
 	m.CountNode()
 	op := n.Op
 
@@ -242,45 +293,40 @@ func (e *Engine) labelNode(n *ir.Node, states []*automaton.State, m *metrics.Cou
 	// and performs one lookup.
 	if e.g.HasDynRules(op) {
 		sc := e.scratch.Get().(*dynScratch)
-		sig := e.evalDyn(n, states, sc, m)
-		s := e.lookupHash(op, n, states, sig, sc.dyn, m)
-		e.scratch.Put(sc)
-		return s
+		// Deferred so a panicking user cost function cannot leak the
+		// pooled buffers; see the package concurrency notes.
+		defer e.scratch.Put(sc)
+		e.evalDyn(n, ids, sc, m)
+		return e.lookupHash(op, n, ids, byteView(sc.sig), sc.dyn, m)
 	}
 	if e.force {
-		return e.lookupHash(op, n, states, "", nil, m)
+		return e.lookupHash(op, n, ids, "", nil, m)
 	}
 	switch len(n.Kids) {
 	case 0:
-		if s := e.leaf[op].Load(); s != nil {
+		if id := e.leaf[op].Load(); id >= 0 {
 			m.CountProbe(false)
-			return s
+			return id
 		}
 		return e.missLeaf(op, m)
 	case 1:
-		kid := states[n.Kids[0].Index]
+		kid := ids[n.Kids[0].Index]
 		if rp := e.un[op].Load(); rp != nil {
-			if row := *rp; int(kid.ID) < len(row) {
-				if s := row[kid.ID].Load(); s != nil {
+			if row := *rp; int(kid) < len(row) {
+				if id := atomic.LoadInt32(&row[kid]); id >= 0 {
 					m.CountProbe(false)
-					return s
+					return id
 				}
 			}
 		}
 		return e.missUn(op, kid, m)
 	default:
-		l := states[n.Kids[0].Index]
-		r := states[n.Kids[1].Index]
-		if tp := e.bin[op].Load(); tp != nil {
-			if tbl := *tp; int(l.ID) < len(tbl) {
-				if rp := tbl[l.ID].Load(); rp != nil {
-					if row := *rp; int(r.ID) < len(row) {
-						if s := row[r.ID].Load(); s != nil {
-							m.CountProbe(false)
-							return s
-						}
-					}
-				}
+		l := ids[n.Kids[0].Index]
+		r := ids[n.Kids[1].Index]
+		if t := e.bin[op].Load(); t != nil && l < t.rows && r < t.stride {
+			if id := atomic.LoadInt32(&t.cells[l*t.stride+r]); id >= 0 {
+				m.CountProbe(false)
+				return id
 			}
 		}
 		return e.missBin(op, l, r, m)
@@ -289,104 +335,106 @@ func (e *Engine) labelNode(n *ir.Node, states []*automaton.State, m *metrics.Cou
 
 // missLeaf is the leaf slow path: construct under the operator's mutex,
 // re-checking first because another goroutine may have won the race.
-func (e *Engine) missLeaf(op grammar.OpID, m *metrics.Counters) *automaton.State {
+func (e *Engine) missLeaf(op grammar.OpID, m *metrics.Counters) int32 {
 	e.mus[op].Lock()
 	defer e.mus[op].Unlock()
-	if s := e.leaf[op].Load(); s != nil {
+	if id := e.leaf[op].Load(); id >= 0 {
 		m.CountProbe(false)
-		return s
+		return id
 	}
 	m.CountProbe(true)
 	s := e.construct(op, nil, nil, m)
-	e.leaf[op].Store(s)
+	e.leaf[op].Store(s.ID)
 	e.addTransition(m)
-	return s
+	return s.ID
 }
 
-func (e *Engine) missUn(op grammar.OpID, kid *automaton.State, m *metrics.Counters) *automaton.State {
+func (e *Engine) missUn(op grammar.OpID, kid int32, m *metrics.Counters) int32 {
 	e.mus[op].Lock()
 	defer e.mus[op].Unlock()
-	k := int(kid.ID)
 	if rp := e.un[op].Load(); rp != nil {
-		if row := *rp; k < len(row) {
-			if s := row[k].Load(); s != nil {
+		if row := *rp; int(kid) < len(row) {
+			if id := atomic.LoadInt32(&row[kid]); id >= 0 {
 				m.CountProbe(false)
-				return s
+				return id
 			}
 		}
 	}
 	m.CountProbe(true)
-	s := e.construct(op, []*automaton.State{kid}, nil, m)
-	row := growRow(e.un[op].Load(), k)
-	row[k].Store(s)
-	e.un[op].Store(&row)
+	s := e.construct(op, []*automaton.State{e.table.Get(kid)}, nil, m)
+	e.setUnLocked(op, int(kid), s.ID)
 	e.addTransition(m)
-	return s
+	return s.ID
 }
 
-func (e *Engine) missBin(op grammar.OpID, l, r *automaton.State, m *metrics.Counters) *automaton.State {
+func (e *Engine) missBin(op grammar.OpID, l, r int32, m *metrics.Counters) int32 {
 	e.mus[op].Lock()
 	defer e.mus[op].Unlock()
-	li, ri := int(l.ID), int(r.ID)
-	if tp := e.bin[op].Load(); tp != nil {
-		if tbl := *tp; li < len(tbl) {
-			if rp := tbl[li].Load(); rp != nil {
-				if row := *rp; ri < len(row) {
-					if s := row[ri].Load(); s != nil {
-						m.CountProbe(false)
-						return s
-					}
-				}
-			}
+	if t := e.bin[op].Load(); t != nil && l < t.rows && r < t.stride {
+		if id := atomic.LoadInt32(&t.cells[l*t.stride+r]); id >= 0 {
+			m.CountProbe(false)
+			return id
 		}
 	}
 	m.CountProbe(true)
-	s := e.construct(op, []*automaton.State{l, r}, nil, m)
-	e.setBinLocked(op, li, ri, s)
+	s := e.construct(op, []*automaton.State{e.table.Get(l), e.table.Get(r)}, nil, m)
+	e.setBinLocked(op, int(l), int(r), s.ID)
 	e.addTransition(m)
-	return s
+	return s.ID
 }
 
-// setBinLocked writes bin[op][l][r] = s, growing both levels as needed.
-// Caller holds e.mus[op].
-func (e *Engine) setBinLocked(op grammar.OpID, l, r int, s *automaton.State) {
-	var tbl binTable
-	if tp := e.bin[op].Load(); tp != nil {
-		tbl = *tp
+// setUnLocked writes un[op][kid] = id, growing the row copy-on-write when
+// kid is out of range. Caller holds e.mus[op].
+func (e *Engine) setUnLocked(op grammar.OpID, kid int, id int32) {
+	rp := e.un[op].Load()
+	if rp != nil && kid < len(*rp) {
+		atomic.StoreInt32(&(*rp)[kid], id)
+		return
 	}
-	if l >= len(tbl) {
-		nt := make(binTable, l+1+8)
-		for i := range tbl {
-			nt[i].Store(tbl[i].Load())
-		}
-		tbl = nt
-	}
-	var row stateRow
-	if rp := tbl[l].Load(); rp != nil {
-		row = *rp
-	}
-	row = growRow(&row, r)
-	row[r].Store(s)
-	tbl[l].Store(&row)
-	e.bin[op].Store(&tbl)
-}
-
-// growRow returns a row long enough to index idx, copying the old one if
-// it must grow. Copies happen under the operator's mutex, before the new
-// row is published.
-func growRow(rp *stateRow, idx int) stateRow {
-	var row stateRow
+	var old unRow
 	if rp != nil {
-		row = *rp
+		old = *rp
 	}
-	if idx < len(row) {
-		return row
+	row := make(unRow, kid+1+growSlack)
+	copy(row, old)
+	for i := len(old); i < len(row); i++ {
+		row[i] = -1
 	}
-	t := make(stateRow, idx+1+8)
-	for i := range row {
-		t[i].Store(row[i].Load())
+	row[kid] = id
+	// The new row is fully populated before the pointer is released.
+	e.un[op].Store(&row)
+}
+
+// setBinLocked writes bin[op][l][r] = id, growing the grid copy-on-write
+// (both dimensions at once) when (l, r) is out of range. Caller holds
+// e.mus[op].
+func (e *Engine) setBinLocked(op grammar.OpID, l, r int, id int32) {
+	old := e.bin[op].Load()
+	if old != nil && int32(l) < old.rows && int32(r) < old.stride {
+		atomic.StoreInt32(&old.cells[int32(l)*old.stride+int32(r)], id)
+		return
 	}
-	return t
+	rows, stride := int32(l+1+growSlack), int32(r+1+growSlack)
+	if old != nil {
+		if old.rows > rows {
+			rows = old.rows
+		}
+		if old.stride > stride {
+			stride = old.stride
+		}
+	}
+	t := &binGrid{rows: rows, stride: stride, cells: make([]int32, int(rows)*int(stride))}
+	for i := range t.cells {
+		t.cells[i] = -1
+	}
+	if old != nil {
+		for li := int32(0); li < old.rows; li++ {
+			copy(t.cells[li*stride:li*stride+old.stride], old.cells[li*old.stride:(li+1)*old.stride])
+		}
+	}
+	t.cells[int32(l)*stride+int32(r)] = id
+	// Fully populated before publication.
+	e.bin[op].Store(t)
 }
 
 // addTransition accounts one memoized transition. Caller holds the
@@ -396,49 +444,66 @@ func (e *Engine) addTransition(m *metrics.Counters) {
 	m.CountTransition()
 }
 
+// byteView returns a no-copy string view of b for transient hash probes.
+// The view aliases b's storage, so it must never be stored: keys that a
+// miss actually inserts are materialized with strings.Clone first.
+func byteView(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
 // lookupHash handles operators with dynamic rules (and the ForceHash
-// ablation): one map probe keyed by child states and signature.
-func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, states []*automaton.State, sig string, dynVals []grammar.Cost, m *metrics.Counters) *automaton.State {
+// ablation): one map probe keyed by child state ids and signature. sig may
+// be a transient byteView of pooled bytes — the hit path never copies it;
+// the miss path clones it before insertion.
+func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, ids []int32, sig string, dynVals []grammar.Cost, m *metrics.Counters) int32 {
 	var key transKey
 	key.sig = sig
-	var kbuf [2]*automaton.State
-	kids := kbuf[:0]
 	switch len(n.Kids) {
 	case 0:
 	case 1:
-		kids = append(kids, states[n.Kids[0].Index])
-		key.l = kids[0].ID
+		key.l = ids[n.Kids[0].Index]
 	default:
-		kids = append(kids, states[n.Kids[0].Index], states[n.Kids[1].Index])
-		key.l, key.r = kids[0].ID, kids[1].ID
+		key.l, key.r = ids[n.Kids[0].Index], ids[n.Kids[1].Index]
 	}
 	h := &e.hash[op]
-	if s, ok := h.Load(key); ok {
+	if v, ok := h.Load(key); ok {
 		m.CountProbe(false)
-		return s.(*automaton.State)
+		return v.(int32)
 	}
 	e.mus[op].Lock()
 	defer e.mus[op].Unlock()
-	if s, ok := h.Load(key); ok {
+	if v, ok := h.Load(key); ok {
 		m.CountProbe(false)
-		return s.(*automaton.State)
+		return v.(int32)
 	}
 	m.CountProbe(true)
+	var kbuf [2]*automaton.State
+	kids := kbuf[:0]
+	for ki := range n.Kids {
+		kids = append(kids, e.table.Get(ids[n.Kids[ki].Index]))
+	}
 	s := e.construct(op, kids, dynVals, m)
-	h.Store(key, s)
+	key.sig = strings.Clone(sig) // the stored key owns its bytes
+	h.Store(key, s.ID)
 	e.addTransition(m)
-	return s
+	return s.ID
 }
 
 // evalDyn evaluates the dynamic rules of n's operator into sc.dyn and
-// returns the signature string that distinguishes transition outcomes.
-// A dynamic-cost function only runs when its rule is structurally
-// applicable (every kid nonterminal derivable in the kid's state); such
-// functions inspect the matched pattern's shape, so calling them on
-// non-matching nodes would be wrong — and skipping them also keeps the
-// fast path's dynamic-evaluation count low.
-func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch, m *metrics.Counters) string {
+// builds the signature bytes (sc.sig) that distinguish transition
+// outcomes. A dynamic-cost function only runs when its rule is
+// structurally applicable (every kid nonterminal derivable in the kid's
+// state); such functions inspect the matched pattern's shape, so calling
+// them on non-matching nodes would be wrong — and skipping them also keeps
+// the fast path's dynamic-evaluation count low.
+func (e *Engine) evalDyn(n *ir.Node, ids []int32, sc *dynScratch, m *metrics.Counters) {
 	rules := e.g.DynRules(n.Op)
+	// One snapshot resolves every kid id: kid states were interned before
+	// their ids were published, and the state list is append-only.
+	states := e.table.States()
 	sc.dyn = sc.dyn[:0]
 	sc.sig = sc.sig[:0]
 	for _, ri := range rules {
@@ -446,7 +511,7 @@ func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch, 
 		c := grammar.Inf
 		applicable := true
 		for ki, kid := range n.Kids {
-			if !states[kid.Index].Derives(r.Kids[ki]) {
+			if !states[ids[kid.Index]].Derives(r.Kids[ki]) {
 				applicable = false
 				break
 			}
@@ -463,7 +528,6 @@ func (e *Engine) evalDyn(n *ir.Node, states []*automaton.State, sc *dynScratch, 
 		binary.LittleEndian.PutUint32(tmp[:], uint32(c))
 		sc.sig = append(sc.sig, tmp[:]...)
 	}
-	return string(sc.sig)
 }
 
 // construct is the slow path: run the DP step once and intern the result.
@@ -478,27 +542,22 @@ func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []g
 }
 
 // MemoryBytes estimates the engine's current table footprint: interned
-// states plus all memoized transition storage.
+// states plus all memoized transition storage. Dense entries are 4 bytes
+// (flat int32 state ids).
 func (e *Engine) MemoryBytes() int {
 	b := e.table.MemoryBytes()
 	for op := range e.un {
 		if rp := e.un[op].Load(); rp != nil {
-			b += 8 * len(*rp)
+			b += 4 * len(*rp)
 		}
-		if tp := e.bin[op].Load(); tp != nil {
-			tbl := *tp
-			b += 8 * len(tbl)
-			for i := range tbl {
-				if rp := tbl[i].Load(); rp != nil {
-					b += 8 * len(*rp)
-				}
-			}
+		if t := e.bin[op].Load(); t != nil {
+			b += 4*len(t.cells) + 16
 		}
 		e.hash[op].Range(func(k, _ any) bool {
-			b += 16 + len(k.(transKey).sig) + 8
+			b += 16 + len(k.(transKey).sig) + 4
 			return true
 		})
 	}
-	b += 8 * len(e.leaf)
+	b += 4 * len(e.leaf)
 	return b
 }

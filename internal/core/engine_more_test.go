@@ -59,12 +59,63 @@ func TestForceHashUsesNoDenseTables(t *testing.T) {
 	f := ir.RandomForest(g, ir.RandomConfig{Seed: 4, Trees: 50, MaxDepth: 6})
 	e.Label(f)
 	for op := range e.un {
-		if e.leaf[op].Load() != nil || e.un[op].Load() != nil || e.bin[op].Load() != nil {
+		if e.leaf[op].Load() >= 0 || e.un[op].Load() != nil || e.bin[op].Load() != nil {
 			t.Fatalf("dense table populated for op %s under ForceHash", g.OpName(grammar.OpID(op)))
 		}
 	}
 	if e.NumStates() == 0 {
 		t.Fatal("nothing labeled")
+	}
+}
+
+// TestDynPanicKeepsPoolHealthy: a panicking user dynamic-cost function
+// must not leak the pooled dynScratch — the Put is deferred — and the
+// panic propagates to the caller's containment boundary (the compilation
+// server recovers it per job). After any number of panics the engine
+// labels correctly and the warm dynamic path is still allocation-free,
+// which is only possible if the scratch kept flowing back to the pool.
+func TestDynPanicKeepsPoolHealthy(t *testing.T) {
+	g := grammar.MustParse(`%name boom
+%start stmt
+%term Asgn(2) Reg(0) Cnst(0)
+reg: Reg (0)
+reg: Cnst (dyn boom)
+stmt: Asgn(reg, reg) (1)
+`)
+	env := grammar.DynEnv{"boom": func(n grammar.DynNode) grammar.Cost {
+		if n.Value() == 13 {
+			panic("unlucky immediate")
+		}
+		return 1
+	}}
+	e, err := New(g, env, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ir.MustParseTree(g, "Asgn(Reg[1], Cnst[13])")
+	good := ir.MustParseTree(g, "Asgn(Reg[1], Cnst[7])")
+	for i := 0; i < 8; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected the dynamic-cost panic to propagate")
+				}
+			}()
+			e.Label(bad)
+		}()
+	}
+	lab := e.LabelStates(good)
+	if lab.RuleAt(good.Roots[0], g.Start) < 0 {
+		t.Fatal("engine cannot label after contained panics")
+	}
+	e.ReleaseLabeling(lab)
+	e.ReleaseLabeling(e.LabelStates(good)) // fully warm
+	allocs := testing.AllocsPerRun(50, func() {
+		e.ReleaseLabeling(e.LabelStates(good))
+	})
+	t.Logf("warm dynamic label after panics: %.2f allocs/op", allocs)
+	if !raceEnabled && allocs != 0 {
+		t.Errorf("warm dynamic label allocates %.2f/op after panics, want 0 (scratch pool leaked?)", allocs)
 	}
 }
 

@@ -56,29 +56,25 @@ func (e *Engine) Save(w io.Writer) error {
 		}
 	}
 
-	// Dense transitions.
+	// Dense transitions. Cells are read plainly: every writer holds the
+	// operator mutex we already hold via lockAll.
 	var leaf, un, bin [][3]int64
 	for op := range e.leaf {
-		if s := e.leaf[op].Load(); s != nil {
-			leaf = append(leaf, [3]int64{int64(op), int64(s.ID), 0})
+		if id := e.leaf[op].Load(); id >= 0 {
+			leaf = append(leaf, [3]int64{int64(op), int64(id), 0})
 		}
 		if rp := e.un[op].Load(); rp != nil {
-			for k := range *rp {
-				if s := (*rp)[k].Load(); s != nil {
-					un = append(un, [3]int64{int64(op), int64(k), int64(s.ID)})
+			for k, id := range *rp {
+				if id >= 0 {
+					un = append(un, [3]int64{int64(op), int64(k), int64(id)})
 				}
 			}
 		}
-		if tp := e.bin[op].Load(); tp != nil {
-			tbl := *tp
-			for l := range tbl {
-				rp := tbl[l].Load()
-				if rp == nil {
-					continue
-				}
-				for r := range *rp {
-					if s := (*rp)[r].Load(); s != nil {
-						bin = append(bin, [3]int64{int64(op), int64(l)<<32 | int64(r), int64(s.ID)})
+		if t := e.bin[op].Load(); t != nil {
+			for l := int32(0); l < t.rows; l++ {
+				for r := int32(0); r < t.stride; r++ {
+					if id := t.cells[l*t.stride+r]; id >= 0 {
+						bin = append(bin, [3]int64{int64(op), int64(l)<<32 | int64(r), int64(id)})
 					}
 				}
 			}
@@ -106,7 +102,7 @@ func (e *Engine) Save(w io.Writer) error {
 	var entries []hashEntry
 	for op := range e.hash {
 		e.hash[op].Range(func(k, v any) bool {
-			entries = append(entries, hashEntry{op, k.(transKey), v.(*automaton.State).ID})
+			entries = append(entries, hashEntry{op, k.(transKey), v.(int32)})
 			return true
 		})
 	}
@@ -233,7 +229,7 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		e.leaf[op].Store(s)
+		e.leaf[op].Store(s.ID)
 		e.transitions.Add(1)
 		return nil
 	}); err != nil {
@@ -241,13 +237,14 @@ func (e *Engine) Load(r io.Reader) error {
 	}
 	// Unary triples store (op, kidStateID, stateID).
 	if err := readTriples(func(op, key, sid uint64) error {
+		if _, err := state(key); err != nil {
+			return err
+		}
 		s, err := state(sid)
 		if err != nil {
 			return err
 		}
-		row := growRow(e.un[op].Load(), int(key))
-		row[key].Store(s)
-		e.un[op].Store(&row)
+		e.setUnLocked(grammar.OpID(op), int(key), s.ID)
 		e.transitions.Add(1)
 		return nil
 	}); err != nil {
@@ -255,11 +252,17 @@ func (e *Engine) Load(r io.Reader) error {
 	}
 	// Binary triples store (op, left<<32|right, stateID).
 	if err := readTriples(func(op, key, sid uint64) error {
+		if _, err := state(key >> 32); err != nil {
+			return err
+		}
+		if _, err := state(uint64(uint32(key))); err != nil {
+			return err
+		}
 		s, err := state(sid)
 		if err != nil {
 			return err
 		}
-		e.setBinLocked(grammar.OpID(op), int(key>>32), int(uint32(key)), s)
+		e.setBinLocked(grammar.OpID(op), int(key>>32), int(uint32(key)), s.ID)
 		e.transitions.Add(1)
 		return nil
 	}); err != nil {
@@ -308,7 +311,7 @@ func (e *Engine) Load(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		e.hash[op].Store(transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}, s)
+		e.hash[op].Store(transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}, s.ID)
 		e.transitions.Add(1)
 	}
 	return nil

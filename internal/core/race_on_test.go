@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Strict allocation counts are skipped under -race: sync.Pool drops a
+// fraction of Put items by design there.
+const raceEnabled = true

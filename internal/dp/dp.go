@@ -12,6 +12,7 @@ package dp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/grammar"
 	"repro/internal/ir"
@@ -20,12 +21,14 @@ import (
 )
 
 // Labeler is an iburg/lburg-style dynamic-programming labeler. It
-// implements reduce.Labeler; all working state lives in the per-call
-// Result, so one Labeler may label from many goroutines concurrently.
+// implements reduce.Labeler (plus reduce.LabelingRecycler); all working
+// state lives in the per-call Result, so one Labeler may label from many
+// goroutines concurrently.
 type Labeler struct {
-	g   *grammar.Grammar
-	dyn []grammar.DynFunc // indexed by rule index; nil for fixed-cost rules
-	m   *metrics.Counters
+	g       *grammar.Grammar
+	dyn     []grammar.DynFunc // indexed by rule index; nil for fixed-cost rules
+	m       *metrics.Counters
+	results sync.Pool // *Result, recycled across Label calls
 }
 
 // New creates a labeler for g. env supplies the dynamic-cost functions the
@@ -36,7 +39,9 @@ func New(g *grammar.Grammar, env grammar.DynEnv, m *metrics.Counters) (*Labeler,
 	if err != nil {
 		return nil, err
 	}
-	return &Labeler{g: g, dyn: dyn, m: m}, nil
+	l := &Labeler{g: g, dyn: dyn, m: m}
+	l.results.New = func() any { return &Result{} }
+	return l, nil
 }
 
 // Grammar returns the grammar the labeler runs.
@@ -52,6 +57,34 @@ type Result struct {
 	// Rules[node][nt] is the rule index used in the first derivation step
 	// (-1 if impossible).
 	Rules [][]int32
+	// Backing arrays, reused when the Result is recycled through the
+	// labeler's pool.
+	costBack []grammar.Cost
+	ruleBack []int32
+}
+
+// reuse resizes the result for nodes×numNT, reusing the backing arrays
+// when capacity allows, and re-slices the per-node row headers.
+func (r *Result) reuse(nodes, numNT int) {
+	need := nodes * numNT
+	if cap(r.costBack) < need {
+		r.costBack = make([]grammar.Cost, need)
+		r.ruleBack = make([]int32, need)
+	} else {
+		r.costBack = r.costBack[:need]
+		r.ruleBack = r.ruleBack[:need]
+	}
+	if cap(r.Costs) < nodes {
+		r.Costs = make([][]grammar.Cost, nodes)
+		r.Rules = make([][]int32, nodes)
+	} else {
+		r.Costs = r.Costs[:nodes]
+		r.Rules = r.Rules[:nodes]
+	}
+	for i := 0; i < nodes; i++ {
+		r.Costs[i] = r.costBack[i*numNT : (i+1)*numNT : (i+1)*numNT]
+		r.Rules[i] = r.ruleBack[i*numNT : (i+1)*numNT : (i+1)*numNT]
+	}
 }
 
 // RuleAt implements the labeling interface used by the reducer.
@@ -98,23 +131,24 @@ func (l *Labeler) LabelResultMetered(f *ir.Forest, m *metrics.Counters) *Result 
 		m = l.m
 	}
 	numNT := l.g.NumNonterms()
-	res := &Result{
-		g:     l.g,
-		Costs: make([][]grammar.Cost, len(f.Nodes)),
-		Rules: make([][]int32, len(f.Nodes)),
-	}
-	// One backing array per table keeps allocation count independent of
-	// forest size.
-	costBack := make([]grammar.Cost, len(f.Nodes)*numNT)
-	ruleBack := make([]int32, len(f.Nodes)*numNT)
+	// Pooled backing arrays keep warm-path allocation count at zero; the
+	// Result flows back through ReleaseLabeling (or to the GC).
+	res := l.results.Get().(*Result)
+	res.g = l.g
+	res.reuse(len(f.Nodes), numNT)
 	for i, n := range f.Nodes {
-		costs := costBack[i*numNT : (i+1)*numNT : (i+1)*numNT]
-		rules := ruleBack[i*numNT : (i+1)*numNT : (i+1)*numNT]
-		res.Costs[i] = costs
-		res.Rules[i] = rules
-		l.labelNode(n, res, costs, rules, m)
+		l.labelNode(n, res, res.Costs[i], res.Rules[i], m)
 	}
 	return res
+}
+
+// ReleaseLabeling implements reduce.LabelingRecycler: it returns a Result
+// obtained from this labeler to the pool. The Result (including its Costs
+// and Rules rows) must not be used afterwards.
+func (l *Labeler) ReleaseLabeling(lab reduce.Labeling) {
+	if r, ok := lab.(*Result); ok && r != nil {
+		l.results.Put(r)
+	}
 }
 
 // labelNode computes the cost/rule row for one node given the (already

@@ -10,10 +10,17 @@
 // DAG inputs are handled per Ertl (POPL '99): each (node, nonterminal)
 // combination is reduced at most once; derivations from different parents
 // that meet at the same combination share it.
+//
+// The walk is iterative — an explicit enter/exit work stack instead of
+// recursion, so arbitrarily deep trees cannot overflow the goroutine
+// stack — and its per-call state (the stack plus a bitset indexed by
+// node×nonterminal that replaces the old map[int64]bool) is pooled, so a
+// warm Cover performs no allocation.
 package reduce
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/grammar"
 	"repro/internal/ir"
@@ -66,16 +73,33 @@ type MeteredLabeler interface {
 	LabelMetered(f *ir.Forest, m *metrics.Counters) Labeling
 }
 
+// LabelingRecycler is the optional engine capability behind the
+// allocation-free warm path: engines that implement it hand labelings out
+// of an internal pool, and ReleaseLabeling returns one so the next Label
+// call can reuse its buffers.
+//
+// Ownership contract: a labeling obtained from Label/LabelMetered belongs
+// to the caller. Calling ReleaseLabeling transfers it back — the caller
+// must not touch it (or anything read out of it that aliases its buffers)
+// afterwards. Releasing is optional; labelings that are kept are simply
+// garbage collected. Selector.Compile releases internally, which is what
+// makes a warm compile allocation-free per node.
+type LabelingRecycler interface {
+	ReleaseLabeling(lab Labeling)
+}
+
 // Visitor receives each applied rule in bottom-up (post-order) position —
 // the point where code generation actions run. nt is the nonterminal the
 // rule was applied for at n.
 type Visitor func(n *ir.Node, nt grammar.NT, r *grammar.Rule)
 
-// Reducer walks derivations.
+// Reducer walks derivations. One Reducer may cover from many goroutines
+// concurrently: all per-call state is pooled, never shared.
 type Reducer struct {
-	g   *grammar.Grammar
-	dyn []grammar.DynFunc
-	m   *metrics.Counters
+	g       *grammar.Grammar
+	dyn     []grammar.DynFunc
+	m       *metrics.Counters
+	scratch sync.Pool // *coverScratch
 }
 
 // New creates a reducer. env is needed only to account the true cost of
@@ -85,7 +109,40 @@ func New(g *grammar.Grammar, env grammar.DynEnv, m *metrics.Counters) (*Reducer,
 	if err != nil {
 		return nil, err
 	}
-	return &Reducer{g: g, dyn: dyn, m: m}, nil
+	rd := &Reducer{g: g, dyn: dyn, m: m}
+	rd.scratch.New = func() any { return &coverScratch{} }
+	return rd, nil
+}
+
+// coverFrame is one entry of the explicit reduction stack. ri < 0 marks an
+// enter frame (the (n, nt) combination still needs its rule resolved and
+// its premises pushed); ri >= 0 marks an exit frame (all premises are
+// reduced — apply rule ri: account its cost and fire the visitor).
+type coverFrame struct {
+	n  *ir.Node
+	nt grammar.NT
+	ri int32
+}
+
+// coverScratch is the pooled per-Cover state: the work stack and the
+// visited bitset, indexed by node×nonterminal.
+type coverScratch struct {
+	stack []coverFrame
+	seen  []uint64
+}
+
+// getScratch returns a scratch whose bitset covers node indices below
+// bound, cleared and ready to use.
+func (rd *Reducer) getScratch(bound int) *coverScratch {
+	sc := rd.scratch.Get().(*coverScratch)
+	words := (bound*rd.g.NumNonterms() + 63) / 64
+	if cap(sc.seen) < words {
+		sc.seen = make([]uint64, words)
+	} else {
+		sc.seen = sc.seen[:words]
+		clear(sc.seen)
+	}
+	return sc
 }
 
 // Cover reduces every root of f from the grammar's start nonterminal and
@@ -104,10 +161,13 @@ func (rd *Reducer) CoverMetered(f *ir.Forest, lab Labeling, visit Visitor, m *me
 	if m == nil {
 		m = rd.m
 	}
-	visited := make(map[int64]bool)
+	sc := rd.getScratch(len(f.Nodes))
+	defer rd.scratch.Put(sc)
 	var total grammar.Cost
 	for _, root := range f.Roots {
-		c, err := rd.reduce(root, rd.g.Start, lab, visit, visited, m)
+		// The bitset is shared across roots: derivations from different
+		// roots that meet at one (node, nonterminal) share it too.
+		c, err := rd.reduce(root, rd.g.Start, lab, visit, sc, m)
 		if err != nil {
 			return 0, err
 		}
@@ -118,52 +178,70 @@ func (rd *Reducer) CoverMetered(f *ir.Forest, lab Labeling, visit Visitor, m *me
 
 // CoverTree reduces a single node from an arbitrary goal nonterminal.
 func (rd *Reducer) CoverTree(root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor) (grammar.Cost, error) {
-	return rd.reduce(root, goal, lab, visit, make(map[int64]bool), rd.m)
+	// Nodes are topologically indexed, so every node reachable from root
+	// has an index no larger than root's.
+	sc := rd.getScratch(root.Index + 1)
+	defer rd.scratch.Put(sc)
+	return rd.reduce(root, goal, lab, visit, sc, rd.m)
 }
 
-func (rd *Reducer) reduce(n *ir.Node, nt grammar.NT, lab Labeling, visit Visitor, visited map[int64]bool, m *metrics.Counters) (grammar.Cost, error) {
-	key := int64(n.Index)<<16 | int64(nt)
-	if visited[key] {
-		// DAG sharing: this (node, nonterminal) was already reduced via
-		// another parent; its cost and actions are accounted there.
-		return 0, nil
-	}
-	visited[key] = true
-	m.CountReduce()
-
-	ri := lab.RuleAt(n, nt)
-	if ri < 0 {
-		return 0, fmt.Errorf("reduce: no derivation of %s for operator %s at node %d",
-			rd.g.NTName(nt), rd.g.OpName(n.Op), n.Index)
-	}
-	r := &rd.g.Rules[ri]
-	var total grammar.Cost
-	if r.IsChain {
-		c, err := rd.reduce(n, r.ChainRHS, lab, visit, visited, m)
-		if err != nil {
-			return 0, err
-		}
-		total = c.Add(r.Cost)
-	} else {
-		if r.Op != n.Op {
-			return 0, fmt.Errorf("reduce: labeling is corrupt: rule %s (op %s) recorded at node with op %s",
-				rd.g.RuleName(int(ri)), rd.g.OpName(r.Op), rd.g.OpName(n.Op))
-		}
-		for ki, kid := range n.Kids {
-			c, err := rd.reduce(kid, r.Kids[ki], lab, visit, visited, m)
-			if err != nil {
-				return 0, err
+// reduce walks the derivation of (root, goal) with an explicit stack:
+// enter frames resolve the rule at a (node, nonterminal) combination and
+// push its premises (kids for base rules, the RHS combination for chain
+// rules) under an exit frame; exit frames fire in exactly the bottom-up
+// left-to-right order the recursive formulation produced, so visitor
+// (and therefore emission) order is unchanged. Costs accumulate globally:
+// every applied rule contributes exactly once, which is the same sum the
+// recursive version computed, and saturating Cost addition makes the
+// association irrelevant.
+func (rd *Reducer) reduce(root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor, sc *coverScratch, m *metrics.Counters) (total grammar.Cost, err error) {
+	numNT := rd.g.NumNonterms()
+	stack := append(sc.stack[:0], coverFrame{n: root, nt: goal, ri: -1})
+	defer func() { sc.stack = stack[:0] }() // keep grown capacity pooled
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.ri >= 0 {
+			// Exit: premises reduced — account the applied rule and fire
+			// the action.
+			r := &rd.g.Rules[fr.ri]
+			if fn := rd.dyn[fr.ri]; fn != nil && !r.IsChain {
+				total = total.Add(fn(fr.n))
+			} else {
+				total = total.Add(r.Cost)
 			}
-			total = total.Add(c)
+			if visit != nil {
+				visit(fr.n, fr.nt, r)
+			}
+			continue
 		}
-		if fn := rd.dyn[ri]; fn != nil {
-			total = total.Add(fn(n))
-		} else {
-			total = total.Add(r.Cost)
+		key := fr.n.Index*numNT + int(fr.nt)
+		if sc.seen[key>>6]&(1<<(key&63)) != 0 {
+			// DAG sharing: this (node, nonterminal) was already reduced via
+			// another parent; its cost and actions are accounted there.
+			continue
 		}
-	}
-	if visit != nil {
-		visit(n, nt, r)
+		sc.seen[key>>6] |= 1 << (key & 63)
+		m.CountReduce()
+
+		ri := lab.RuleAt(fr.n, fr.nt)
+		if ri < 0 {
+			return 0, fmt.Errorf("reduce: no derivation of %s for operator %s at node %d",
+				rd.g.NTName(fr.nt), rd.g.OpName(fr.n.Op), fr.n.Index)
+		}
+		r := &rd.g.Rules[ri]
+		stack = append(stack, coverFrame{n: fr.n, nt: fr.nt, ri: ri})
+		if r.IsChain {
+			stack = append(stack, coverFrame{n: fr.n, nt: r.ChainRHS, ri: -1})
+			continue
+		}
+		if r.Op != fr.n.Op {
+			return 0, fmt.Errorf("reduce: labeling is corrupt: rule %s (op %s) recorded at node with op %s",
+				rd.g.RuleName(int(ri)), rd.g.OpName(r.Op), rd.g.OpName(fr.n.Op))
+		}
+		for ki := len(fr.n.Kids) - 1; ki >= 0; ki-- {
+			stack = append(stack, coverFrame{n: fr.n.Kids[ki], nt: r.Kids[ki], ri: -1})
+		}
 	}
 	return total, nil
 }

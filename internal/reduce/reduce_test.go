@@ -194,6 +194,57 @@ func TestCoverTreeGoal(t *testing.T) {
 	}
 }
 
+// TestDeepTreeReduction: the reducer walks with an explicit work stack, so
+// a pathologically deep tree (here a 200000-deep chain of unary Loads)
+// must reduce without growing the goroutine stack proportionally. The
+// recursive formulation burned one stack frame per level; this is the
+// regression guard for the iterative rewrite.
+func TestDeepTreeReduction(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	const depth = 200000
+	b := ir.NewBuilder(g)
+	n := b.Leaf("Reg", 1)
+	for i := 0; i < depth; i++ {
+		n = b.Node("Load", n)
+	}
+	f := b.SingleTree(n)
+	visits := 0
+	cost, err := rd.CoverTree(f.Roots[0], g.MustNT("reg"), l.Label(f), func(*ir.Node, grammar.NT, *grammar.Rule) {
+		visits++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.IsInf() || cost == 0 {
+		t.Fatalf("deep chain cost = %d, want finite nonzero", cost)
+	}
+	if visits < depth {
+		t.Fatalf("visits = %d, want at least one per level (%d)", visits, depth)
+	}
+}
+
+// TestVisitOrderBottomUp: exits must fire bottom-up,
+// left-to-right — children before parents, kid 0's subtree before kid
+// 1's — because emission depends on operands existing before use.
+func TestVisitOrderBottomUp(t *testing.T) {
+	d, l, rd := setup(t)
+	g := d.Grammar
+	f := ir.MustParseTree(g, "Store(Reg[1], Plus(Load(Reg[2]), Reg[3]))")
+	seenNode := map[*ir.Node]bool{}
+	_, err := rd.Cover(f, l.Label(f), func(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
+		for _, k := range n.Kids {
+			if !seenNode[k] {
+				t.Fatalf("rule %s fired at node %d before its child %d", g.RuleName(r.Index), n.Index, k.Index)
+			}
+		}
+		seenNode[n] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReduceMetrics(t *testing.T) {
 	d := md.MustLoad("demo")
 	l, _ := dp.New(d.Grammar, d.Env, nil)

@@ -18,6 +18,14 @@
 // counters with Counters.Add. The per-client totals therefore sum exactly
 // to the global totals, which the race tests assert.
 //
+// Per-job state is recycled throughout: each worker reuses one counter
+// sink, and Selector.CompileMetered pools labelings, reducer scratch and
+// emitters internally (see reduce.LabelingRecycler), so a warm job's only
+// allocations are its output — steady-state traffic puts no per-node
+// pressure on the GC. GET /stats stays cheap for the same reason:
+// Snapshot's MemoryBytes is maintained at intern time, not recomputed by
+// walking the state table.
+//
 // Shutdown is graceful: new submissions are refused, queued and in-flight
 // jobs drain, and every future still resolves.
 package server

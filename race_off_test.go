@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on_test.go.
+const raceEnabled = false

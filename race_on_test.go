@@ -1,0 +1,9 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race, sync.Pool deliberately drops a fraction of Put items, so
+// the strict zero-allocation assertions cannot hold; the guard tests still
+// execute their full code paths (for race coverage) but skip the counts.
+const raceEnabled = true
