@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -90,6 +91,28 @@ func TestWarmDynSelectCostAllocFree(t *testing.T) {
 	assertZeroAllocs(t, "warm SelectCost (dynamic x86, whole corpus)", allocs)
 }
 
+// TestWarmCostOnlyCompileAllocs: the v2 spelling of the same path —
+// Compile(ctx, f, CostOnly()) — may allocate only its *Output result (the
+// option closure is static and the variadic slice stays on the stack):
+// nothing per node, nothing proportional to forest size.
+func TestWarmCostOnlyCompileAllocs(t *testing.T) {
+	sel, fs := warmSelector(t, "x86", true)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			sel.Compile(ctx, f, repro.CostOnly())
+		}
+	})
+	perCall := allocs / float64(len(fs))
+	t.Logf("warm CostOnly Compile: %.2f allocs/op over %d forests (%.2f per call)", allocs, len(fs), perCall)
+	if raceEnabled {
+		return
+	}
+	if perCall > 2 {
+		t.Errorf("warm CostOnly Compile allocates %.2f per call, want <= 2 (the Output result only)", perCall)
+	}
+}
+
 // TestWarmLabelReleaseAllocFree pins the engine-level contract: a warm
 // LabelStates whose labeling is handed back with ReleaseLabeling reuses
 // every buffer.
@@ -126,9 +149,10 @@ func TestWarmCompileAllocsAreResultArenaOnly(t *testing.T) {
 	for _, f := range fs {
 		nodes += f.NumNodes()
 	}
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(50, func() {
 		for _, f := range fs {
-			sel.Compile(f)
+			sel.Compile(ctx, f)
 		}
 	})
 	perNode := allocs / float64(nodes)

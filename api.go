@@ -11,13 +11,28 @@
 //     lazily at selection time, giving (warm) static-automaton speed
 //     *and* dynamic costs.
 //
-// Typical use:
+// Typical use (the v2 context-first surface):
 //
 //	m, _ := repro.LoadMachine("x86")
 //	sel, _ := m.NewSelector(repro.KindOnDemand, repro.Options{})
 //	unit, _ := m.CompileMinC(src)           // or m.ParseTree("ADD(REG[1], CNST[2])")
-//	out, _ := sel.Compile(unit.Funcs[0].Forest)
+//	out, _ := sel.Compile(ctx, unit.Funcs[0].Forest)
 //	fmt.Println(out.Asm, out.Cost)
+//
+// Compile and CompileUnit take a context.Context plus functional options:
+// WithCounters(c) attributes this one call's work to c (the compilation
+// server's per-client accounting), CostOnly() skips emission (the cheap
+// experiment path), WithWorkers(n) compiles a unit's functions across n
+// goroutines sharing the selector's one engine. Cancellation is
+// cooperative: the reducer polls ctx.Done() every few hundred nodes and
+// unit compilation checks between functions, so a cancelled call returns
+// ctx.Err() within a bounded amount of work. A background context costs
+// nothing on the warm path.
+//
+// For serving several machine descriptions from one process, Registry
+// holds named, lazily-constructed, individually-warmed selectors (with
+// optional automaton persistence across restarts); internal/server and
+// cmd/iselserver are built on it.
 //
 // # Engines and the Labeler interface
 //
@@ -30,22 +45,24 @@
 //
 // # Concurrency
 //
-// Selectors are safe for concurrent use: Compile, Label and SelectCost
+// Selectors are safe for concurrent use: Compile, CompileUnit and Label
 // may be called from many goroutines sharing one selector. All built-in
 // engines support concurrent labeling — the on-demand engine synchronizes
 // its construct slow path internally (see package core), which is the
 // paper's scenario extended to a parallel compilation server: one warm
 // automaton serving every worker, each worker's misses warming the tables
-// for all. CompileUnitParallel is the built-in driver for that shape;
-// internal/server (fronted by cmd/iselserver) is the full compilation
-// server built on it, using CompileMetered and Snapshot to attribute one
-// shared engine's work to individual clients and to report automaton
-// warmth over a session.
+// for all. CompileUnit with WithWorkers is the built-in driver for that
+// shape; internal/server (fronted by cmd/iselserver) is the full
+// compilation server built on a Registry of such selectors, using
+// WithCounters and Snapshot to attribute each shared engine's work to
+// individual clients and to report automaton warmth over a session.
 // Only selector-wide reconfiguration (LoadAutomaton) must be serialized
 // against in-flight compilation.
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -145,6 +162,7 @@ func init() {
 	RegisterEngine(KindOnDemand, func(m *Machine, opt Options) (Labeler, error) {
 		e, err := core.New(m.Grammar, m.Env, core.Config{
 			DeltaCap: opt.DeltaCap, Metrics: opt.Metrics, ForceHash: opt.ForceHash,
+			MaxStates: opt.MaxStates,
 		})
 		if err != nil {
 			return nil, err
@@ -221,7 +239,9 @@ func (m *Machine) CompileMinC(src string) (*Unit, error) {
 // CompileUnitParallel compiles every function of unit with sel across
 // workers goroutines sharing sel's one engine — the compilation-server
 // scenario: for the on-demand kind, every worker's misses warm the same
-// automaton. See Selector.CompileUnitParallel for the semantics.
+// automaton.
+//
+// Deprecated: use sel.CompileUnit(ctx, unit, WithWorkers(workers)).
 func (m *Machine) CompileUnitParallel(sel *Selector, unit *Unit, workers int) ([]*Output, error) {
 	if sel.Machine() != m {
 		return nil, fmt.Errorf("repro: selector belongs to machine %q, not %q", sel.Machine().Name, m.Name)
@@ -239,7 +259,20 @@ type Options struct {
 	// ForceHash routes all on-demand transitions through the hash table
 	// (the table-layout ablation). Only meaningful for KindOnDemand.
 	ForceHash bool
+	// MaxStates bounds the number of automaton states the on-demand engine
+	// may materialize (0 = unlimited): the cap policy for pathological
+	// grammars in long-lived servers. A compile whose labeling would grow
+	// the state table past the budget fails with an error matching
+	// ErrStateBudget (errors.Is); warm traffic over already-materialized
+	// states keeps compiling at the cap. Only meaningful for KindOnDemand.
+	MaxStates int
 }
+
+// ErrStateBudget is the typed error a compile fails with when
+// Options.MaxStates is set and labeling would materialize more states than
+// the budget allows. Match it with errors.Is; cmd/iselserver surfaces it
+// as HTTP 503.
+var ErrStateBudget = core.ErrStateBudget
 
 // Selector is an instruction selector: a labeling engine plus the shared
 // reducer and a pool of emitters. Selectors persist across Compile calls —
@@ -320,47 +353,146 @@ type Output struct {
 // its buffers if it is handed back via ReleaseLabeling, but keeping it is
 // always safe.
 func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
-	return s.eng.Label(f), nil
+	return s.labelChecked(f, nil)
 }
 
-// Compile selects instructions for f: label, reduce, emit.
-func (s *Selector) Compile(f *Forest) (*Output, error) {
-	return s.CompileMetered(f, nil)
+// CompileOption tunes one Compile or CompileUnit call. Options compose:
+// Compile(ctx, f, WithCounters(c), CostOnly()) is a metered cost-only
+// selection.
+type CompileOption func(*compileConfig)
+
+// compileConfig is the resolved option set of one call. The deprecated
+// shims construct it directly (no variadic slice, no closures), which is
+// what keeps the warm SelectCost path at exactly zero allocations.
+type compileConfig struct {
+	counters *Counters
+	costOnly bool
+	workers  int
 }
 
-// CompileMetered is Compile with per-call counter attribution: the
-// labeling and reduction events of this one call are counted into m
-// instead of the selector's configured Options.Metrics sink (nil m is
-// plain Compile). m may be a fresh Counters per call; callers merge the
-// deltas with Counters.Add. This is the session hook the compilation
-// server (internal/server) uses to account one shared warm engine's work
-// to individual clients.
-func (s *Selector) CompileMetered(f *Forest, m *Counters) (*Output, error) {
-	lab := s.labelMetered(f, m)
+// WithCounters attributes this one call's labeling and reduction events to
+// c instead of the selector's configured Options.Metrics sink. c may be a
+// fresh Counters per call; callers merge deltas with Counters.Add. This is
+// the session hook the compilation server (internal/server) uses to
+// account one shared warm engine's work to individual clients.
+func WithCounters(c *Counters) CompileOption {
+	return func(cfg *compileConfig) { cfg.counters = c }
+}
+
+// CostOnly skips emission: the call labels and reduces only, and the
+// returned Output carries the derivation cost with empty assembly — the
+// cheap path for experiments and cost probes.
+func CostOnly() CompileOption {
+	return func(cfg *compileConfig) { cfg.costOnly = true }
+}
+
+// WithWorkers compiles a unit's functions across n goroutines sharing the
+// selector's one engine (n <= 0 means GOMAXPROCS; 1 is sequential). Only
+// meaningful for CompileUnit.
+func WithWorkers(n int) CompileOption {
+	return func(cfg *compileConfig) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		cfg.workers = n
+	}
+}
+
+// Compile selects instructions for f: label, reduce, emit (emission
+// elided under CostOnly). It is the single forest-level entry point of the
+// v2 surface; the legacy CompileMetered/SelectCost/SelectCostMetered
+// methods are thin deprecated shims over it.
+//
+// Cancellation is cooperative: ctx is checked before labeling and then at
+// reducer checkpoints every few hundred nodes, so a cancelled compile of
+// an arbitrarily large forest returns ctx.Err() within a bounded amount of
+// work. context.Background() costs nothing on the warm path.
+func (s *Selector) Compile(ctx context.Context, f *Forest, opts ...CompileOption) (*Output, error) {
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.compile(ctx, f, &cfg)
+}
+
+func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (*Output, error) {
+	if cfg.costOnly {
+		cost, err := s.selectCost(ctx, f, cfg.counters)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Cost: cost}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lab, err := s.labelChecked(f, cfg.counters)
+	if err != nil {
+		return nil, err
+	}
 	defer s.releaseLabeling(lab)
 	em := s.emitters.Get().(*emit.Emitter)
 	defer s.emitters.Put(em)
 	em.Reset()
-	cost, err := s.rd.CoverMetered(f, lab, em.Visit, m)
+	cost, err := s.rd.CoverContext(ctx, f, lab, em.Visit, cfg.counters)
 	if err != nil {
 		return nil, err
 	}
 	return &Output{Asm: em.Asm(), Instructions: em.Instructions(), Cost: cost}, nil
 }
 
-// SelectCost labels and reduces without emitting, returning only the
-// derivation cost — the cheap path for experiments. Warm, it allocates
-// nothing: the labeling and the reducer's working set are pooled.
-func (s *Selector) SelectCost(f *Forest) (Cost, error) {
-	return s.SelectCostMetered(f, nil)
+// selectCost is the shared cost-only path: label + reduce, no emitter and
+// no Output allocation, so a warm call allocates nothing at all.
+func (s *Selector) selectCost(ctx context.Context, f *Forest, m *Counters) (Cost, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	lab, err := s.labelChecked(f, m)
+	if err != nil {
+		return 0, err
+	}
+	defer s.releaseLabeling(lab)
+	return s.rd.CoverContext(ctx, f, lab, nil, m)
 }
 
-// SelectCostMetered is SelectCost with per-call counter attribution (see
-// CompileMetered).
+// labelChecked labels f, converting the engine's typed state-budget panic
+// (Options.MaxStates exceeded; see core.Config.MaxStates) into an error.
+// Any other panic — a user dynamic-cost function blowing up — propagates
+// to the caller's containment boundary unchanged.
+func (s *Selector) labelChecked(f *Forest, m *Counters) (lab reduce.Labeling, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrStateBudget) {
+				lab, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.labelMetered(f, m), nil
+}
+
+// CompileMetered is Compile with per-call counter attribution.
+//
+// Deprecated: use Compile(ctx, f, WithCounters(m)).
+func (s *Selector) CompileMetered(f *Forest, m *Counters) (*Output, error) {
+	return s.compile(context.Background(), f, &compileConfig{counters: m})
+}
+
+// SelectCost labels and reduces without emitting, returning only the
+// derivation cost. Warm, it allocates nothing: the labeling and the
+// reducer's working set are pooled.
+//
+// Deprecated: use Compile(ctx, f, CostOnly()) and read Output.Cost.
+func (s *Selector) SelectCost(f *Forest) (Cost, error) {
+	return s.selectCost(context.Background(), f, nil)
+}
+
+// SelectCostMetered is SelectCost with per-call counter attribution.
+//
+// Deprecated: use Compile(ctx, f, CostOnly(), WithCounters(m)).
 func (s *Selector) SelectCostMetered(f *Forest, m *Counters) (Cost, error) {
-	lab := s.labelMetered(f, m)
-	defer s.releaseLabeling(lab)
-	return s.rd.CoverMetered(f, lab, nil, m)
+	return s.selectCost(context.Background(), f, m)
 }
 
 // releaseLabeling hands a labeling that Compile obtained internally back
@@ -385,36 +517,44 @@ func (s *Selector) labelMetered(f *Forest, m *Counters) reduce.Labeling {
 	return s.eng.Label(f)
 }
 
-// CompileUnit compiles every function of unit in order, returning one
-// Output per function.
-func (s *Selector) CompileUnit(u *Unit) ([]*Output, error) {
-	outs := make([]*Output, len(u.Funcs))
-	for i := range u.Funcs {
-		out, err := s.Compile(u.Funcs[i].Forest)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
-		}
-		outs[i] = out
+// CompileUnit compiles every function of unit, returning one Output per
+// function in unit order. With WithWorkers(n > 1) the functions are
+// compiled across n goroutines sharing this selector (and therefore one
+// engine) — the parallel compilation driver; outputs are identical to the
+// sequential ones because engines guarantee the same labels regardless of
+// worker interleaving (states are content-addressed). The first error by
+// function order is returned.
+//
+// ctx is checked between functions (and inside each compile at the
+// reducer checkpoints), so cancelling mid-unit stops promptly; queued
+// functions fail with ctx.Err().
+func (s *Selector) CompileUnit(ctx context.Context, u *Unit, opts ...CompileOption) ([]*Output, error) {
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return outs, nil
+	return s.compileUnit(ctx, u, &cfg)
 }
 
-// CompileUnitParallel compiles the functions of unit across workers
-// goroutines sharing this selector (and therefore one engine): the
-// parallel compilation driver. workers <= 0 uses GOMAXPROCS. Outputs are
-// indexed by function, identical to CompileUnit's — engines guarantee the
-// same labels regardless of worker interleaving, because states are
-// content-addressed. The first error (by function order) is returned.
-func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) {
+func (s *Selector) compileUnit(ctx context.Context, u *Unit, cfg *compileConfig) ([]*Output, error) {
 	n := len(u.Funcs)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := cfg.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return s.CompileUnit(u)
+		outs := make([]*Output, n)
+		for i := range u.Funcs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := s.compile(ctx, u.Funcs[i].Forest, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
+			}
+			outs[i] = out
+		}
+		return outs, nil
 	}
 	outs := make([]*Output, n)
 	errs := make([]error, n)
@@ -429,7 +569,14 @@ func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) 
 				if i >= n {
 					return
 				}
-				outs[i], errs[i] = s.Compile(u.Funcs[i].Forest)
+				// The per-function checkpoint of the sequential loop:
+				// after cancellation, remaining claims fail fast instead
+				// of compiling.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				outs[i], errs[i] = s.compile(ctx, u.Funcs[i].Forest, cfg)
 			}
 		}()
 	}
@@ -440,6 +587,17 @@ func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) 
 		}
 	}
 	return outs, nil
+}
+
+// CompileUnitParallel compiles the functions of unit across workers
+// goroutines sharing this selector.
+//
+// Deprecated: use CompileUnit(ctx, u, WithWorkers(workers)).
+func (s *Selector) CompileUnitParallel(u *Unit, workers int) ([]*Output, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return s.compileUnit(context.Background(), u, &compileConfig{workers: workers})
 }
 
 // Snapshot is a point-in-time view of a selector's automaton warmth. The
@@ -481,6 +639,14 @@ func (s *Selector) MemoryBytes() int { return s.eng.MemoryBytes() }
 type AutomatonPersister interface {
 	Save(w io.Writer) error
 	Load(r io.Reader) error
+}
+
+// SupportsPersistence reports whether the selector's engine can save and
+// restore its automaton (see AutomatonPersister). Registry.SaveAll uses it
+// to skip table-free engines instead of failing.
+func (s *Selector) SupportsPersistence() bool {
+	_, ok := s.eng.(AutomatonPersister)
+	return ok
 }
 
 // SaveAutomaton persists the selector's automaton so a later run can

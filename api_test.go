@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ r: k (1) "mov %0 -> %d"
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sel.Compile(f)
+	out, err := sel.Compile(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ int f(int n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := dpSel.Compile(f)
+	a, err := dpSel.Compile(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := odSel.Compile(f)
+	b, err := odSel.Compile(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +105,8 @@ int f(int n) {
 		t.Errorf("engines disagree: dp(%d,%d) vs od(%d,%d)",
 			a.Cost, a.Instructions, b.Cost, b.Instructions)
 	}
-	if got, err := odSel.SelectCost(f); err != nil || got != a.Cost {
-		t.Errorf("SelectCost = %d, %v; want %d", got, err, a.Cost)
+	if got, err := odSel.Compile(context.Background(), f, repro.CostOnly()); err != nil || got.Cost != a.Cost {
+		t.Errorf("CostOnly compile = %v, %v; want cost %d", got, err, a.Cost)
 	}
 }
 
@@ -147,7 +148,7 @@ func TestSelectorAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sel.Compile(f); err != nil {
+	if _, err := sel.Compile(context.Background(), f); err != nil {
 		t.Fatal(err)
 	}
 	if c.NodesLabeled != int64(f.NumNodes()) {
@@ -185,7 +186,7 @@ func TestDAGBuilderThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sel.Compile(b.Finish())
+	out, err := sel.Compile(context.Background(), b.Finish())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestWarmStartThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := warm.Compile(f)
+	want, err := warm.Compile(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestWarmStartThroughAPI(t *testing.T) {
 	if err := restored.LoadAutomaton(strings.NewReader(buf.String())); err != nil {
 		t.Fatal(err)
 	}
-	got, err := restored.Compile(f)
+	got, err := restored.Compile(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}

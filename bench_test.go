@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -234,7 +235,7 @@ func BenchmarkOnDemandWarm(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, f := range fs {
-				if _, err := sel.Compile(f); err != nil {
+				if _, err := sel.Compile(context.Background(), f); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,61 @@
+// Command benchdiff gates the performance trajectory: it compares two
+// BENCH_PR<N>.json reports (see `iselbench -experiment PF -perf-out`) and
+// exits non-zero if any warm-path metric — warm label/select ns per node,
+// or allocations per corpus pass — regressed beyond the tolerance.
+//
+// Usage:
+//
+//	benchdiff BENCH_PR3.json BENCH_PR4.json               # default 10%
+//	benchdiff -max-regress 5 BENCH_PR3.json BENCH_PR4.json
+//
+// Allocation baselines of zero are a hard contract: any growth fails
+// regardless of tolerance. CI runs this over the committed trajectory
+// files so a hot-path PR cannot land a silent regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	tol := flag.Float64("max-regress", 10, "maximum tolerated regression, in percent")
+	allocsOnly := flag.Bool("allocs-only", false, "compare only the deterministic allocation metrics (for CI runners whose wall-clock numbers are not comparable to the committed baseline)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *tol, *allocsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, curPath string, tol float64, allocsOnly bool) error {
+	base, err := bench.LoadPerfReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.LoadPerfReport(curPath)
+	if err != nil {
+		return err
+	}
+	regressions := bench.ComparePerf(base, cur, tol, allocsOnly)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d warm-path regression(s) vs %s", len(regressions), basePath)
+	}
+	scope := "warm paths"
+	if allocsOnly {
+		scope = "warm allocation contract"
+	}
+	fmt.Printf("benchdiff: %s vs %s: %s within %.0f%% (%d grammars)\n",
+		basePath, curPath, scope, tol, len(cur.Rows))
+	return nil
+}

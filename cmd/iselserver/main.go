@@ -1,21 +1,33 @@
-// Command iselserver runs the compilation server: one warm labeling
-// engine shared by every client that connects — the deployment shape the
+// Command iselserver runs the compilation server: one process hosting a
+// registry of warm labeling engines — one per served machine description —
+// shared by every client that connects. This is the deployment shape the
 // paper's on-demand automata amortize best in (see internal/server).
 //
 // Usage:
 //
-//	iselserver -machine x86 -addr :8931
-//	iselserver -machine jit64 -kind ondemand -workers 8 -queue 64
+//	iselserver -machines x86 -addr :8931
+//	iselserver -machines x86,jit64,mips -kind ondemand -workers 8 -queue 64
+//	iselserver -machines x86,jit64 -automaton-dir /var/lib/isel -timeout 2s
 //
 // Protocol (HTTP/JSON; see internal/server for the request schemas):
 //
-//	POST /compile  {"client":"ci-1","trees":"ADD(REG[1], CNST[2])"}
-//	POST /compile  {"client":"ci-2","minc":"int main() { return 42; }"}
-//	GET  /stats
+//	POST /compile?machine=x86  {"client":"ci-1","trees":"ADD(REG[1], CNST[2])"}
+//	POST /compile              {"client":"ci-2","minc":"int main() { return 42; }"}
+//	GET  /stats                every registered machine's warmth
 //	GET  /healthz
 //
-// SIGINT/SIGTERM shut down gracefully: in-flight compilations drain and
-// the final warmth/throughput stats are printed.
+// The machine query parameter picks the machine description; without it,
+// requests land on the first -machines entry. -timeout bounds each job
+// (queue wait + compile; exceeded jobs answer 504); -max-states bounds
+// each on-demand automaton's state table (exhausted budgets answer 503).
+//
+// With -automaton-dir, each machine's saved on-demand tables are loaded
+// at boot (warm start: zero misses on traffic the previous run saw) and
+// saved back on graceful drain, one <machine>.automaton file each.
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight compilations drain, the
+// automata persist (when -automaton-dir is set), and the final
+// warmth/throughput stats are printed.
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,37 +46,66 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "x86", "machine description to serve")
+	machines := flag.String("machines", "x86", "comma-separated machine descriptions to serve (first is the default)")
 	kind := flag.String("kind", string(repro.KindOnDemand), "labeling engine kind (dp, static, ondemand)")
 	addr := flag.String("addr", ":8931", "listen address")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "work-queue depth (0 = 4*workers)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline for each compile job (0 = none)")
+	maxStates := flag.Int("max-states", 0, "state budget per on-demand automaton (0 = unlimited; exhausted budgets answer 503)")
+	autoDir := flag.String("automaton-dir", "", "directory of persisted automata: loaded per machine at boot, saved on graceful drain")
 	flag.Parse()
 
-	if err := run(*machine, *kind, *addr, *workers, *queue); err != nil {
+	if err := run(*machines, *kind, *addr, *autoDir, *workers, *queue, *maxStates, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "iselserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machine, kind, addr string, workers, queue int) error {
-	m, err := repro.LoadMachine(machine)
-	if err != nil {
-		return err
+func run(machines, kind, addr, autoDir string, workers, queue, maxStates int, timeout time.Duration) error {
+	reg := repro.NewRegistry()
+	if autoDir != "" {
+		reg.SetAutomatonDir(autoDir)
 	}
-	sel, err := m.NewSelector(repro.Kind(kind), repro.Options{})
-	if err != nil {
-		return err
+	var names []string
+	for _, name := range strings.Split(machines, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := reg.Add(name, repro.Kind(kind), repro.Options{MaxStates: maxStates}); err != nil {
+			return err
+		}
+		names = append(names, name)
 	}
-	srv := server.New(sel, server.Config{Workers: workers, QueueDepth: queue})
-	hs := &http.Server{Addr: addr, Handler: server.NewHandler(srv, m)}
+	if len(names) == 0 {
+		return fmt.Errorf("no machines to serve (-machines %q)", machines)
+	}
+	// Construct every engine at boot: it surfaces bad machine names and
+	// corrupt automaton files before the listener opens, and it is the
+	// moment persisted tables restore so first traffic is already warm.
+	for _, name := range names {
+		if err := reg.Warm(name); err != nil {
+			return err
+		}
+	}
+	if autoDir != "" {
+		for name, snap := range reg.Snapshots() {
+			if snap.States > 0 {
+				fmt.Printf("iselserver: %s restored with %d states, %d transitions\n", name, snap.States, snap.Transitions)
+			}
+		}
+	}
+
+	srv := server.New(reg, server.Config{Workers: workers, QueueDepth: queue, RequestTimeout: timeout})
+	hs := &http.Server{Addr: addr, Handler: server.NewHandler(srv)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("iselserver: serving %s (%s engine, %d workers) on %s\n",
-		machine, sel.Kind(), srv.Workers(), addr)
+	fmt.Printf("iselserver: serving %s (%s engines, %d workers) on %s\n",
+		strings.Join(names, ","), kind, srv.Workers(), addr)
 
 	select {
 	case err := <-errc:
@@ -74,12 +116,29 @@ func run(machine, kind, addr string, workers, queue int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Even if the HTTP drain deadline is exceeded, the compilation server
-	// itself must still drain (every accepted future resolves) and the
-	// final stats must print.
+	// itself must still drain (every accepted future resolves), the
+	// automata must persist, and the final stats must print.
 	httpErr := hs.Shutdown(ctx)
 	srv.Shutdown()
+	if autoDir != "" {
+		if err := reg.SaveAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "iselserver: saving automata:", err)
+			if httpErr == nil {
+				httpErr = err
+			}
+		} else {
+			fmt.Printf("iselserver: automata saved to %s\n", autoDir)
+		}
+	}
 	st := srv.Stats()
-	fmt.Printf("iselserver: served %d jobs (%d IR nodes) for %d clients; automaton ended at %d states, %d transitions, %d table bytes\n",
-		st.Jobs, st.Nodes, st.Clients, st.Warmth.States, st.Warmth.Transitions, st.Warmth.MemoryBytes)
+	fmt.Printf("iselserver: served %d jobs (%d IR nodes, %d cancelled) for %d clients\n",
+		st.Jobs, st.Nodes, st.Cancelled, st.Clients)
+	for _, ms := range st.Machines {
+		if !ms.Constructed {
+			continue
+		}
+		fmt.Printf("iselserver: %s automaton ended at %d states, %d transitions, %d table bytes\n",
+			ms.Machine, ms.Warmth.States, ms.Warmth.Transitions, ms.Warmth.MemoryBytes)
+	}
 	return httpErr
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +77,7 @@ func run(machine, engine, wl string, stats bool, args []string) error {
 	totalInstrs := 0
 	var totalCost repro.Cost
 	for _, fn := range unit.Funcs {
-		out, err := sel.Compile(fn.Forest)
+		out, err := sel.Compile(context.Background(), fn.Forest)
 		if err != nil {
 			return fmt.Errorf("%s: %w", fn.Name, err)
 		}

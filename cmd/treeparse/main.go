@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func run(machine, engine string, stats bool, args []string) error {
 	if err != nil {
 		return err
 	}
-	out, err := sel.Compile(f)
+	out, err := sel.Compile(context.Background(), f)
 	if err != nil {
 		return err
 	}

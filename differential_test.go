@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -120,7 +121,7 @@ func (a *arena) compare(t *testing.T, f *ir.Forest, seed int) bool {
 	var refOut *repro.Output
 	if refErr == nil {
 		var err error
-		refOut, err = a.sels[ref].Compile(f)
+		refOut, err = a.sels[ref].Compile(context.Background(), f)
 		if err != nil {
 			t.Fatalf("%s seed %d: %s compile after successful SelectCost: %v", a.name, seed, ref, err)
 		}
@@ -136,7 +137,7 @@ func (a *arena) compare(t *testing.T, f *ir.Forest, seed int) bool {
 		if cost != refCost {
 			t.Fatalf("%s seed %d: %s cost %d != %s cost %d", a.name, seed, kind, cost, ref, refCost)
 		}
-		out, err := a.sels[kind].Compile(f)
+		out, err := a.sels[kind].Compile(context.Background(), f)
 		if err != nil {
 			t.Fatalf("%s seed %d: %s compile: %v", a.name, seed, kind, err)
 		}

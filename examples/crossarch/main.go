@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ func report(machine, engine string, m *repro.Machine, unit *repro.Unit) {
 		totalCost := repro.Cost(0)
 		totalInstrs := 0
 		for _, fn := range unit.Funcs {
-			out, err := sel.Compile(fn.Forest)
+			out, err := sel.Compile(context.Background(), fn.Forest)
 			if err != nil {
 				log.Fatalf("%s/%s: %v", machine, engine, err)
 			}

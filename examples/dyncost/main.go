@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func immediateRanges() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := sel.Compile(f)
+		out, err := sel.Compile(context.Background(), f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +76,7 @@ int f() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := sel.Compile(unit.Funcs[0].Forest)
+	out, err := sel.Compile(context.Background(), unit.Funcs[0].Forest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,12 +121,12 @@ int f(int n) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := sel.Compile(f) // cold
+		out, err := sel.Compile(context.Background(), f) // cold
 		if err != nil {
 			log.Fatal(err)
 		}
 		c.Reset()
-		if _, err := sel.Compile(f); err != nil { // warm
+		if _, err := sel.Compile(context.Background(), f); err != nil { // warm
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-9s cost=%d warm work/node=%.1f (dyn evals/node=%.2f)\n",

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 		}
 		for _, fn := range unit.Funcs {
 			before := counters.Clone()
-			if _, err := jit.Compile(fn.Forest); err != nil {
+			if _, err := jit.Compile(context.Background(), fn.Forest); err != nil {
 				log.Fatalf("%s.%s: %v", p.Name, fn.Name, err)
 			}
 			nodes := fn.Forest.NumNodes()
@@ -61,7 +62,7 @@ func main() {
 				p.Name+"."+fn.Name, nodes, jit.States(), misses, work)
 
 			// The DP baseline compiles the same method for comparison.
-			if _, err := dpSel.Compile(fn.Forest); err != nil {
+			if _, err := dpSel.Compile(context.Background(), fn.Forest); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 			fmt.Printf("  %-9s %v\n", kind, err)
 			continue
 		}
-		out, err := sel.Compile(tree)
+		out, err := sel.Compile(context.Background(), tree)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 	dag := buildRMWDag(m)
-	out, err := sel.Compile(dag)
+	out, err := sel.Compile(context.Background(), dag)
 	if err != nil {
 		log.Fatal(err)
 	}

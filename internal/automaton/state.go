@@ -13,6 +13,7 @@ package automaton
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -22,6 +23,12 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 )
+
+// ErrStateBudget is the typed error behind Options.MaxStates: interning
+// that would grow the state table past its configured budget fails with an
+// error wrapping this sentinel instead of growing without bound. Callers
+// match it with errors.Is; the compilation server surfaces it as HTTP 503.
+var ErrStateBudget = errors.New("automaton: state budget exhausted")
 
 // DefaultDeltaCap is the default bound on relative costs. Deltas above the
 // cap are normalized to "not derivable". For realistic grammars (with the
@@ -85,8 +92,11 @@ func (s *State) MemoryBytes() int {
 // always observe a consistent prefix and never block on a concurrent
 // intern.
 type Table struct {
-	g  *grammar.Grammar
-	mu sync.Mutex // guards index and appends to the state list
+	g *grammar.Grammar
+	// max bounds the number of interned states when > 0 (see SetBudget);
+	// InternBudget refuses growth past it with ErrStateBudget.
+	max int
+	mu  sync.Mutex // guards index and appends to the state list
 
 	// index maps hash-consing keys to states; touched only under mu.
 	index map[string]*State
@@ -123,25 +133,48 @@ func (t *Table) Get(id int32) *State { return (*t.states.Load())[id] }
 // it.
 func (t *Table) States() []*State { return *t.states.Load() }
 
+// SetBudget bounds the number of states InternBudget may create (0 means
+// unlimited). Set it before the table is shared across goroutines; the
+// on-demand engine wires Options.MaxStates through here at construction.
+func (t *Table) SetBudget(max int) { t.max = max }
+
 // Intern returns the unique state with the given vectors, creating it if
 // needed; created reports whether a new state was added. Intern takes
 // ownership of the slices when it creates a state.
 func (t *Table) Intern(delta []grammar.Cost, rule []int32, m *metrics.Counters) (s *State, created bool) {
+	s, created, _ = t.intern(delta, rule, m, 0)
+	return s, created
+}
+
+// InternBudget is Intern honoring the table's configured state budget:
+// a lookup that hits an existing state always succeeds (even at the cap),
+// but creating a state past the budget fails with an error wrapping
+// ErrStateBudget and leaves the table unchanged — growth is bounded by
+// exactly the budget, not budget+misses.
+func (t *Table) InternBudget(delta []grammar.Cost, rule []int32, m *metrics.Counters) (*State, bool, error) {
+	return t.intern(delta, rule, m, t.max)
+}
+
+func (t *Table) intern(delta []grammar.Cost, rule []int32, m *metrics.Counters, max int) (*State, bool, error) {
 	key := stateKey(delta, rule)
 	t.mu.Lock()
 	if s, ok := t.index[key]; ok {
 		t.mu.Unlock()
-		return s, false
+		return s, false, nil
 	}
 	cur := *t.states.Load()
-	s = &State{ID: int32(len(cur)), Delta: delta, Rule: rule}
+	if max > 0 && len(cur) >= max {
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %d states materialized, budget %d", ErrStateBudget, len(cur), max)
+	}
+	s := &State{ID: int32(len(cur)), Delta: delta, Rule: rule}
 	next := append(cur, s)
 	t.states.Store(&next)
 	t.index[key] = s
 	t.bytes.Add(int64(s.MemoryBytes() + len(key) + 16)) // state + index entry
 	t.mu.Unlock()
 	m.CountState()
-	return s, true
+	return s, true, nil
 }
 
 // MemoryBytes estimates the total footprint of all states plus the index.

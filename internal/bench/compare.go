@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Comparing two BENCH_PR<N>.json trajectory points: the CI regression
+// gate. Warm-path numbers are the contract the perf PRs established —
+// warm label/select ns/node and allocations per corpus pass — so a new
+// trajectory point that regresses either beyond tolerance fails the
+// build. Allocation counts are deterministic; ns/node is wall-clock, so
+// the committed files must come from comparable runs (the same dev
+// container for this repo's trajectory).
+
+// LoadPerfReport reads a BENCH_PR<N>.json file written by
+// PerfReport.WriteJSON.
+func LoadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return &r, nil
+}
+
+// ComparePerf checks cur against base and returns one message per
+// regression: a warm metric that grew by more than tolPct percent (or,
+// for zero-allocation baselines, at all — 10% of zero is zero, and the
+// zero-alloc warm path is a hard contract). Grammars present in only one
+// report are reported too, so a shrunk corpus cannot hide a regression.
+//
+// allocsOnly restricts the comparison to the allocation metrics, which
+// are deterministic — the mode CI uses to gate a freshly measured report
+// against the committed baseline on shared runners whose wall-clock
+// numbers are not comparable.
+func ComparePerf(base, cur *PerfReport, tolPct float64, allocsOnly bool) []string {
+	var regressions []string
+	baseRows := map[string]PerfRow{}
+	for _, row := range base.Rows {
+		baseRows[row.Grammar] = row
+	}
+	seen := map[string]bool{}
+	for _, row := range cur.Rows {
+		seen[row.Grammar] = true
+		b, ok := baseRows[row.Grammar]
+		if !ok {
+			continue // new grammar: no baseline to regress against
+		}
+		check := func(metric string, baseV, curV float64) {
+			if exceeded(baseV, curV, tolPct) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s regressed %.2f -> %.2f (tolerance %.0f%%)",
+						row.Grammar, metric, baseV, curV, tolPct))
+			}
+		}
+		if !allocsOnly {
+			check("warm-label-ns/node", b.WarmLabelNsPerNode, row.WarmLabelNsPerNode)
+			check("warm-select-ns/node", b.WarmSelectNsPerNode, row.WarmSelectNsPerNode)
+		}
+		check("warm-label-allocs/pass", b.WarmLabelAllocsPerPass, row.WarmLabelAllocsPerPass)
+		check("warm-select-allocs/pass", b.WarmSelectAllocsPerPass, row.WarmSelectAllocsPerPass)
+	}
+	for _, row := range base.Rows {
+		if !seen[row.Grammar] {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline but missing from the new report", row.Grammar))
+		}
+	}
+	return regressions
+}
+
+// exceeded reports whether cur regresses past base by more than tolPct
+// percent. A zero baseline (the allocation contract) tolerates only
+// measurement noise below half a unit, never a relative margin.
+func exceeded(base, cur, tolPct float64) bool {
+	if base == 0 {
+		return cur > 0.5
+	}
+	return cur > base*(1+tolPct/100)
+}

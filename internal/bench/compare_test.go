@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+func perfReport(rows ...PerfRow) *PerfReport {
+	return &PerfReport{Schema: 1, Rows: rows}
+}
+
+func TestComparePerf(t *testing.T) {
+	base := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+			WarmLabelAllocsPerPass: 0, WarmSelectAllocsPerPass: 0},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 30, WarmSelectNsPerNode: 50},
+	)
+
+	// Identical and mildly improved reports pass.
+	if regs := ComparePerf(base, base, 10, false); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+	better := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 36, WarmSelectNsPerNode: 58},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 32, WarmSelectNsPerNode: 54},
+	)
+	if regs := ComparePerf(base, better, 10, false); len(regs) != 0 {
+		t.Fatalf("within-tolerance compare regressed: %v", regs)
+	}
+
+	// A >10% ns regression fails.
+	slower := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 45, WarmSelectNsPerNode: 60},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 30, WarmSelectNsPerNode: 50},
+	)
+	if regs := ComparePerf(base, slower, 10, false); len(regs) != 1 {
+		t.Fatalf("12%% label regression not caught: %v", regs)
+	}
+
+	// The zero-alloc contract is absolute: one alloc per pass fails even
+	// though 10% of zero is zero.
+	leaky := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+			WarmSelectAllocsPerPass: 1},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 30, WarmSelectNsPerNode: 50},
+	)
+	if regs := ComparePerf(base, leaky, 10, false); len(regs) != 1 {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+
+	// A grammar vanishing from the report is itself a regression.
+	shrunk := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60},
+	)
+	if regs := ComparePerf(base, shrunk, 10, false); len(regs) != 1 {
+		t.Fatalf("missing grammar not caught: %v", regs)
+	}
+
+	// allocs-only mode ignores wall-clock regressions but still enforces
+	// the allocation contract.
+	if regs := ComparePerf(base, slower, 10, true); len(regs) != 0 {
+		t.Fatalf("allocs-only flagged a ns regression: %v", regs)
+	}
+	if regs := ComparePerf(base, leaky, 10, true); len(regs) != 1 {
+		t.Fatalf("allocs-only missed an alloc regression: %v", regs)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -95,11 +96,11 @@ func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	coldSrv := server.New(coldSel, server.Config{Workers: workers})
+	coldSrv := server.NewSingle(coldSel, server.Config{Workers: workers})
 	var points []SVWarmthPoint
 	cum := 0
 	for i, u := range units {
-		if _, err := coldSrv.CompileUnit("warmup", u); err != nil {
+		if _, err := coldSrv.CompileUnit(context.Background(), "warmup", "", u); err != nil {
 			return nil, nil, nil, err
 		}
 		cum += u.TotalNodes()
@@ -124,14 +125,14 @@ func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, 
 		return nil, nil, nil, err
 	}
 	for _, u := range units {
-		if _, err := baseSel.CompileUnit(u); err != nil {
+		if _, err := baseSel.CompileUnit(context.Background(), u); err != nil {
 			return nil, nil, nil, err
 		}
 	}
 	start := time.Now()
 	for p := 0; p < passes; p++ {
 		for _, u := range units {
-			if _, err := baseSel.CompileUnit(u); err != nil {
+			if _, err := baseSel.CompileUnit(context.Background(), u); err != nil {
 				return nil, nil, nil, err
 			}
 		}
@@ -171,12 +172,12 @@ func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, client
 	if err != nil {
 		return SVRow{}, err
 	}
-	srv := server.New(sel, server.Config{Workers: workers})
+	srv := server.NewSingle(sel, server.Config{Workers: workers})
 	defer srv.Shutdown()
 	// Warm up over one pass so the measured passes ride the fast path,
 	// like the direct baseline.
 	for _, u := range units {
-		if _, err := srv.CompileUnit("warmup", u); err != nil {
+		if _, err := srv.CompileUnit(context.Background(), "warmup", "", u); err != nil {
 			return SVRow{}, err
 		}
 	}
@@ -191,7 +192,7 @@ func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, client
 			name := fmt.Sprintf("client-%d", c)
 			for p := 0; p < passes; p++ {
 				for _, u := range units {
-					if _, err := srv.CompileUnit(name, u); err != nil {
+					if _, err := srv.CompileUnit(context.Background(), name, "", u); err != nil {
 						errs[c] = err
 						return
 					}

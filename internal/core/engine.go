@@ -97,7 +97,18 @@ type Config struct {
 	// ForceHash disables the dense direct-lookup arrays and routes every
 	// transition through the hash maps; used by the table-layout ablation.
 	ForceHash bool
+	// MaxStates bounds the number of states the engine may materialize
+	// (0 = unlimited). Construction past the budget aborts the labeling
+	// call with an error wrapping ErrStateBudget — the cap policy for
+	// pathological grammars whose state space would otherwise grow without
+	// bound in a long-lived server. Transitions between already-interned
+	// states keep working at the cap.
+	MaxStates int
 }
+
+// ErrStateBudget re-exports the typed state-budget error for callers that
+// configure Config.MaxStates; match with errors.Is.
+var ErrStateBudget = automaton.ErrStateBudget
 
 // growSlack is the headroom added when a dense table grows, so a run of
 // adjacent new states does not trigger a copy per state.
@@ -140,7 +151,7 @@ type Engine struct {
 
 	// Fixed-cost fast paths: dense flat id tables, grown on demand,
 	// published atomically.
-	leaf []atomic.Int32         // [op] -> state id, -1 until constructed
+	leaf []atomic.Int32            // [op] -> state id, -1 until constructed
 	un   []atomic.Pointer[unRow]   // [op][kidState] -> state id
 	bin  []atomic.Pointer[binGrid] // [op][left*stride+right] -> state id
 
@@ -176,10 +187,12 @@ func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
 	if cfg.DeltaCap == 0 {
 		cfg.DeltaCap = automaton.DefaultDeltaCap
 	}
+	table := automaton.NewTable(g)
+	table.SetBudget(cfg.MaxStates)
 	e := &Engine{
 		g:        g,
 		dynFns:   dyn,
-		table:    automaton.NewTable(g),
+		table:    table,
 		deltaCap: cfg.DeltaCap,
 		m:        cfg.Metrics,
 		force:    cfg.ForceHash,
@@ -535,9 +548,19 @@ func (e *Engine) evalDyn(n *ir.Node, ids []int32, sc *dynScratch, m *metrics.Cou
 // same transition construct once; the state table additionally dedups by
 // content (which also keeps states interned from different operators'
 // shards consistent).
+//
+// When Config.MaxStates is set and interning would exceed it, construct
+// panics with the ErrStateBudget-wrapping error. A panic is the only way
+// out of the Label fast path (the reduce.Labeler interface is error-free
+// by design — the warm path cannot fail); every lock and pooled buffer on
+// the way up is released by defers, and the API layer (Selector.Compile)
+// recovers the typed error and returns it to the caller.
 func (e *Engine) construct(op grammar.OpID, kids []*automaton.State, dynVals []grammar.Cost, m *metrics.Counters) *automaton.State {
 	delta, rule := automaton.Compute(e.g, op, kids, dynVals, e.deltaCap, m)
-	s, _ := e.table.Intern(delta, rule, m)
+	s, _, err := e.table.InternBudget(delta, rule, m)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 

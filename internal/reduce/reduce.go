@@ -19,6 +19,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,13 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 )
+
+// CancelCheckInterval is the cooperative-cancellation granularity of the
+// reducer: Cover polls ctx.Done() once per this many (node, nonterminal)
+// visits, so a cancelled cover stops within a bounded amount of work while
+// the warm uncancellable path (a background context, whose Done channel is
+// nil) pays nothing. The cancellation tests assert the bound.
+const CancelCheckInterval = 256
 
 // Labeling is what a labeler must provide: the optimal first rule for
 // deriving node n from nonterminal nt, or -1 if no derivation exists.
@@ -150,7 +158,7 @@ func (rd *Reducer) getScratch(bound int) *coverScratch {
 // rule's cost exactly once, with dynamic costs evaluated at the node).
 // visit may be nil. Cover fails if some root has no derivation.
 func (rd *Reducer) Cover(f *ir.Forest, lab Labeling, visit Visitor) (grammar.Cost, error) {
-	return rd.CoverMetered(f, lab, visit, nil)
+	return rd.CoverContext(context.Background(), f, lab, visit, nil)
 }
 
 // CoverMetered is Cover with per-call counter attribution: reduction
@@ -158,16 +166,31 @@ func (rd *Reducer) Cover(f *ir.Forest, lab Labeling, visit Visitor) (grammar.Cos
 // falls back to it) — the reducer half of the per-client accounting the
 // compilation server does via reduce.MeteredLabeler.
 func (rd *Reducer) CoverMetered(f *ir.Forest, lab Labeling, visit Visitor, m *metrics.Counters) (grammar.Cost, error) {
+	return rd.CoverContext(context.Background(), f, lab, visit, m)
+}
+
+// CoverContext is the full cover entry point: per-call counter attribution
+// plus cooperative cancellation. The walk polls ctx.Done() once per
+// CancelCheckInterval (node, nonterminal) visits and aborts with ctx.Err()
+// — the checkpoint that makes a served compile of a pathological forest
+// stop within a bounded number of nodes after its deadline or its client's
+// disconnect. A background context costs nothing on the warm path (its
+// Done channel is nil, so the poll is skipped entirely).
+func (rd *Reducer) CoverContext(ctx context.Context, f *ir.Forest, lab Labeling, visit Visitor, m *metrics.Counters) (grammar.Cost, error) {
 	if m == nil {
 		m = rd.m
 	}
 	sc := rd.getScratch(len(f.Nodes))
 	defer rd.scratch.Put(sc)
 	var total grammar.Cost
+	// The poll counter spans roots: a forest of many tiny trees must hit
+	// the checkpoint as reliably as one deep tree, or the bound fails for
+	// exactly the many-rooted units servers see.
+	visits := 0
 	for _, root := range f.Roots {
 		// The bitset is shared across roots: derivations from different
 		// roots that meet at one (node, nonterminal) share it too.
-		c, err := rd.reduce(root, rd.g.Start, lab, visit, sc, m)
+		c, err := rd.reduce(ctx, root, rd.g.Start, lab, visit, sc, m, &visits)
 		if err != nil {
 			return 0, err
 		}
@@ -182,7 +205,8 @@ func (rd *Reducer) CoverTree(root *ir.Node, goal grammar.NT, lab Labeling, visit
 	// has an index no larger than root's.
 	sc := rd.getScratch(root.Index + 1)
 	defer rd.scratch.Put(sc)
-	return rd.reduce(root, goal, lab, visit, sc, rd.m)
+	visits := 0
+	return rd.reduce(context.Background(), root, goal, lab, visit, sc, rd.m, &visits)
 }
 
 // reduce walks the derivation of (root, goal) with an explicit stack:
@@ -194,8 +218,12 @@ func (rd *Reducer) CoverTree(root *ir.Node, goal grammar.NT, lab Labeling, visit
 // every applied rule contributes exactly once, which is the same sum the
 // recursive version computed, and saturating Cost addition makes the
 // association irrelevant.
-func (rd *Reducer) reduce(root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor, sc *coverScratch, m *metrics.Counters) (total grammar.Cost, err error) {
+// visits is the caller-scoped poll counter (see CoverContext): it
+// persists across the roots of one cover so the checkpoint cadence holds
+// for many-rooted forests too.
+func (rd *Reducer) reduce(ctx context.Context, root *ir.Node, goal grammar.NT, lab Labeling, visit Visitor, sc *coverScratch, m *metrics.Counters, visits *int) (total grammar.Cost, err error) {
 	numNT := rd.g.NumNonterms()
+	done := ctx.Done() // nil for background contexts: no polling at all
 	stack := append(sc.stack[:0], coverFrame{n: root, nt: goal, ri: -1})
 	defer func() { sc.stack = stack[:0] }() // keep grown capacity pooled
 	for len(stack) > 0 {
@@ -223,6 +251,15 @@ func (rd *Reducer) reduce(root *ir.Node, goal grammar.NT, lab Labeling, visit Vi
 		}
 		sc.seen[key>>6] |= 1 << (key & 63)
 		m.CountReduce()
+		if done != nil {
+			if *visits++; *visits%CancelCheckInterval == 0 {
+				select {
+				case <-done:
+					return 0, ctx.Err()
+				default:
+				}
+			}
+		}
 
 		ri := lab.RuleAt(fr.n, fr.nt)
 		if ri < 0 {

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,17 +13,28 @@ import (
 )
 
 // The HTTP/JSON protocol of cmd/iselserver. One handler fronts one
-// Server (and therefore one machine description and one warm engine):
+// Server, which since the v2 API serves every machine of a
+// repro.Registry (one warm engine each) from one process:
 //
-//	POST /compile   CompileRequest -> CompileResponse
-//	GET  /stats     -> StatsResponse
-//	GET  /healthz   -> 200 "ok"
+//	POST /compile?machine=x86   CompileRequest -> CompileResponse
+//	GET  /stats                 -> StatsResponse (every machine's warmth)
+//	GET  /healthz               -> 200 "ok"
 //
-// A compile request carries either textual IR trees (the ir.ParseTrees
-// syntax, e.g. "ADD(REG[1], CNST[2])") or a MinC source file; MinC units
-// lower to one forest per function. Each forest becomes one server job,
-// so a single request from one client is the unit-sized batch the paper's
+// The machine query parameter selects the machine description; absent, it
+// defaults to the registry's first-registered machine. A compile request
+// carries either textual IR trees (the ir.ParseTrees syntax, e.g.
+// "ADD(REG[1], CNST[2])") or a MinC source file; MinC units lower to one
+// forest per function. Each forest becomes one server job, so a single
+// request from one client is the unit-sized batch the paper's
 // amortization argument is about.
+//
+// Requests are cancellable end to end: each job runs under the request's
+// context (plus Config.RequestTimeout), so a client that disconnects — or
+// times out — stops paying for queued and in-flight work. Status codes:
+// 400 for malformed requests, 404 for unregistered machines, 500 for a
+// registered machine whose engine failed to construct, 422 for forests
+// with no derivation, 503 for shutdown or an exhausted state budget
+// (Options.MaxStates), 504 for jobs that exceeded the request timeout.
 
 // CompileRequest is the body of POST /compile.
 type CompileRequest struct {
@@ -44,41 +57,49 @@ type CompileOutput struct {
 
 // CompileResponse is the body of a successful POST /compile.
 type CompileResponse struct {
+	// Machine echoes the machine description that served the request.
+	Machine string          `json:"machine"`
 	Outputs []CompileOutput `json:"outputs"`
-	// States/Transitions snapshot the shared automaton after this request:
-	// successive responses show the warmth curve flattening.
+	// States/Transitions snapshot the machine's automaton after this
+	// request: successive responses show the warmth curve flattening.
 	States      int `json:"states"`
 	Transitions int `json:"transitions"`
 }
 
+// MachineStats is one registered machine's entry in GET /stats.
+type MachineStats struct {
+	Machine     string `json:"machine"`
+	Kind        string `json:"kind"`
+	Constructed bool   `json:"constructed"`
+	Error       string `json:"error,omitempty"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+	MemoryBytes int    `json:"memoryBytes"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	Machine     string                      `json:"machine"`
-	Kind        string                      `json:"kind"`
-	Workers     int                         `json:"workers"`
-	QueueDepth  int                         `json:"queueDepth"`
-	Jobs        int64                       `json:"jobs"`
-	Nodes       int64                       `json:"nodes"`
-	Queued      int                         `json:"queued"`
-	States      int                         `json:"states"`
-	Transitions int                         `json:"transitions"`
-	MemoryBytes int                         `json:"memoryBytes"`
-	Global      metrics.Counters            `json:"global"`
-	Clients     map[string]metrics.Counters `json:"clients"`
+	Machines   []MachineStats              `json:"machines"`
+	Workers    int                         `json:"workers"`
+	QueueDepth int                         `json:"queueDepth"`
+	Jobs       int64                       `json:"jobs"`
+	Nodes      int64                       `json:"nodes"`
+	Cancelled  int64                       `json:"cancelled"`
+	Queued     int                         `json:"queued"`
+	Global     metrics.Counters            `json:"global"`
+	Clients    map[string]metrics.Counters `json:"clients"`
 }
 
 // Handler is the HTTP front end over one Server.
 type Handler struct {
 	srv *Server
-	m   *repro.Machine
 	mux *http.ServeMux
 }
 
-// NewHandler builds the HTTP front end. m must be the machine the
-// server's selector was built for (it parses request trees and lowers
-// MinC against the same operator vocabulary).
-func NewHandler(srv *Server, m *repro.Machine) *Handler {
-	h := &Handler{srv: srv, m: m, mux: http.NewServeMux()}
+// NewHandler builds the HTTP front end over srv; machines resolve through
+// srv's registry.
+func NewHandler(srv *Server) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /compile", h.compile)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +117,20 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// compileErrorCode maps a failed job's error to its HTTP status.
+func compileErrorCode(err error) int {
+	switch {
+	case errors.Is(err, repro.ErrStateBudget):
+		return http.StatusServiceUnavailable // bounded tables: shed, don't grow
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
 func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 	var req CompileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -111,6 +146,18 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 			client = r.RemoteAddr
 		}
 	}
+	machine := r.URL.Query().Get("machine")
+	m, sel, err := h.srv.Registry().Get(machine)
+	if err != nil {
+		// Unregistered names are the client's mistake (404); a registered
+		// machine that failed to construct is a server fault (500).
+		code := http.StatusInternalServerError
+		if errors.Is(err, repro.ErrUnknownMachine) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
 
 	var names []string
 	var forests []*repro.Forest
@@ -119,7 +166,7 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "set exactly one of trees/minc, not both")
 		return
 	case req.Trees != "":
-		f, err := h.m.ParseTree(req.Trees)
+		f, err := m.ParseTree(req.Trees)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "parsing trees: %v", err)
 			return
@@ -127,7 +174,7 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 		names = []string{""}
 		forests = []*repro.Forest{f}
 	case req.MinC != "":
-		u, err := h.m.CompileMinC(req.MinC)
+		u, err := m.CompileMinC(req.MinC)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "compiling minc: %v", err)
 			return
@@ -141,16 +188,19 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	futs, err := h.srv.SubmitBatch(client, forests)
+	// The request context covers every job of the batch: a disconnecting
+	// client cancels its queued and in-flight work (plus whatever
+	// RequestTimeout the server config arms per job).
+	futs, err := h.srv.SubmitBatch(r.Context(), client, m.Name, forests)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	resp := CompileResponse{Outputs: make([]CompileOutput, len(futs))}
+	resp := CompileResponse{Machine: m.Name, Outputs: make([]CompileOutput, len(futs))}
 	for i, fut := range futs {
 		out, err := fut.Wait()
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%s: %v", names[i], err)
+			httpError(w, compileErrorCode(err), "%s: %v", names[i], err)
 			return
 		}
 		resp.Outputs[i] = CompileOutput{
@@ -158,7 +208,7 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 			Instructions: out.Instructions, Cost: int64(out.Cost),
 		}
 	}
-	snap := h.srv.sel.Snapshot()
+	snap := sel.Snapshot()
 	resp.States, resp.Transitions = snap.States, snap.Transitions
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
@@ -167,18 +217,25 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.srv.Stats()
 	resp := StatsResponse{
-		Machine:     h.m.Name,
-		Kind:        string(h.srv.sel.Kind()),
-		Workers:     st.Workers,
-		QueueDepth:  st.QueueDepth,
-		Jobs:        st.Jobs,
-		Nodes:       st.Nodes,
-		Queued:      st.Queued,
-		States:      st.Warmth.States,
-		Transitions: st.Warmth.Transitions,
-		MemoryBytes: st.Warmth.MemoryBytes,
-		Global:      st.Global,
-		Clients:     map[string]metrics.Counters{},
+		Workers:    st.Workers,
+		QueueDepth: st.QueueDepth,
+		Jobs:       st.Jobs,
+		Nodes:      st.Nodes,
+		Cancelled:  st.Cancelled,
+		Queued:     st.Queued,
+		Global:     st.Global,
+		Clients:    map[string]metrics.Counters{},
+	}
+	for _, ms := range st.Machines {
+		resp.Machines = append(resp.Machines, MachineStats{
+			Machine:     ms.Machine,
+			Kind:        string(ms.Kind),
+			Constructed: ms.Constructed,
+			Error:       ms.Err,
+			States:      ms.Warmth.States,
+			Transitions: ms.Warmth.Transitions,
+			MemoryBytes: ms.Warmth.MemoryBytes,
+		})
 	}
 	for _, c := range h.srv.Clients() {
 		resp.Clients[c] = h.srv.ClientCounters(c)

@@ -1,42 +1,54 @@
 // Package server implements the compilation server the paper's on-demand
-// automata are built for: one long-lived warm engine multiplexed across
-// many concurrent clients.
+// automata are built for: long-lived warm engines multiplexed across many
+// concurrent clients.
 //
 // The economics of on-demand tree-parsing automata (Ertl, Casey, Gregg;
 // PLDI 2006) are amortization: every state and transition constructed
 // while labeling one compilation unit makes every later unit cheaper, so
 // the engine pays off most when many units flow through a single
-// long-lived instance. Server is that instance's front end. Clients
-// submit forests (or whole lowered units) and get futures back; a bounded
-// work queue feeds a worker pool that shares one Selector — and therefore
-// one automaton, whose warm fast path is lock-free. Every client's misses
-// warm the tables for all clients.
+// long-lived instance. Server is that instance's front end — since the v2
+// API, for several instances at once: jobs are dispatched against a
+// repro.Registry of named, lazily-constructed, individually-warmed
+// selectors, so one process serves several machine descriptions and each
+// machine's automaton warms over exactly its own traffic. Clients submit
+// forests (or whole lowered units) for a machine and get futures back; a
+// bounded work queue feeds one worker pool shared by every machine.
+//
+// The contract is context-first: Submit takes a context.Context that
+// covers the job's whole lifetime. Cancelling it while the job is queued
+// resolves the future with ctx.Err() (a context.AfterFunc hook races the
+// worker; futures resolve exactly once, first writer wins). Cancelling it
+// mid-compile stops the compile at the reducer's cooperative checkpoints
+// within a bounded number of nodes. Config.RequestTimeout arms a
+// per-request deadline on top of whatever deadline the caller brought.
 //
 // Work accounting is per client: each job's labeling and reduction events
-// are counted into a per-job metrics.Counters via Selector.CompileMetered,
-// then merged into the submitting client's counters and the server-global
-// counters with Counters.Add. The per-client totals therefore sum exactly
-// to the global totals, which the race tests assert.
+// are counted into a per-job metrics.Counters via
+// Selector.Compile(ctx, f, WithCounters(jm)), then merged into the
+// submitting client's counters and the server-global counters with
+// Counters.Add. The per-client totals therefore sum exactly to the global
+// totals, which the race tests assert. Jobs cancelled before any work are
+// counted separately (Stats.Cancelled) and contribute nothing.
 //
 // Per-job state is recycled throughout: each worker reuses one counter
-// sink, and Selector.CompileMetered pools labelings, reducer scratch and
-// emitters internally (see reduce.LabelingRecycler), so a warm job's only
+// sink, and the selector pools labelings, reducer scratch and emitters
+// internally (see reduce.LabelingRecycler), so a warm job's only
 // allocations are its output — steady-state traffic puts no per-node
-// pressure on the GC. GET /stats stays cheap for the same reason:
-// Snapshot's MemoryBytes is maintained at intern time, not recomputed by
-// walking the state table.
+// pressure on the GC.
 //
 // Shutdown is graceful: new submissions are refused, queued and in-flight
 // jobs drain, and every future still resolves.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/metrics"
@@ -48,23 +60,33 @@ var ErrShutdown = errors.New("server: shut down")
 // Config tunes a Server.
 type Config struct {
 	// Workers is the worker-pool size (GOMAXPROCS if <= 0). Each worker
-	// pulls jobs off the shared queue and compiles on the shared selector.
+	// pulls jobs off the shared queue and compiles on the job's machine's
+	// shared selector.
 	Workers int
 	// QueueDepth bounds the work queue (4*Workers if <= 0). Submit blocks
-	// when the queue is full — backpressure, not unbounded buffering.
+	// while the queue is full — backpressure, not unbounded buffering —
+	// but respects its context: a cancelled submitter stops waiting.
 	QueueDepth int
+	// RequestTimeout, when > 0, bounds each job's total lifetime (queue
+	// wait + compile): Submit derives a per-request deadline from it, and
+	// a job that exceeds it resolves its future with
+	// context.DeadlineExceeded.
+	RequestTimeout time.Duration
 }
 
 // Future is the pending result of one submitted forest. It resolves
-// exactly once, when a worker finishes the job (or when the job is
-// rejected at submission, which returns an error instead of a future).
+// exactly once — by the worker that compiles it, or by the job's context
+// being cancelled or timing out first, whichever happens first.
 type Future struct {
-	out  *repro.Output
-	err  error
-	done chan struct{}
+	out      *repro.Output
+	err      error
+	resolved atomic.Bool
+	done     chan struct{}
 }
 
-// Wait blocks until the job completes and returns its output.
+// Wait blocks until the job completes (or is cancelled) and returns its
+// output. For a job whose context was cancelled while queued, err is that
+// context's ctx.Err().
 func (f *Future) Wait() (*repro.Output, error) {
 	<-f.done
 	return f.out, f.err
@@ -74,28 +96,39 @@ func (f *Future) Wait() (*repro.Output, error) {
 // loops.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
-// resolve publishes the result. Resolving twice is a server bug; the
-// panic keeps the exactly-once contract honest under the race tests.
-func (f *Future) resolve(out *repro.Output, err error) {
-	select {
-	case <-f.done:
-		panic("server: future resolved twice")
-	default:
+// resolve publishes the result exactly once and reports whether this call
+// won. The worker and the cancellation watcher race here by design; the
+// loser's result is dropped.
+func (f *Future) resolve(out *repro.Output, err error) bool {
+	if !f.resolved.CompareAndSwap(false, true) {
+		return false
 	}
 	f.out, f.err = out, err
 	close(f.done)
+	return true
 }
+
+// isResolved reports whether the future has already resolved (cheap
+// check workers use to skip compiling cancelled queued jobs).
+func (f *Future) isResolved() bool { return f.resolved.Load() }
 
 type job struct {
+	ctx    context.Context
 	client string
+	sel    *repro.Selector
 	forest *repro.Forest
 	fut    *Future
+	// cleanup detaches the cancellation hook and releases the
+	// request-timeout timer; the worker runs it after the future settles
+	// (nil for plain Background submissions).
+	cleanup func()
 }
 
-// Server multiplexes compilation units from many concurrent clients onto
-// one shared warm engine. All methods are safe for concurrent use.
+// Server multiplexes compilation jobs from many concurrent clients onto
+// the shared warm engines of a repro.Registry. All methods are safe for
+// concurrent use.
 type Server struct {
-	sel *repro.Selector
+	reg *repro.Registry
 	cfg Config
 
 	jobs chan job
@@ -111,17 +144,18 @@ type Server struct {
 	cmu     sync.Mutex
 	clients map[string]*metrics.Counters
 
-	global    metrics.Counters
-	jobsDone  atomic.Int64
-	nodesDone atomic.Int64
+	global        metrics.Counters
+	jobsDone      atomic.Int64
+	jobsCancelled atomic.Int64
+	nodesDone     atomic.Int64
 }
 
-// New starts a server over sel. The selector — and for KindOnDemand, its
-// automaton — is shared by every worker and persists for the server's
-// lifetime: the warm-engine scenario. The caller keeps ownership of sel
-// and may inspect its warmth (Snapshot) at any time, but must not call
-// LoadAutomaton while the server runs.
-func New(sel *repro.Selector, cfg Config) *Server {
+// New starts a server over reg. Every registered machine is servable;
+// selectors are constructed lazily by the registry on a machine's first
+// job (or eagerly by a caller that warms the registry first). The caller
+// keeps ownership of reg and may inspect warmth (Status) at any time, but
+// must not call LoadAutomaton on a served selector while the server runs.
+func New(reg *repro.Registry, cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -129,7 +163,7 @@ func New(sel *repro.Selector, cfg Config) *Server {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
 	s := &Server{
-		sel:     sel,
+		reg:     reg,
 		cfg:     cfg,
 		jobs:    make(chan job, cfg.QueueDepth),
 		clients: map[string]*metrics.Counters{},
@@ -141,8 +175,20 @@ func New(sel *repro.Selector, cfg Config) *Server {
 	return s
 }
 
-// Selector returns the shared selector (for warmth inspection).
-func (s *Server) Selector() *repro.Selector { return s.sel }
+// NewSingle starts a server over one prebuilt selector — the
+// single-machine shape of PR 2, kept for harnesses that construct their
+// selector by hand. The selector is registered under its machine's name
+// and also serves requests that name no machine.
+func NewSingle(sel *repro.Selector, cfg Config) *Server {
+	reg := repro.NewRegistry()
+	if err := reg.AddSelector(sel); err != nil {
+		panic(err) // fresh registry, one entry: cannot collide
+	}
+	return New(reg, cfg)
+}
+
+// Registry returns the served registry (for warmth inspection).
+func (s *Server) Registry() *repro.Registry { return s.reg }
 
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -161,6 +207,22 @@ func (s *Server) worker() {
 // poisoned tree must fail its own future with an error rather than kill
 // the worker, strand later futures and wedge Shutdown.
 func (s *Server) runJob(j job, jm *metrics.Counters) {
+	if j.cleanup != nil {
+		// Deferred first so it runs last, after the future has resolved on
+		// every path below.
+		defer j.cleanup()
+	}
+	// A queued job whose context already ended resolves (or has resolved,
+	// via its cancellation hook) with ctx.Err() and is never compiled.
+	if j.fut.isResolved() {
+		s.jobsCancelled.Add(1)
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.fut.resolve(nil, err)
+		s.jobsCancelled.Add(1)
+		return
+	}
 	var out *repro.Output
 	var err error
 	defer func() {
@@ -169,38 +231,114 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 		}
 		s.clientCounters(j.client).Add(jm)
 		s.global.Add(jm)
-		s.jobsDone.Add(1)
-		s.nodesDone.Add(int64(j.forest.NumNodes()))
-		j.fut.resolve(out, err)
+		won := j.fut.resolve(out, err)
+		switch {
+		case !won:
+			// The cancellation hook resolved first: the context ended while
+			// the compile ran (no checkpoint fired, e.g. a stalled
+			// dynamic-cost function) and the client already has ctx.Err().
+			// The computed result is dropped; the job counts as cancelled,
+			// though its work is merged above where it actually happened.
+			s.jobsCancelled.Add(1)
+		case err != nil && j.ctx.Err() != nil && errors.Is(err, j.ctx.Err()):
+			// Cancelled mid-compile at a reducer checkpoint.
+			s.jobsCancelled.Add(1)
+		default:
+			s.jobsDone.Add(1)
+			s.nodesDone.Add(int64(j.forest.NumNodes()))
+		}
 	}()
-	out, err = s.sel.CompileMetered(j.forest, jm)
+	out, err = j.sel.Compile(j.ctx, j.forest, repro.WithCounters(jm))
 }
 
-// Submit enqueues one forest for client and returns its future. It blocks
-// while the queue is full (backpressure) and fails with ErrShutdown once
-// Shutdown has begun.
-func (s *Server) Submit(client string, f *repro.Forest) (*Future, error) {
+// Submit enqueues one forest for client against machine (the registry's
+// default when empty) and returns its future. It blocks while the queue
+// is full (backpressure) unless ctx ends first, and fails with
+// ErrShutdown once Shutdown has begun.
+//
+// ctx covers the job's whole lifetime: cancelling it while the job is
+// queued resolves the future with ctx.Err(); cancelling it mid-compile
+// stops the compile at a cooperative checkpoint. Config.RequestTimeout,
+// when set, arms an additional per-request deadline starting now.
+func (s *Server) Submit(ctx context.Context, client, machine string, f *repro.Forest) (*Future, error) {
+	_, sel, err := s.reg.Get(machine)
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(ctx, client, sel, f)
+}
+
+// submit enqueues one job against an already-resolved selector — the
+// shared core of Submit and SubmitBatch (which resolves the machine once
+// for the whole batch).
+func (s *Server) submit(ctx context.Context, client string, sel *repro.Selector, f *repro.Forest) (*Future, error) {
 	if f == nil {
 		return nil, fmt.Errorf("server: nil forest")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.jobContext(ctx)
+	fut := &Future{done: make(chan struct{})}
+	j := job{ctx: ctx, client: client, sel: sel, forest: f, fut: fut}
+	if ctx.Done() != nil {
+		// Cancellable jobs arm a context hook that resolves the future
+		// with ctx.Err() the moment the context ends — no parked watcher
+		// goroutine per queued job. Background submissions — the
+		// steady-state hot path — arm nothing.
+		stop := context.AfterFunc(ctx, func() { fut.resolve(nil, ctx.Err()) })
+		j.cleanup = func() {
+			stop()
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}
+
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
+		s.mu.RUnlock()
+		if j.cleanup != nil {
+			j.cleanup()
+		}
 		return nil, ErrShutdown
 	}
-	fut := &Future{done: make(chan struct{})}
-	s.jobs <- job{client: client, forest: f, fut: fut}
-	return fut, nil
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+		return fut, nil
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		err := ctx.Err()
+		if j.cleanup != nil {
+			j.cleanup()
+		}
+		return nil, err
+	}
+}
+
+// jobContext arms the per-request deadline of Config.RequestTimeout, when
+// configured. The returned cancel (nil without a timeout) is released by
+// the future's watcher once the job settles.
+func (s *Server) jobContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return ctx, nil
 }
 
 // SubmitBatch enqueues several forests for client, returning one future
 // per forest (in order). A batch is not atomic: if the server shuts down
-// mid-batch, the futures enqueued so far remain valid and the error
-// reports how many were accepted.
-func (s *Server) SubmitBatch(client string, fs []*repro.Forest) ([]*Future, error) {
+// (or ctx ends) mid-batch, the futures enqueued so far remain valid and
+// the error reports how many were accepted.
+func (s *Server) SubmitBatch(ctx context.Context, client, machine string, fs []*repro.Forest) ([]*Future, error) {
+	_, sel, err := s.reg.Get(machine)
+	if err != nil {
+		return nil, err
+	}
 	futs := make([]*Future, 0, len(fs))
 	for _, f := range fs {
-		fut, err := s.Submit(client, f)
+		fut, err := s.submit(ctx, client, sel, f)
 		if err != nil {
 			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
 		}
@@ -212,19 +350,19 @@ func (s *Server) SubmitBatch(client string, fs []*repro.Forest) ([]*Future, erro
 // SubmitUnit enqueues every function of a lowered unit, one future per
 // function in unit order — the server-side mirror of
 // Selector.CompileUnit.
-func (s *Server) SubmitUnit(client string, u *repro.Unit) ([]*Future, error) {
+func (s *Server) SubmitUnit(ctx context.Context, client, machine string, u *repro.Unit) ([]*Future, error) {
 	fs := make([]*repro.Forest, len(u.Funcs))
 	for i, fn := range u.Funcs {
 		fs[i] = fn.Forest
 	}
-	return s.SubmitBatch(client, fs)
+	return s.SubmitBatch(ctx, client, machine, fs)
 }
 
 // CompileUnit submits a unit and waits for all of it: the synchronous
 // client call. Outputs are indexed by function; the first error (by
 // function order) is returned after all futures resolve.
-func (s *Server) CompileUnit(client string, u *repro.Unit) ([]*repro.Output, error) {
-	futs, err := s.SubmitUnit(client, u)
+func (s *Server) CompileUnit(ctx context.Context, client, machine string, u *repro.Unit) ([]*repro.Output, error) {
+	futs, err := s.SubmitUnit(ctx, client, machine, u)
 	if err != nil {
 		return nil, err
 	}
@@ -298,21 +436,28 @@ func (s *Server) ClientCounters(client string) metrics.Counters {
 // the per-client counters.
 func (s *Server) GlobalCounters() metrics.Counters { return s.global.Clone() }
 
-// Stats is a point-in-time view of the server and its engine's warmth.
+// Stats is a point-in-time view of the server and its engines' warmth.
 type Stats struct {
 	// Workers and QueueDepth echo the configuration.
 	Workers    int
 	QueueDepth int
-	// Jobs and Nodes count completed jobs and their IR nodes.
-	Jobs  int64
-	Nodes int64
+	// Jobs and Nodes count jobs a worker ran to completion and their IR
+	// nodes — including jobs that failed with a compile error (a panicked
+	// dynamic cost, an exhausted state budget): they were served, their
+	// failure is the answer. Cancelled counts jobs whose context ended
+	// before or during compilation; their dropped work appears nowhere
+	// else.
+	Jobs      int64
+	Nodes     int64
+	Cancelled int64
 	// Queued is the current queue occupancy (instantaneous).
 	Queued int
 	// Clients is the number of distinct clients served.
 	Clients int
-	// Warmth is the shared automaton's size — the amortization story:
-	// it climbs while cold and flattens once the traffic mix is covered.
-	Warmth repro.Snapshot
+	// Machines is every registered machine's serving state and automaton
+	// warmth — the amortization story per machine description: each curve
+	// climbs while its traffic is cold and flattens as the mix is covered.
+	Machines []repro.MachineStatus
 	// Global is a snapshot of the server-wide work counters.
 	Global metrics.Counters
 }
@@ -327,9 +472,10 @@ func (s *Server) Stats() Stats {
 		QueueDepth: s.cfg.QueueDepth,
 		Jobs:       s.jobsDone.Load(),
 		Nodes:      s.nodesDone.Load(),
+		Cancelled:  s.jobsCancelled.Load(),
 		Queued:     len(s.jobs),
 		Clients:    nClients,
-		Warmth:     s.sel.Snapshot(),
+		Machines:   s.reg.Status(),
 		Global:     s.global.Clone(),
 	}
 }

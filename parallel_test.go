@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestCompileUnitParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := seqSel.CompileUnit(unit)
+	want, err := seqSel.CompileUnit(context.Background(), unit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestCompileUnitParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := m.CompileUnitParallel(parSel, unit, workers)
+		got, err := parSel.CompileUnit(context.Background(), unit, repro.WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -106,7 +107,7 @@ func TestSelectorConcurrentCompile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := sel.CompileUnit(unit)
+	want, err := sel.CompileUnit(context.Background(), unit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSelectorConcurrentCompile(t *testing.T) {
 			defer wg.Done()
 			for round := 0; round < 3; round++ {
 				for i := range unit.Funcs {
-					out, err := sel.Compile(unit.Funcs[i].Forest)
+					out, err := sel.Compile(context.Background(), unit.Funcs[i].Forest)
 					if err != nil {
 						errc <- err
 						return
@@ -172,7 +173,7 @@ func TestKindsRegistry(t *testing.T) {
 		if sel.Labeler() == nil {
 			t.Fatalf("%s: no engine behind the selector", kind)
 		}
-		if _, err := sel.Compile(f); err != nil {
+		if _, err := sel.Compile(context.Background(), f); err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 	}

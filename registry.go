@@ -1,0 +1,300 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrUnknownMachine is the typed error Registry.Get fails with for names
+// that were never registered — distinct from a registered machine whose
+// construction failed, so front ends can answer "not found" vs "server
+// fault" correctly. Match with errors.Is.
+var ErrUnknownMachine = errors.New("repro: machine not registered")
+
+// Registry holds named, lazily-constructed, individually-warmed selectors
+// for several machine descriptions — the multi-machine serving substrate
+// behind internal/server and cmd/iselserver's /compile?machine=x
+// dispatch. Each entry is registered cheaply (no grammar loading, no
+// engine construction) and materialized exactly once, on first Get; from
+// then on every caller shares the one warm selector, so each machine's
+// automaton amortizes over all of its traffic independently.
+//
+// With an automaton directory configured (SetAutomatonDir), entries of
+// persistence-capable kinds restore their saved tables when they are
+// constructed and SaveAll writes the current tables back — warm starts
+// across process restarts, one file per machine.
+//
+// Add/AddMachine/SetAutomatonDir configure the registry and must complete
+// before it is shared; Get, Warm, Names, DefaultName, Status and SaveAll
+// are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	order   []string // registration order; order[0] is the default
+	dir     string   // automaton persistence directory ("" = disabled)
+}
+
+// regEntry is one registered machine: a lazy constructor plus its
+// materialized result. once guards construction so concurrent Gets of a
+// cold entry build one selector.
+type regEntry struct {
+	name string
+	kind Kind
+	opt  Options
+	load func() (*Machine, error)
+
+	once sync.Once
+	done atomic.Bool // set after construct completes; gates racy reads in Status
+	m    *Machine
+	sel  *Selector
+	err  error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*regEntry{}}
+}
+
+// SetAutomatonDir enables automaton persistence: on first construction an
+// entry whose selector supports persistence loads dir/<name>.automaton if
+// it exists, and SaveAll writes every constructed, persistence-capable
+// selector back there. Set it before the first Get.
+func (r *Registry) SetAutomatonDir(dir string) { r.dir = dir }
+
+// Add registers the built-in machine description name (see Machines) to
+// be served with the given engine kind and options. Construction —
+// loading the grammar, building the engine, restoring saved tables — is
+// deferred until the first Get. The first machine added is the registry's
+// default.
+func (r *Registry) Add(name string, kind Kind, opt Options) error {
+	return r.add(&regEntry{
+		name: name, kind: kind, opt: opt,
+		load: func() (*Machine, error) { return LoadMachine(name) },
+	})
+}
+
+// AddMachine registers an already-built machine (NewMachine grammars,
+// FixedMachine variants) under m.Name. The selector is still constructed
+// lazily on first Get.
+func (r *Registry) AddMachine(m *Machine, kind Kind, opt Options) error {
+	return r.add(&regEntry{
+		name: m.Name, kind: kind, opt: opt,
+		load: func() (*Machine, error) { return m, nil },
+	})
+}
+
+// AddSelector registers an already-constructed selector under its
+// machine's name — the adapter for harnesses that build a selector by
+// hand (warmed, custom-configured) and then serve it. The entry is born
+// constructed; the automaton directory does not apply to it on load
+// (SaveAll still persists it when capable).
+func (r *Registry) AddSelector(sel *Selector) error {
+	e := &regEntry{name: sel.Machine().Name, kind: sel.Kind(), m: sel.Machine(), sel: sel}
+	e.once.Do(func() {}) // consume: Get must never re-construct this entry
+	e.done.Store(true)
+	return r.add(e)
+}
+
+func (r *Registry) add(e *regEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("repro: machine %q registered twice", e.name)
+	}
+	r.entries[e.name] = e
+	r.order = append(r.order, e.name)
+	return nil
+}
+
+// Get returns the machine and shared selector registered under name,
+// constructing them on first use (and restoring the saved automaton when
+// an automaton directory is configured). name == "" resolves to the
+// default (first-registered) machine. Construction failures are sticky:
+// every Get of a broken entry returns the same error.
+func (r *Registry) Get(name string) (*Machine, *Selector, error) {
+	r.mu.Lock()
+	if name == "" && len(r.order) > 0 {
+		name = r.order[0]
+	}
+	e, ok := r.entries[name]
+	dir := r.dir
+	r.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownMachine, name, r.names())
+	}
+	e.once.Do(func() {
+		e.construct(dir)
+		e.done.Store(true)
+	})
+	return e.m, e.sel, e.err
+}
+
+// construct materializes one entry: machine, selector, and — when dir is
+// set and a saved automaton exists — the restored tables. LoadAutomaton
+// runs here, before the selector is ever shared, which is exactly the
+// serialization its contract requires.
+func (e *regEntry) construct(dir string) {
+	m, err := e.load()
+	if err != nil {
+		e.err = fmt.Errorf("repro: machine %q: %w", e.name, err)
+		return
+	}
+	sel, err := m.NewSelector(e.kind, e.opt)
+	if err != nil {
+		e.err = fmt.Errorf("repro: machine %q: %w", e.name, err)
+		return
+	}
+	if dir != "" && sel.SupportsPersistence() {
+		path := automatonPath(dir, e.name)
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			loadErr := sel.LoadAutomaton(f)
+			f.Close()
+			if loadErr != nil {
+				e.err = fmt.Errorf("repro: machine %q: restoring %s: %w", e.name, path, loadErr)
+				return
+			}
+		case !os.IsNotExist(err):
+			e.err = fmt.Errorf("repro: machine %q: %w", e.name, err)
+			return
+		}
+	}
+	e.m, e.sel = m, sel
+}
+
+// Warm forces construction of name now (first traffic would otherwise pay
+// for it): boot-time warm-up for servers that load persisted automata.
+func (r *Registry) Warm(name string) error {
+	_, _, err := r.Get(name)
+	return err
+}
+
+// Names lists the registered machine names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names()
+}
+
+func (r *Registry) names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// DefaultName returns the first-registered machine name ("" if empty):
+// the machine requests without an explicit ?machine= land on.
+func (r *Registry) DefaultName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) == 0 {
+		return ""
+	}
+	return r.order[0]
+}
+
+// MachineStatus is one registered machine's serving state: whether its
+// selector has been constructed yet and, if so, its automaton warmth.
+type MachineStatus struct {
+	Machine     string
+	Kind        Kind
+	Constructed bool
+	Err         string // sticky construction error, if any
+	Warmth      Snapshot
+}
+
+// Status reports every registered machine in registration order,
+// constructed or not — the registry half of the server's GET /stats.
+func (r *Registry) Status() []MachineStatus {
+	r.mu.Lock()
+	entries := make([]*regEntry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+	sts := make([]MachineStatus, 0, len(entries))
+	for _, e := range entries {
+		st := MachineStatus{Machine: e.name, Kind: e.kind}
+		// done is stored after construct completes, so sel/err reads behind
+		// it are race-free; an entry mid-construction just reads as cold.
+		if e.done.Load() {
+			st.Constructed = e.sel != nil
+			if e.err != nil {
+				st.Err = e.err.Error()
+			}
+			if e.sel != nil {
+				st.Warmth = e.sel.Snapshot()
+			}
+		}
+		sts = append(sts, st)
+	}
+	return sts
+}
+
+// SaveAll persists every constructed, persistence-capable selector to the
+// configured automaton directory (one file per machine, written via a
+// temp file + rename so a crash mid-save never corrupts a good table).
+// It is a no-op when no automaton directory is set. The first error is
+// returned, but every entry is attempted.
+func (r *Registry) SaveAll() error {
+	r.mu.Lock()
+	dir := r.dir
+	entries := make([]*regEntry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		if !e.done.Load() || e.sel == nil || !e.sel.SupportsPersistence() {
+			continue
+		}
+		if err := saveAutomatonFile(e.sel, automatonPath(dir, e.name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repro: machine %q: %w", e.name, err)
+		}
+	}
+	return firstErr
+}
+
+func saveAutomatonFile(sel *Selector, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := sel.SaveAutomaton(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// automatonPath is the per-machine persistence file: dir/<name>.automaton.
+func automatonPath(dir, name string) string {
+	return filepath.Join(dir, name+".automaton")
+}
+
+// Snapshots returns the warmth of every constructed machine, keyed by
+// name — the sorted, compact form of Status for logs and tests.
+func (r *Registry) Snapshots() map[string]Snapshot {
+	out := map[string]Snapshot{}
+	for _, st := range r.Status() {
+		if st.Constructed {
+			out[st.Machine] = st.Warmth
+		}
+	}
+	return out
+}

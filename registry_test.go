@@ -1,0 +1,261 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// TestRegistryLazyConstruction: entries materialize exactly once, on
+// first Get, and every caller shares the one selector.
+func TestRegistryLazyConstruction(t *testing.T) {
+	reg := repro.NewRegistry()
+	if err := reg.Add("x86", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("x86", repro.KindDP, repro.Options{}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "x86" || got[1] != "jit64" {
+		t.Fatalf("names = %v", got)
+	}
+	if reg.DefaultName() != "x86" {
+		t.Fatalf("default = %q, want x86", reg.DefaultName())
+	}
+	for _, st := range reg.Status() {
+		if st.Constructed {
+			t.Fatalf("%s constructed before first Get", st.Machine)
+		}
+	}
+
+	// Concurrent first Gets race to construct; all must get one selector.
+	const racers = 8
+	sels := make([]*repro.Selector, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sel, err := reg.Get("x86")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sels[i] = sel
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if sels[i] != sels[0] {
+			t.Fatal("concurrent Gets constructed different selectors")
+		}
+	}
+
+	// "" resolves to the default machine.
+	m, sel, err := reg.Get("")
+	if err != nil || m.Name != "x86" || sel != sels[0] {
+		t.Fatalf("default Get = %v/%v/%v", m, sel, err)
+	}
+	// jit64 still cold; x86 constructed.
+	sts := reg.Status()
+	if !sts[0].Constructed || sts[1].Constructed {
+		t.Fatalf("status after one machine's traffic: %+v", sts)
+	}
+	if _, _, err := reg.Get("vax"); err == nil {
+		t.Fatal("unknown machine must fail")
+	}
+}
+
+// TestRegistryAddMachineAndSelector: custom machines (NewMachine) and
+// prebuilt selectors register alongside built-ins.
+func TestRegistryAddMachineAndSelector(t *testing.T) {
+	reg := repro.NewRegistry()
+	m, err := repro.NewMachine("tiny", `
+%name tiny
+%start r
+%term K(0) P(2)
+k: K (0) "=%c"
+r: P(k, k) (1) "add %0, %1 -> %d"
+r: k (1) "mov %0 -> %d"
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddMachine(m, repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got, sel, err := reg.Get("tiny")
+	if err != nil || got != m {
+		t.Fatalf("Get(tiny) = %v, %v", got, err)
+	}
+	f, err := m.ParseTree("P(K[1], K[2])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := sel.Compile(context.Background(), f); err != nil || out.Cost != 1 {
+		t.Fatalf("compile through registry: %v, %v", out, err)
+	}
+
+	x86, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := x86.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddSelector(pre); err != nil {
+		t.Fatal(err)
+	}
+	_, sel2, err := reg.Get("x86")
+	if err != nil || sel2 != pre {
+		t.Fatal("AddSelector entry must return the prebuilt selector")
+	}
+	if st := reg.Status(); !st[1].Constructed {
+		t.Fatal("AddSelector entry must be born constructed")
+	}
+}
+
+// TestRegistryPersistence: SaveAll writes one automaton file per capable
+// machine; a fresh registry over the same directory restores the tables
+// at construction, so the restored selector labels with zero misses.
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	m, err := repro.LoadMachine("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := m.CompileMinC(`int f(int n) { int s = 0; int i; for (i = 0; i < n; i += 1) { s += i; } return s; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := unit.Funcs[0].Forest
+
+	warm := repro.NewRegistry()
+	warm.SetAutomatonDir(dir)
+	if err := warm.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// A DP machine rides along: SaveAll must skip it, not fail.
+	if err := warm.Add("demo", repro.KindDP, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Warm("demo"); err != nil {
+		t.Fatal(err)
+	}
+	_, sel, err := warm.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sel.Compile(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jit64.automaton")); err != nil {
+		t.Fatalf("no saved automaton: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo.automaton")); !os.IsNotExist(err) {
+		t.Fatalf("DP machine must not persist an automaton: %v", err)
+	}
+
+	cold := repro.NewRegistry()
+	cold.SetAutomatonDir(dir)
+	if err := cold.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Add("x86", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var cm metrics.Counters
+	_, restored, err := cold.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Compile(context.Background(), f, repro.WithCounters(&cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Asm != want.Asm || got.Cost != want.Cost {
+		t.Error("restored selector emits different code")
+	}
+	if cm.TableMisses != 0 {
+		t.Errorf("restored selector had %d misses, want 0 (warm start)", cm.TableMisses)
+	}
+	// x86 has no saved file: constructs cold, still works.
+	if err := cold.Warm("x86"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt file is a sticky, explicit construction error.
+	if err := os.WriteFile(filepath.Join(dir, "mips.automaton"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Add("mips", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cold.Get("mips"); err == nil {
+		t.Fatal("corrupt automaton file must fail construction")
+	}
+	if _, _, err := cold.Get("mips"); err == nil {
+		t.Fatal("construction errors must be sticky")
+	}
+	for _, st := range cold.Status() {
+		if st.Machine == "mips" && st.Err == "" {
+			t.Error("status must surface the construction error")
+		}
+	}
+}
+
+// TestStateBudgetThroughAPI: Options.MaxStates turns unbounded automaton
+// growth into a typed ErrStateBudget, while an ample budget never fires.
+func TestStateBudgetThroughAPI(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.ParseTree("RET(ADD(REG[1], CNST[2]))")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starved, err := m.NewSelector(repro.KindOnDemand, repro.Options{MaxStates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := starved.Compile(context.Background(), f); !errors.Is(err, repro.ErrStateBudget) {
+		t.Fatalf("starved compile = %v, want ErrStateBudget", err)
+	}
+	if starved.States() > 1 {
+		t.Errorf("budget 1 but %d states materialized", starved.States())
+	}
+	// The selector survives: the same call keeps failing typed, not
+	// panicking, and the budget does not corrupt the engine.
+	if _, err := starved.Compile(context.Background(), f, repro.CostOnly()); !errors.Is(err, repro.ErrStateBudget) {
+		t.Fatalf("second starved compile = %v, want ErrStateBudget", err)
+	}
+
+	ample, err := m.NewSelector(repro.KindOnDemand, repro.Options{MaxStates: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ample.Compile(context.Background(), f)
+	if err != nil || out.Asm == "" {
+		t.Fatalf("ample budget compile: %v, %v", out, err)
+	}
+	// Warm traffic over existing states keeps working at the cap.
+	if _, err := ample.Compile(context.Background(), f); err != nil {
+		t.Fatalf("warm compile under budget: %v", err)
+	}
+}
