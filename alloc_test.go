@@ -91,6 +91,41 @@ func TestWarmDynSelectCostAllocFree(t *testing.T) {
 	assertZeroAllocs(t, "warm SelectCost (dynamic x86, whole corpus)", allocs)
 }
 
+// TestWarmOfflineSelectCostAllocFree: the ahead-of-time engine makes the
+// same warm-path promise as the on-demand one — and for it "warm" is the
+// only state there is: tables are complete before the first request, so
+// label + reduce must allocate nothing from call one (after one pass to
+// fill the labeling/reducer pools).
+func TestWarmOfflineSelectCostAllocFree(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := fixed.NewSelector(repro.KindOffline, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(fixed.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	for _, f := range fs { // fill the pools; no states are constructed here
+		if _, err := sel.SelectCost(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			sel.SelectCost(f)
+		}
+	})
+	assertZeroAllocs(t, "warm SelectCost (offline x86.fixed, whole corpus)", allocs)
+}
+
 // TestWarmCostOnlyCompileAllocs: the v2 spelling of the same path —
 // Compile(ctx, f, CostOnly()) — may allocate only its *Output result (the
 // option closure is static and the variadic slice stays on the stack):

@@ -9,7 +9,12 @@
 //     dynamic costs, tables built ahead of time);
 //   - KindOnDemand: the paper's contribution — the automaton is built
 //     lazily at selection time, giving (warm) static-automaton speed
-//     *and* dynamic costs.
+//     *and* dynamic costs;
+//   - KindOffline: tables compiled ahead of time by the offline generator
+//     (internal/gen, fronted by cmd/iselgen) and loaded at construction —
+//     zero construction cost under traffic, no dynamic costs. The fourth
+//     engine, registered exactly the way downstream experiments are told
+//     to plug variants in.
 //
 // Typical use (the v2 context-first surface):
 //
@@ -113,7 +118,9 @@ const Inf = grammar.Inf
 // Kind selects a labeling engine.
 type Kind string
 
-// The three engines of the paper's comparison.
+// The three engines of the paper's comparison. KindOffline (offline.go)
+// is the fourth registered kind: ahead-of-time tables loaded from
+// iselgen output.
 const (
 	KindDP       Kind = "dp"
 	KindStatic   Kind = "static"
@@ -265,7 +272,14 @@ type Options struct {
 	// the state table past the budget fails with an error matching
 	// ErrStateBudget (errors.Is); warm traffic over already-materialized
 	// states keeps compiling at the cap. Only meaningful for KindOnDemand.
+	// For KindOffline it bounds ahead-of-time closure computation instead:
+	// a pruned closure fails construction with truncation diagnostics.
 	MaxStates int
+	// PreloadPath, for KindOffline, loads the precompiled automaton from
+	// this `.isel` blob (written by cmd/iselgen) instead of computing the
+	// closure at construction — the instant-warm serving path. The blob
+	// must match the machine's grammar fingerprint.
+	PreloadPath string
 }
 
 // ErrStateBudget is the typed error a compile fails with when

@@ -209,8 +209,15 @@ func TestCompileMinCErrors(t *testing.T) {
 }
 
 func TestKinds(t *testing.T) {
-	if len(repro.Kinds()) != 3 {
-		t.Error("three engine kinds expected")
+	kinds := repro.Kinds()
+	if len(kinds) != 4 {
+		t.Errorf("kinds = %v, want the three paper engines plus offline", kinds)
+	}
+	want := []repro.Kind{repro.KindDP, repro.KindStatic, repro.KindOnDemand, repro.KindOffline}
+	for i, k := range want {
+		if i >= len(kinds) || kinds[i] != k {
+			t.Fatalf("kinds = %v, want %v (registration order)", kinds, want)
+		}
 	}
 }
 

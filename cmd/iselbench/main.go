@@ -39,6 +39,7 @@ func main() {
 	workers := flag.String("workers", "1,2,4,8", "worker counts for the EP parallel-scaling experiment")
 	passes := flag.Int("passes", 20, "corpus passes per EP configuration")
 	clients := flag.String("clients", "1,2,4,8", "client counts for the SV compilation-server experiment")
+	svMachines := flag.String("machines", "", "comma-separated machines for the SV mixed-machine replay (defaults to -grammar; several names interleave clients across machines)")
 	svWorkers := flag.Int("sv-workers", 0, "server worker-pool size for SV (0 = GOMAXPROCS)")
 	svPasses := flag.Int("sv-passes", 10, "corpus passes per client per SV configuration")
 	perfOut := flag.String("perf-out", "", "write the PF experiment's report to this JSON file (e.g. BENCH_PR3.json)")
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *gname, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *perfOut, *perfPasses); err != nil {
+	if err := run(*exp, *gname, *svMachines, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *perfOut, *perfPasses); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
@@ -77,7 +78,16 @@ func parseCounts(flagName, s string) ([]int, error) {
 	return ws, nil
 }
 
-func run(exp, gname string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int, perfOut string, perfPasses int) error {
+func run(exp, gname, svMachines string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int, perfOut string, perfPasses int) error {
+	gnames := []string{gname}
+	if svMachines != "" {
+		gnames = nil
+		for _, part := range strings.Split(svMachines, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				gnames = append(gnames, part)
+			}
+		}
+	}
 	type step struct {
 		id string
 		fn func() error
@@ -111,7 +121,7 @@ func run(exp, gname string, ablations bool, workers []int, passes int, clients [
 		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
 		{"EP", func() error { _, t, err := bench.RunParallel(gname, workers, passes); show(t, err); return err }},
 		{"SV", func() error {
-			_, t, warmth, err := bench.RunServer(gname, clients, svWorkers, svPasses)
+			_, t, warmth, err := bench.RunServer(gnames, clients, svWorkers, svPasses)
 			show(warmth, err)
 			show(t, err)
 			return err

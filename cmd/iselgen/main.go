@@ -1,0 +1,187 @@
+// Command iselgen is the ahead-of-time table compiler: it computes the
+// full tree-parsing automaton of a grammar offline (internal/gen) and
+// writes it as a versioned `.isel` blob — loadable by the `offline`
+// engine kind and by `iselserver -preload` for machines that are fully
+// warm before their first request — or as generated Go source that embeds
+// the blob and registers it at init time.
+//
+// Usage:
+//
+//	iselgen -machine x86 -fixed -out x86.isel
+//	iselgen -machine demo -fixed -go -pkg precompiled -out demo_fixed_gen.go
+//	iselgen -grammar mydesc.gr -out mydesc.isel
+//	iselgen -machine jit64 -fixed -stats
+//	iselgen -machine demo -fixed -go -pkg precompiled -out demo_fixed_gen.go -check
+//
+// Grammars with dynamic-cost rules cannot be tabulated offline (the
+// limitation the paper's on-demand engine lifts): pass -fixed to strip
+// them and compile the fixed-cost subset, exactly what a burg user would
+// feed the offline generator.
+//
+// -stats prints the closure report: states, representer classes,
+// transition entries, table and blob bytes, and generation time. When the
+// closure is pruned by -max-states the report carries the truncation
+// diagnostics instead and iselgen exits nonzero — a pruned table set is
+// never written.
+//
+// -check verifies that -out is byte-for-byte up to date instead of
+// writing it (exit status 2 when stale): the CI hook that keeps committed
+// generated tables honest. Output is deterministic for a given grammar,
+// so -check is meaningful.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/gen"
+	"repro/internal/grammar"
+	"repro/internal/md"
+)
+
+func main() {
+	machine := flag.String("machine", "", "built-in machine description to compile (x86, mips, sparc, alpha, jit64, demo)")
+	grammarFile := flag.String("grammar", "", "burg-style grammar source file to compile (alternative to -machine)")
+	fixed := flag.Bool("fixed", false, "strip dynamic-cost rules first (required for grammars that have any)")
+	out := flag.String("out", "", "output path (.isel blob, or Go source with -go)")
+	goSrc := flag.Bool("go", false, "emit generated Go source embedding the blob instead of the raw blob")
+	pkg := flag.String("pkg", "precompiled", "package name for -go output")
+	varName := flag.String("var", "", "variable name for -go output (derived from the grammar name when empty)")
+	stats := flag.Bool("stats", false, "print the closure report (states, transitions, table bytes, generation time)")
+	check := flag.Bool("check", false, "verify -out is up to date instead of writing it (exit 2 when stale)")
+	maxStates := flag.Int("max-states", 0, "closure state bound (0 = generator default); a pruned closure fails with diagnostics")
+	deltaCap := flag.Int("delta-cap", 0, "relative-cost cap in states (0 = default)")
+	flag.Parse()
+
+	if err := run(*machine, *grammarFile, *out, *pkg, *varName, *fixed, *goSrc, *stats, *check, *maxStates, *deltaCap); err != nil {
+		fmt.Fprintln(os.Stderr, "iselgen:", err)
+		var trunc *automaton.TruncatedError
+		if errors.As(err, &trunc) {
+			fmt.Fprintf(os.Stderr, "iselgen: closure truncation report for %s:\n", trunc.Grammar)
+			fmt.Fprintf(os.Stderr, "  state bound        %d\n", trunc.MaxStates)
+			fmt.Fprintf(os.Stderr, "  states at the cut  %d\n", trunc.States)
+			fmt.Fprintf(os.Stderr, "  transitions done   %d\n", trunc.Transitions)
+			fmt.Fprintf(os.Stderr, "  work items pending %d\n", trunc.PendingWork)
+			fmt.Fprintln(os.Stderr, "  a pruned table set is never written; raise -max-states or fix the grammar's chain-rule structure")
+		}
+		if errors.Is(err, errStale) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+var errStale = errors.New("stale")
+
+func run(machine, grammarFile, out, pkg, varName string, fixed, goSrc, stats, check bool, maxStates, deltaCap int) error {
+	g, err := loadGrammar(machine, grammarFile, fixed)
+	if err != nil {
+		return err
+	}
+	res, err := gen.Compile(g, gen.Config{MaxStates: maxStates, DeltaCap: grammar.Cost(deltaCap)})
+	if err != nil {
+		if g.HasAnyDynRules() {
+			return fmt.Errorf("%w (hint: pass -fixed to compile the fixed-cost subset)", err)
+		}
+		return err
+	}
+	if stats {
+		printStats(res.Stats)
+	}
+	if out == "" {
+		if stats {
+			return nil
+		}
+		return fmt.Errorf("no -out path (and no -stats): nothing to do; refusing to write a binary blob to stdout")
+	}
+
+	payload := res.Blob
+	if goSrc {
+		if varName == "" {
+			varName = defaultVarName(g.Name)
+		}
+		if payload, err = gen.GoSource(pkg, varName, res); err != nil {
+			return err
+		}
+	}
+	if check {
+		prev, err := os.ReadFile(out)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", errStale, out, err)
+		}
+		if !bytes.Equal(prev, payload) {
+			return fmt.Errorf("%w: %s is out of date for grammar %s; rerun iselgen to regenerate", errStale, out, g.Name)
+		}
+		fmt.Printf("iselgen: %s is up to date (%d bytes)\n", out, len(payload))
+		return nil
+	}
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("iselgen: wrote %s (%d bytes) for grammar %s\n", out, len(payload), g.Name)
+	return nil
+}
+
+func loadGrammar(machine, grammarFile string, fixed bool) (*grammar.Grammar, error) {
+	var g *grammar.Grammar
+	switch {
+	case machine != "" && grammarFile != "":
+		return nil, fmt.Errorf("set exactly one of -machine/-grammar, not both")
+	case machine != "":
+		d, err := md.Load(machine)
+		if err != nil {
+			return nil, err
+		}
+		g = d.Grammar
+	case grammarFile != "":
+		src, err := os.ReadFile(grammarFile)
+		if err != nil {
+			return nil, err
+		}
+		g, err = grammar.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", grammarFile, err)
+		}
+	default:
+		return nil, fmt.Errorf("set one of -machine/-grammar")
+	}
+	if fixed {
+		return g.StripDynamic()
+	}
+	return g, nil
+}
+
+func printStats(s gen.Stats) {
+	fmt.Printf("iselgen: grammar %s (fingerprint %016x)\n", s.Grammar, s.Fingerprint)
+	fmt.Printf("  operators %d, nonterminals %d, rules %d\n", s.Ops, s.Nonterms, s.Rules)
+	fmt.Printf("  states %d, representer classes %d, transition entries %d\n", s.States, s.Representers, s.TransitionEntries)
+	fmt.Printf("  table bytes %d, blob bytes %d\n", s.TableBytes, s.BlobBytes)
+	fmt.Printf("  generation time %s\n", s.GenTime)
+}
+
+// defaultVarName turns a grammar name into a Go identifier:
+// "demo.fixed" -> "demoFixedTables".
+func defaultVarName(name string) string {
+	var b strings.Builder
+	up := false
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9' && b.Len() > 0:
+			if up {
+				b.WriteString(strings.ToUpper(string(r)))
+				up = false
+			} else {
+				b.WriteRune(r)
+			}
+		default:
+			up = true
+		}
+	}
+	b.WriteString("Tables")
+	return b.String()
+}

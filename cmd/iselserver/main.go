@@ -8,22 +8,38 @@
 //	iselserver -machines x86 -addr :8931
 //	iselserver -machines x86,jit64,mips -kind ondemand -workers 8 -queue 64
 //	iselserver -machines x86,jit64 -automaton-dir /var/lib/isel -timeout 2s
+//	iselserver -machines x86,jit64 -preload ./tables
 //
 // Protocol (HTTP/JSON; see internal/server for the request schemas):
 //
 //	POST /compile?machine=x86  {"client":"ci-1","trees":"ADD(REG[1], CNST[2])"}
 //	POST /compile              {"client":"ci-2","minc":"int main() { return 42; }"}
+//	POST /evict?machine=x86    drop the machine's engine; next job rebuilds it
 //	GET  /stats                every registered machine's warmth
 //	GET  /healthz
 //
 // The machine query parameter picks the machine description; without it,
 // requests land on the first -machines entry. -timeout bounds each job
 // (queue wait + compile; exceeded jobs answer 504); -max-states bounds
-// each on-demand automaton's state table (exhausted budgets answer 503).
+// each on-demand automaton's state table (exhausted budgets answer 503);
+// POST /evict resets a machine (a capped automaton starts over without a
+// restart). -max-machines keeps at most N engines live, evicting the
+// least recently used — cold machines are dropped, their next request
+// reconstructs them.
 //
 // With -automaton-dir, each machine's saved on-demand tables are loaded
 // at boot (warm start: zero misses on traffic the previous run saw) and
 // saved back on graceful drain, one <machine>.automaton file each.
+//
+// With -preload, each machine whose <machine>.isel blob exists in the
+// given directory (written by cmd/iselgen) is served by the `offline`
+// engine from those ahead-of-time tables: the machine is fully warm
+// before its first request and constructs nothing under traffic — the
+// offline end of the paper's tradeoff. Machines without a blob fall back
+// to -kind. Built-in grammars carry dynamic-cost rules, which offline
+// tables cannot host, so a blob generated with `iselgen -fixed` serves
+// the machine's fixed-cost subset (the blob's grammar fingerprint decides;
+// mismatched tables are rejected at boot).
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight compilations drain, the
 // automata persist (when -automaton-dir is set), and the final
@@ -37,11 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/gen"
 	"repro/internal/server"
 )
 
@@ -54,24 +72,88 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline for each compile job (0 = none)")
 	maxStates := flag.Int("max-states", 0, "state budget per on-demand automaton (0 = unlimited; exhausted budgets answer 503)")
 	autoDir := flag.String("automaton-dir", "", "directory of persisted automata: loaded per machine at boot, saved on graceful drain")
+	preload := flag.String("preload", "", "directory of iselgen .isel blobs: machines with a <machine>.isel file are served offline from those tables")
+	maxMachines := flag.Int("max-machines", 0, "keep at most N engines constructed, evicting the least recently used (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*machines, *kind, *addr, *autoDir, *workers, *queue, *maxStates, *timeout); err != nil {
+	if err := run(*machines, *kind, *addr, *autoDir, *preload, *workers, *queue, *maxStates, *maxMachines, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "iselserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machines, kind, addr, autoDir string, workers, queue, maxStates int, timeout time.Duration) error {
+// addPreloaded registers name to be served offline from the iselgen blob
+// at path, if it exists. The blob's grammar fingerprint must match the
+// machine's grammar — or its fixed-cost subset, the only form a grammar
+// with dynamic rules can be tabulated in; in that case the fixed machine
+// is served under the requested name.
+func addPreloaded(reg *repro.Registry, name, path string) (bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	hdr, err := gen.ReadHeader(f)
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		return false, err
+	}
+	if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
+		fixed, err := m.FixedMachine()
+		if err != nil {
+			return false, err
+		}
+		if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
+			return false, fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
+				path, hdr.Grammar, name)
+		}
+		m = fixed
+	}
+	m.Name = name // serve under the requested name
+	if err := reg.AddMachine(m, repro.KindOffline, repro.Options{PreloadPath: path}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func run(machines, kind, addr, autoDir, preload string, workers, queue, maxStates, maxMachines int, timeout time.Duration) error {
 	reg := repro.NewRegistry()
 	if autoDir != "" {
 		reg.SetAutomatonDir(autoDir)
+	}
+	if maxMachines > 0 {
+		reg.SetMaxMachines(maxMachines)
 	}
 	var names []string
 	for _, name := range strings.Split(machines, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
+		}
+		if preload != "" {
+			added, err := addPreloaded(reg, name, filepath.Join(preload, name+".isel"))
+			if err != nil {
+				return err
+			}
+			if added {
+				fmt.Printf("iselserver: %s preloaded from %s (offline tables; grammar fixed subset if the machine has dynamic rules)\n",
+					name, filepath.Join(preload, name+".isel"))
+				names = append(names, name)
+				continue
+			}
+			fmt.Printf("iselserver: no %s.isel in %s; serving %s with the %s engine\n", name, preload, name, kind)
+		}
+		// Validate the name now even though construction is lazy: with
+		// -max-machines below the machine count not every engine warms at
+		// boot, and a typo must not become a sticky 500 at request time.
+		if _, err := repro.LoadMachine(name); err != nil {
+			return err
 		}
 		if err := reg.Add(name, repro.Kind(kind), repro.Options{MaxStates: maxStates}); err != nil {
 			return err
@@ -81,10 +163,20 @@ func run(machines, kind, addr, autoDir string, workers, queue, maxStates int, ti
 	if len(names) == 0 {
 		return fmt.Errorf("no machines to serve (-machines %q)", machines)
 	}
-	// Construct every engine at boot: it surfaces bad machine names and
-	// corrupt automaton files before the listener opens, and it is the
-	// moment persisted tables restore so first traffic is already warm.
-	for _, name := range names {
+	// Construct engines at boot: it surfaces bad machine names and corrupt
+	// automaton files before the listener opens, and it is the moment
+	// persisted/preloaded tables restore so first traffic is already warm.
+	// With -max-machines below the machine count, warming everything would
+	// just construct-and-evict in registration order, so only the first N
+	// (the default machine first) warm eagerly; the rest construct on
+	// their first request.
+	warmN := len(names)
+	if maxMachines > 0 && maxMachines < warmN {
+		warmN = maxMachines
+		fmt.Printf("iselserver: -max-machines %d < %d machines; warming %s eagerly, the rest construct on first request\n",
+			maxMachines, len(names), strings.Join(names[:warmN], ","))
+	}
+	for _, name := range names[:warmN] {
 		if err := reg.Warm(name); err != nil {
 			return err
 		}
@@ -104,8 +196,14 @@ func run(machines, kind, addr, autoDir string, workers, queue, maxStates int, ti
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("iselserver: serving %s (%s engines, %d workers) on %s\n",
-		strings.Join(names, ","), kind, srv.Workers(), addr)
+	// Engines may differ per machine (preloaded ones serve offline), so
+	// the banner reports each machine's actual kind.
+	var served []string
+	for _, st := range reg.Status() {
+		served = append(served, fmt.Sprintf("%s[%s]", st.Machine, st.Kind))
+	}
+	fmt.Printf("iselserver: serving %s (%d workers) on %s\n",
+		strings.Join(served, ","), srv.Workers(), addr)
 
 	select {
 	case err := <-errc:

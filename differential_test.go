@@ -19,7 +19,8 @@ import (
 //
 // Two arenas per machine: the full grammar (dynamic costs active; every
 // kind that can host them) and the stripped fixed-cost grammar (every
-// registered kind, including the offline automaton, which cannot host
+// registered kind — including the static automaton and the
+// ahead-of-time-compiled offline engine, neither of which can host
 // dynamic rules at all).
 
 // diffSeeds is the number of seeded forests per machine description per
@@ -186,7 +187,9 @@ func TestDifferentialEngines(t *testing.T) {
 				t.Fatalf("only %v construct on the full grammar", full.kinds)
 			}
 
-			// Fixed-grammar arena: every registered kind, no exceptions.
+			// Fixed-grammar arena: every registered kind, no exceptions —
+			// in particular the offline engine's ahead-of-time tables must
+			// agree with every other kind here.
 			fx := &arena{name: name + ".fixed", g: fixed.Grammar, sels: map[repro.Kind]*repro.Selector{}}
 			for _, kind := range kinds {
 				sel, err := fixed.NewSelector(kind, repro.Options{})
@@ -195,6 +198,9 @@ func TestDifferentialEngines(t *testing.T) {
 				}
 				fx.kinds = append(fx.kinds, kind)
 				fx.sels[kind] = sel
+			}
+			if _, ok := fx.sels[repro.KindOffline]; !ok {
+				t.Fatalf("offline kind missing from the fixed arena: %v", fx.kinds)
 			}
 
 			fullRoots, fullInner, fullLeaf := opSplit(m.Grammar)

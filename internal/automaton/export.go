@@ -1,0 +1,214 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+)
+
+// TableSet is the flat, exported form of a fully generated (offline)
+// automaton: every state's cost-normalized vectors plus the complete
+// leaf/unary/binary transition tables in Chase-compressed representer
+// form. It is the unit of exchange between the generator (internal/gen
+// compiles a grammar's closure into a TableSet and serializes it) and the
+// serving side (NewStaticFromTables turns a decoded TableSet back into a
+// labeling automaton without re-running any closure work).
+//
+// All slices are laid out exactly as Static stores them; a TableSet handed
+// to NewStaticFromTables is owned by the automaton afterwards and must not
+// be mutated.
+type TableSet struct {
+	// NumNT is the grammar's nonterminal count; state vectors are rows of
+	// this width.
+	NumNT int
+	// Deltas/Rules hold the state vectors row-major: state s's entry for
+	// nonterminal nt sits at s*NumNT+nt. len = NumStates*NumNT.
+	Deltas []grammar.Cost
+	Rules  []int32
+	// Leaf[op] is the state id of arity-0 operator op (-1 for operators
+	// with children).
+	Leaf []int32
+	// NReps[op][p] is the number of representer classes at child position p
+	// of op; Mu[op][p][stateID] projects a state onto its class.
+	NReps [][2]int32
+	Mu    [][2][]int32
+	// T1[op][rep0] (unary) and T2[op][rep0*NReps[op][1]+rep1] (binary) are
+	// the transition tables, holding state ids.
+	T1 [][]int32
+	T2 [][]int32
+}
+
+// NumStates returns the number of states the set describes.
+func (ts *TableSet) NumStates() int {
+	if ts.NumNT == 0 {
+		return 0
+	}
+	return len(ts.Deltas) / ts.NumNT
+}
+
+// TransitionEntries counts the tabulated transition cells (the figure
+// NumTransitions reports after a load).
+func (ts *TableSet) TransitionEntries() int {
+	n := 0
+	for op := range ts.T1 {
+		n += len(ts.T1[op]) + len(ts.T2[op])
+	}
+	return n
+}
+
+// Export flattens the automaton into a TableSet. The returned set aliases
+// the automaton's internal tables and must be treated as read-only.
+func (a *Static) Export() *TableSet {
+	numNT := a.g.NumNonterms()
+	ts := &TableSet{
+		NumNT:  numNT,
+		Deltas: make([]grammar.Cost, 0, len(a.states)*numNT),
+		Rules:  make([]int32, 0, len(a.states)*numNT),
+		Leaf:   a.leaf,
+		NReps:  a.nreps,
+		Mu:     a.mu,
+		T1:     a.t1,
+		T2:     a.t2,
+	}
+	for _, s := range a.states {
+		ts.Deltas = append(ts.Deltas, s.Delta...)
+		ts.Rules = append(ts.Rules, s.Rule...)
+	}
+	return ts
+}
+
+// NewStaticFromTables reconstitutes a labeling automaton from a TableSet
+// generated for exactly g (callers check the grammar fingerprint first;
+// this function validates structure, not provenance). No closure work
+// runs: states are re-interned for canonical identity and the transition
+// tables are adopted as-is, so construction cost is linear in table size —
+// the instant-warm start the offline generator exists for.
+//
+// The automaton takes ownership of ts.
+func NewStaticFromTables(g *grammar.Grammar, ts *TableSet) (*Static, error) {
+	numNT := g.NumNonterms()
+	numOps := g.NumOps()
+	if ts.NumNT != numNT {
+		return nil, fmt.Errorf("automaton: table set has %d nonterminals, grammar %s has %d", ts.NumNT, g.Name, numNT)
+	}
+	if numNT == 0 || len(ts.Deltas)%numNT != 0 || len(ts.Rules) != len(ts.Deltas) {
+		return nil, fmt.Errorf("automaton: malformed state vectors (%d deltas, %d rules, %d nonterminals)",
+			len(ts.Deltas), len(ts.Rules), numNT)
+	}
+	if len(ts.Leaf) != numOps || len(ts.NReps) != numOps || len(ts.Mu) != numOps ||
+		len(ts.T1) != numOps || len(ts.T2) != numOps {
+		return nil, fmt.Errorf("automaton: table set sized for %d operators, grammar %s has %d", len(ts.Leaf), g.Name, numOps)
+	}
+	numStates := len(ts.Deltas) / numNT
+	if numStates == 0 {
+		return nil, fmt.Errorf("automaton: empty table set")
+	}
+
+	table := NewTable(g)
+	for s := 0; s < numStates; s++ {
+		delta := make([]grammar.Cost, numNT)
+		rule := make([]int32, numNT)
+		copy(delta, ts.Deltas[s*numNT:(s+1)*numNT])
+		copy(rule, ts.Rules[s*numNT:(s+1)*numNT])
+		for nt := 0; nt < numNT; nt++ {
+			// Every legitimate state is cost-normalized: a finite,
+			// non-negative delta pairs with a valid rule id, an infinite
+			// delta with exactly -1. A vector violating that is body
+			// corruption the framing checks cannot see; reject it here
+			// rather than panic (or silently mislabel) at serve time.
+			if rule[nt] < -1 || rule[nt] >= int32(g.NumRules()) {
+				return nil, fmt.Errorf("automaton: state %d references rule %d outside grammar %s", s, rule[nt], g.Name)
+			}
+			if delta[nt] < 0 {
+				return nil, fmt.Errorf("automaton: state %d has negative cost %d for nonterminal %d", s, delta[nt], nt)
+			}
+			if delta[nt].IsInf() != (rule[nt] == -1) {
+				return nil, fmt.Errorf("automaton: state %d is not cost-normalized at nonterminal %d (delta %d, rule %d)",
+					s, nt, delta[nt], rule[nt])
+			}
+		}
+		st, created := table.Intern(delta, rule, nil)
+		if !created || st.ID != int32(s) {
+			return nil, fmt.Errorf("automaton: duplicate state %d in table set", s)
+		}
+	}
+
+	checkState := func(what string, id int32) error {
+		if id < 0 || int(id) >= numStates {
+			return fmt.Errorf("automaton: %s references state %d of %d", what, id, numStates)
+		}
+		return nil
+	}
+	for op := 0; op < numOps; op++ {
+		arity := g.Ops[op].Arity
+		if arity == 0 {
+			if err := checkState(fmt.Sprintf("leaf operator %s", g.OpName(grammar.OpID(op))), ts.Leaf[op]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for p := 0; p < arity; p++ {
+			nreps := ts.NReps[op][p]
+			if len(ts.Mu[op][p]) != numStates {
+				return nil, fmt.Errorf("automaton: operator %s position %d: projection row has %d entries, want %d states",
+					g.OpName(grammar.OpID(op)), p, len(ts.Mu[op][p]), numStates)
+			}
+			for _, rep := range ts.Mu[op][p] {
+				if rep < 0 || rep >= nreps {
+					return nil, fmt.Errorf("automaton: operator %s position %d: representer %d of %d",
+						g.OpName(grammar.OpID(op)), p, rep, nreps)
+				}
+			}
+		}
+		var cells []int32
+		if arity == 1 {
+			cells = ts.T1[op]
+			if len(cells) != int(ts.NReps[op][0]) {
+				return nil, fmt.Errorf("automaton: operator %s: %d unary transitions, want %d",
+					g.OpName(grammar.OpID(op)), len(cells), ts.NReps[op][0])
+			}
+		} else {
+			cells = ts.T2[op]
+			// The product is computed in int: an int32 multiply could wrap
+			// for crafted rep counts and slip a short table past the check.
+			want := int(ts.NReps[op][0]) * int(ts.NReps[op][1])
+			if len(cells) != want {
+				return nil, fmt.Errorf("automaton: operator %s: %d binary transitions, want %d",
+					g.OpName(grammar.OpID(op)), len(cells), want)
+			}
+		}
+		for _, id := range cells {
+			if err := checkState(fmt.Sprintf("operator %s transition", g.OpName(grammar.OpID(op))), id); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	a := &Static{
+		g:        g,
+		table:    table,
+		states:   table.States(),
+		deltaCap: DefaultDeltaCap,
+		leaf:     ts.Leaf,
+		mu:       ts.Mu,
+		nreps:    ts.NReps,
+		t1:       ts.T1,
+		t2:       ts.T2,
+	}
+	a.labels.New = func() any { return &Labeling{} }
+	totalReps := 0
+	for op := 0; op < numOps; op++ {
+		totalReps += int(ts.NReps[op][0] + ts.NReps[op][1])
+	}
+	a.Gen = GenStats{
+		States:              numStates,
+		Representers:        totalReps,
+		TransitionsComputed: ts.TransitionEntries(),
+		TableBytes:          a.MemoryBytes(),
+	}
+	// Serving automata trade memory for the fastest per-node lookup: the
+	// blob ships compressed, the loaded tables label through direct
+	// state-id-indexed arrays.
+	a.Expand()
+	return a, nil
+}

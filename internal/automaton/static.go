@@ -43,8 +43,65 @@ type Static struct {
 	// t2[op][rep0*nreps[op][1]+rep1] -> state id (binary ops).
 	t2 [][]int32
 
+	// Expanded direct-lookup tables (see Expand): dir1[op][kidState] and
+	// dir2[op][l*numStates+r] hold state ids indexed by child state ids
+	// directly, removing the two projection loads per node that the
+	// Chase-compressed form costs. nil until Expand; labeling uses them
+	// when present.
+	dir1 [][]int32
+	dir2 [][]int32
+
 	// Gen holds generation statistics.
 	Gen GenStats
+}
+
+// Expand decompresses the transition tables into direct state-id-indexed
+// arrays — the classic space-for-time move: a binary transition becomes
+// one flat row-major load (like the on-demand engine's dense grids, minus
+// the atomics) instead of two representer projections plus a compressed
+// lookup. Memory grows from O(reps²) to O(states²) per binary operator,
+// which MemoryBytes reports honestly.
+//
+// The offline serving path (tables loaded from an iselgen blob) expands
+// at load time: a long-lived server trades kilobytes for the fastest
+// possible per-node lookup. The generate-time static engine keeps the
+// compressed form — it is the burg-style baseline the experiments
+// describe. Call before the automaton is shared; not concurrency-safe.
+//
+// Expansion is bounded: past ExpandMaxStates the quadratic grids stop
+// being a kilobyte trade (and an untrusted blob header must not be able
+// to demand them), so huge automata keep labeling through the compressed
+// tables.
+func (a *Static) Expand() {
+	if a.dir1 != nil || len(a.states) > ExpandMaxStates {
+		return
+	}
+	n := len(a.states)
+	a.dir1 = make([][]int32, len(a.t1))
+	a.dir2 = make([][]int32, len(a.t2))
+	for op := range a.mu {
+		switch a.g.Ops[op].Arity {
+		case 1:
+			row := make([]int32, n)
+			mu0 := a.mu[op][0]
+			for kid := 0; kid < n; kid++ {
+				row[kid] = a.t1[op][mu0[kid]]
+			}
+			a.dir1[op] = row
+		case 2:
+			grid := make([]int32, n*n)
+			mu0, mu1 := a.mu[op][0], a.mu[op][1]
+			n1 := a.nreps[op][1]
+			for l := 0; l < n; l++ {
+				r0 := mu0[l] * n1
+				for r := 0; r < n; r++ {
+					grid[l*n+r] = a.t2[op][r0+mu1[r]]
+				}
+			}
+			a.dir2[op] = grid
+		}
+	}
+	a.Gen.TableBytes = a.MemoryBytes()
 }
 
 // GenStats summarizes offline generation.
@@ -60,10 +117,42 @@ type StaticConfig struct {
 	// DeltaCap bounds relative costs (DefaultDeltaCap if zero).
 	DeltaCap grammar.Cost
 	// MaxStates aborts generation when exceeded (1<<20 if zero); a safety
-	// valve against pathological grammars.
+	// valve against pathological grammars. An exceeded bound fails with a
+	// *TruncatedError carrying the closure diagnostics.
 	MaxStates int
 	// Metrics receives generation-time event counts (may be nil).
 	Metrics *metrics.Counters
+}
+
+// ExpandMaxStates bounds direct-table expansion: each binary operator's
+// expanded grid is states² × 4 bytes, so 4096 states cost 64 MB per
+// operator — the point past which the space-for-time trade stops paying
+// and a crafted blob could otherwise demand terabytes. Larger automata
+// label through the compressed representer tables instead.
+const ExpandMaxStates = 4096
+
+// TruncatedError reports a closure that was pruned by StaticConfig
+// MaxStates before reaching its fixpoint: the grammar's state space (or
+// the configured budget) is too small to tabulate offline. It carries the
+// diagnostics the ahead-of-time generator's -stats report prints, so an
+// operator can see how far generation got before the cap.
+type TruncatedError struct {
+	Grammar string
+	// MaxStates is the configured bound; States is how many states had
+	// been interned when it tripped (States > MaxStates by exactly the
+	// state whose creation overflowed).
+	MaxStates int
+	States    int
+	// Transitions counts transition computations completed before the cut;
+	// PendingWork is the representer work-queue length at the cut — the
+	// closure work that was abandoned.
+	Transitions int
+	PendingWork int
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("automaton: grammar %s exceeds %d states (closure pruned at %d states, %d transitions computed, %d work items pending); the grammar lacks the chain-rule structure that bounds relative costs",
+		e.Grammar, e.MaxStates, e.States, e.Transitions, e.PendingWork)
 }
 
 // Generate builds the full automaton for g. It fails for grammars with
@@ -286,8 +375,13 @@ func (gen *generator) transition(op grammar.OpID, rep0, rep1 int32) error {
 	gen.cfg.Metrics.CountTransition()
 	if created {
 		if gen.table.Len() > gen.cfg.MaxStates {
-			return fmt.Errorf("automaton: grammar %s exceeds %d states; the grammar lacks the chain-rule structure that bounds relative costs",
-				g.Name, gen.cfg.MaxStates)
+			return &TruncatedError{
+				Grammar:     g.Name,
+				MaxStates:   gen.cfg.MaxStates,
+				States:      gen.table.Len(),
+				Transitions: gen.nTr,
+				PendingWork: len(gen.queue),
+			}
 		}
 		gen.addState(s)
 	}
@@ -373,12 +467,16 @@ func (a *Static) NumTransitions() int {
 }
 
 // MemoryBytes estimates the automaton's total table footprint: states,
-// index maps, and transition tables.
+// index maps, transition tables, and — when expanded — the direct-lookup
+// arrays.
 func (a *Static) MemoryBytes() int {
 	b := a.table.MemoryBytes()
 	for op := range a.mu {
 		b += 4 * (len(a.mu[op][0]) + len(a.mu[op][1]))
 		b += 4 * (len(a.t1[op]) + len(a.t2[op]))
+	}
+	for op := range a.dir1 {
+		b += 4 * (len(a.dir1[op]) + len(a.dir2[op]))
 	}
 	return b
 }
@@ -403,6 +501,28 @@ func (a *Static) LabelStatesMetered(f *ir.Forest, m *metrics.Counters) *Labeling
 	}
 	lab := a.labels.Get().(*Labeling)
 	ids := lab.Reuse(len(f.Nodes))
+	if a.dir1 != nil {
+		// Expanded direct tables: one flat load per node, no projections.
+		// Index arithmetic is int: an int32 product would wrap for state
+		// counts past √2³¹ (Expand's bound keeps us far below, but the
+		// index math must not be what relies on that).
+		stride := len(a.states)
+		for i, n := range f.Nodes {
+			m.CountNode()
+			m.CountProbe(false)
+			op := n.Op
+			switch len(n.Kids) {
+			case 0:
+				ids[i] = a.leaf[op]
+			case 1:
+				ids[i] = a.dir1[op][ids[n.Kids[0].Index]]
+			default:
+				ids[i] = a.dir2[op][int(ids[n.Kids[0].Index])*stride+int(ids[n.Kids[1].Index])]
+			}
+		}
+		lab.BindStates(a.states)
+		return lab
+	}
 	for i, n := range f.Nodes {
 		m.CountNode()
 		m.CountProbe(false)

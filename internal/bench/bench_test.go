@@ -200,7 +200,7 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestSVShapes(t *testing.T) {
-	rows, table, warmth, err := RunServer("jit64", []int{1, 2}, 2, 2)
+	rows, table, warmth, err := RunServer([]string{"jit64"}, []int{1, 2}, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,6 +226,40 @@ func TestSVShapes(t *testing.T) {
 	}
 	if len(warmth.Rows) == 0 || len(table.Rows) != 3 {
 		t.Error("tables incomplete")
+	}
+}
+
+// TestSVMixedMachines: the mixed replay drives several machines through
+// one server; per-machine warmth must match a single-machine run (each
+// engine sees exactly its own traffic) and the accounting invariant holds
+// across the machine mix.
+func TestSVMixedMachines(t *testing.T) {
+	rows, table, warmth, err := RunServer([]string{"jit64", "mips"}, []int{2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want direct + one client count", len(rows))
+	}
+	if rows[0].Grammar != "jit64+mips" {
+		t.Errorf("label = %q", rows[0].Grammar)
+	}
+	// Summed warmth must equal the direct baseline's: identical traffic,
+	// identically warmed engines, machine by machine.
+	if rows[1].States != rows[0].States || rows[1].Trans != rows[0].Trans {
+		t.Errorf("mixed warmth %d/%d differs from direct %d/%d",
+			rows[1].States, rows[1].Trans, rows[0].States, rows[0].Trans)
+	}
+	// The warmth curve covers both machines.
+	seen := map[string]bool{}
+	for _, r := range warmth.Rows {
+		seen[r[0]] = true
+	}
+	if !seen["jit64"] || !seen["mips"] {
+		t.Errorf("warmth curve machines = %v, want jit64 and mips", seen)
+	}
+	if len(table.Rows) != 2 {
+		t.Error("throughput table incomplete")
 	}
 }
 

@@ -67,6 +67,14 @@ func ComparePerf(base, cur *PerfReport, tolPct float64, allocsOnly bool) []strin
 		}
 		check("warm-label-allocs/pass", b.WarmLabelAllocsPerPass, row.WarmLabelAllocsPerPass)
 		check("warm-select-allocs/pass", b.WarmSelectAllocsPerPass, row.WarmSelectAllocsPerPass)
+		// Offline columns only exist from PR 5 onward; a baseline without
+		// them (OfflineStates == 0) has nothing to regress against.
+		if b.OfflineStates > 0 {
+			if !allocsOnly {
+				check("offline-select-ns/node", b.OfflineWarmSelectNsPerNode, row.OfflineWarmSelectNsPerNode)
+			}
+			check("offline-select-allocs/pass", b.OfflineWarmSelectAllocsPerPass, row.OfflineWarmSelectAllocsPerPass)
+		}
 	}
 	for _, row := range base.Rows {
 		if !seen[row.Grammar] {

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/md"
 	"repro/internal/reduce"
@@ -36,6 +39,31 @@ func allocsPerRun(runs int, fn func()) float64 {
 	return float64(after.Mallocs-before.Mallocs) / float64(runs)
 }
 
+// timedRepeats is how many independent timed windows each warm metric
+// takes; the minimum wins. External noise (a scheduler preemption, an
+// antagonist on a shared box) only ever adds time, so min-of-k is the
+// robust estimator for a trajectory whose committed points are compared
+// across runs — a single averaged window made BENCH_PR*.json hostage to
+// whatever else the machine was doing during its few milliseconds.
+const timedRepeats = 3
+
+// minNsPerNode times passes× fn over repeated windows and returns the
+// best window's ns/node.
+func minNsPerNode(passes, nodes int, fn func()) float64 {
+	best := 0.0
+	for rep := 0; rep < timedRepeats; rep++ {
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			fn()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
 // PerfRow is one grammar's warm-path measurements over the whole MinC
 // corpus.
 type PerfRow struct {
@@ -53,6 +81,20 @@ type PerfRow struct {
 	States                  int     `json:"states"`
 	Transitions             int     `json:"transitions"`
 	TableBytes              int     `json:"table_bytes"`
+
+	// The offline comparison point (the paper's other side of the
+	// tradeoff): the same corpus selected with tables compiled ahead of
+	// time by internal/gen on the stripped grammar, loaded through the
+	// `.isel` wire format. GenMs is the one-time closure+encode+decode
+	// cost the on-demand engine never pays; OfflineWarmSelectNsPerNode
+	// must stay at or below the on-demand figure (pure lookup, no dynamic
+	// evaluation) and its allocs at zero.
+	OfflineGenMs                   float64 `json:"offline_gen_ms"`
+	OfflineStates                  int     `json:"offline_states"`
+	OfflineTableBytes              int     `json:"offline_table_bytes"`
+	OfflineBlobBytes               int     `json:"offline_blob_bytes"`
+	OfflineWarmSelectNsPerNode     float64 `json:"offline_warm_select_ns_per_node"`
+	OfflineWarmSelectAllocsPerPass float64 `json:"offline_warm_select_allocs_per_pass"`
 }
 
 // PerfReport is the BENCH_PR<N>.json payload.
@@ -83,9 +125,10 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 	}
 	t := &Table{
 		ID:    "PF",
-		Title: fmt.Sprintf("warm-path performance trajectory (%d timed corpus passes per grammar)", passes),
+		Title: fmt.Sprintf("warm-path performance trajectory (%d timed corpus passes per grammar; off-* = ahead-of-time tables on the stripped grammar)", passes),
 		Header: []string{"grammar", "nodes", "cold-label-ns", "warm-label-ns", "warm-select-ns",
-			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "states", "trans", "table-bytes"},
+			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "states", "trans", "table-bytes",
+			"off-select-ns", "off-allocs", "off-states", "off-bytes", "off-gen-ms"},
 	}
 	rep := &PerfReport{
 		Schema:     1,
@@ -128,18 +171,10 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		labelPass() // cold: constructs every state and transition
 		coldNs := float64(time.Since(start).Nanoseconds()) / float64(nodes)
 
-		start = time.Now()
-		for p := 0; p < passes; p++ {
-			labelPass()
-		}
-		warmNs := float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+		warmNs := minNsPerNode(passes, nodes, labelPass)
 
 		selectPass() // warm the reducer pool too
-		start = time.Now()
-		for p := 0; p < passes; p++ {
-			selectPass()
-		}
-		selNs := float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+		selNs := minNsPerNode(passes, nodes, selectPass)
 
 		labelAllocs := allocsPerRun(10, labelPass)
 		selAllocs := allocsPerRun(10, selectPass)
@@ -153,16 +188,70 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 			States:            e.NumStates(), Transitions: e.NumTransitions(),
 			TableBytes: e.MemoryBytes(),
 		}
+		if err := measureOffline(d.Grammar, passes, &row); err != nil {
+			return nil, nil, err
+		}
 		rep.Rows = append(rep.Rows, row)
 		t.AddRow(name, itoa(nodes), f1(coldNs), f1(warmNs), f1(selNs),
 			f1(labelAllocs), f1(selAllocs), f2(row.WarmAllocsPerNode),
-			itoa(row.States), itoa(row.Transitions), itoa(row.TableBytes))
+			itoa(row.States), itoa(row.Transitions), itoa(row.TableBytes),
+			f1(row.OfflineWarmSelectNsPerNode), f1(row.OfflineWarmSelectAllocsPerPass),
+			itoa(row.OfflineStates), itoa(row.OfflineTableBytes), f2(row.OfflineGenMs))
 	}
 	rep.Notes = append(rep.Notes,
 		"warm label and select must stay at ~0 allocs/pass: labelings, reducer scratch and dyn buffers are pooled",
 		"ns figures are wall-clock and machine-dependent; compare trends, not absolutes, across BENCH_PR*.json",
+		"warm ns figures are min-of-3 timed windows: external noise only adds time, so the minimum is the comparable statistic on a shared machine",
+		"offline columns run the stripped grammar through the .isel encode/decode round trip: the one-time gen cost buys lookup-only selection with zero construction under traffic",
 	)
 	t.Note("cold includes every state construction of the session; warm is the steady state a JIT/server reaches")
-	t.Note("allocs/pass counted over the whole corpus (runtime.MemStats.Mallocs delta); 0 is the contract for label and select")
+	t.Note("allocs/pass counted over the whole corpus (runtime.MemStats.Mallocs delta); 0 is the contract for label and select — offline included")
+	t.Note("off-gen-ms is the ahead-of-time closure+encode+decode cost; the on-demand engine never pays it, the offline engine pays it exactly once")
 	return rep, t, nil
+}
+
+// measureOffline fills row's offline comparison columns: the same corpus
+// selected with ahead-of-time tables (internal/gen) on the stripped
+// grammar, loaded through the wire format just as a served blob would be.
+func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) error {
+	fixed, err := g.StripDynamic()
+	if err != nil {
+		return err
+	}
+	var fs []*ir.Forest
+	nodes := 0
+	for _, u := range loadCorpus(fixed) {
+		fs = append(fs, u.forests...)
+		nodes += u.nodes
+	}
+	genStart := time.Now()
+	res, err := gen.Compile(fixed, gen.Config{})
+	if err != nil {
+		return err
+	}
+	a, err := gen.Load(fixed, bytes.NewReader(res.Blob))
+	if err != nil {
+		return err
+	}
+	row.OfflineGenMs = float64(time.Since(genStart).Nanoseconds()) / 1e6
+	rd, err := reduce.New(fixed, nil, nil)
+	if err != nil {
+		return err
+	}
+	selectPass := func() {
+		for _, f := range fs {
+			lab := a.LabelStates(f)
+			if _, err := rd.Cover(f, lab, nil); err != nil {
+				panic(err) // corpus is known-derivable; see the tests
+			}
+			a.ReleaseLabeling(lab)
+		}
+	}
+	selectPass() // fill the labeling and reducer pools; tables are already complete
+	row.OfflineWarmSelectNsPerNode = minNsPerNode(passes, nodes, selectPass)
+	row.OfflineWarmSelectAllocsPerPass = allocsPerRun(10, selectPass)
+	row.OfflineStates = a.NumStates()
+	row.OfflineTableBytes = a.MemoryBytes()
+	row.OfflineBlobBytes = len(res.Blob)
+	return nil
 }

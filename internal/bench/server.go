@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,24 +17,33 @@ import (
 // The SV experiment measures the compilation-server scenario end to end:
 // synthetic multi-client traffic replayed against one internal/server
 // Server (the engine cmd/iselserver fronts), compared with a single
-// client calling Selector.CompileUnit directly on the same warm engine.
+// client calling Selector.CompileUnit directly on the same warm engines.
 // It reports throughput per client count plus the automaton-warmth curve
 // (states/transitions over time) of the server's cold first pass — the
 // amortization story: every client's misses warm the shared tables, so
 // per-node cost converges to a lookup no matter which client's unit is
 // next.
+//
+// With several machine descriptions (iselbench -experiment SV -machines
+// x86,jit64) the replay exercises the multi-machine queue: one registry,
+// one worker pool, every machine's engine warmed by exactly its own
+// traffic, and each client walking the machines in a rotated order so
+// concurrent clients interleave different machines through the shared
+// queue at every moment.
 
 // SVWarmthPoint is one sample of the server-side warmth curve.
 type SVWarmthPoint struct {
-	Unit   string
-	Nodes  int // cumulative IR nodes served
-	States int
-	Trans  int
+	Machine string
+	Unit    string
+	Nodes   int // cumulative IR nodes served
+	States  int
+	Trans   int
 }
 
 // SVRow is one throughput sample: Clients concurrent clients replaying
 // the corpus through the server (Clients == 0 is the direct single-client
-// CompileUnit baseline, no server in the path).
+// CompileUnit baseline, no server in the path). For mixed-machine replays
+// States/Trans sum over every machine's automaton.
 type SVRow struct {
 	Grammar    string
 	Clients    int
@@ -48,12 +58,61 @@ type SVRow struct {
 	Trans      int
 }
 
-// RunServer runs the SV experiment on one grammar. Each configuration
-// replays the whole MinC corpus `passes` times per client on a freshly
-// warmed engine; workers <= 0 sizes the pool by GOMAXPROCS. It fails if
-// the per-client counters do not sum exactly to the server's global
-// counters — the accounting invariant the server promises.
-func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, *Table, *Table, error) {
+// svMachine is one served machine description with its lowered corpus.
+type svMachine struct {
+	name  string
+	m     *repro.Machine
+	units []*repro.Unit
+	names []string // unit names, aligned with units
+	nodes int
+	jobs  int
+}
+
+func loadSVMachines(gnames []string) ([]*svMachine, error) {
+	var ms []*svMachine
+	for _, gname := range gnames {
+		m, err := repro.LoadMachine(gname)
+		if err != nil {
+			return nil, err
+		}
+		sm := &svMachine{name: gname, m: m}
+		for _, p := range workload.All() {
+			u, err := m.CompileMinC(p.Src)
+			if err != nil {
+				return nil, err
+			}
+			sm.units = append(sm.units, u)
+			sm.names = append(sm.names, p.Name)
+			sm.nodes += u.TotalNodes()
+			sm.jobs += len(u.Funcs)
+		}
+		ms = append(ms, sm)
+	}
+	return ms, nil
+}
+
+// svRegistry builds a fresh registry holding one on-demand selector per
+// machine — the multi-machine serving shape of cmd/iselserver.
+func svRegistry(ms []*svMachine) (*repro.Registry, error) {
+	reg := repro.NewRegistry()
+	for _, sm := range ms {
+		if err := reg.AddMachine(sm.m, repro.KindOnDemand, repro.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// RunServer runs the SV experiment over one or more machine descriptions.
+// Each configuration replays the whole MinC corpus `passes` times per
+// client per machine on freshly warmed engines; workers <= 0 sizes the
+// pool by GOMAXPROCS. It fails if the per-client counters do not sum
+// exactly to the server's global counters — the accounting invariant the
+// server promises, which must hold across machines too.
+func RunServer(gnames []string, clientCounts []int, workers, passes int) ([]SVRow, *Table, *Table, error) {
+	if len(gnames) == 0 {
+		gnames = []string{"x86"}
+	}
 	if len(clientCounts) == 0 {
 		clientCounts = []int{1, 2, 4, 8}
 	}
@@ -63,95 +122,98 @@ func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	m, err := repro.LoadMachine(gname)
+	label := strings.Join(gnames, "+")
+	ms, err := loadSVMachines(gnames)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var units []*repro.Unit
-	var names []string
-	for _, p := range workload.All() {
-		u, err := m.CompileMinC(p.Src)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		units = append(units, u)
-		names = append(names, p.Name)
-	}
-	nodesPerPass := 0
-	jobsPerPass := 0
-	for _, u := range units {
-		nodesPerPass += u.TotalNodes()
-		jobsPerPass += len(u.Funcs)
+	nodesPerPass, jobsPerPass := 0, 0
+	for _, sm := range ms {
+		nodesPerPass += sm.nodes
+		jobsPerPass += sm.jobs
 	}
 
-	// Warmth curve: a cold server engine serves its first pass of traffic;
-	// sample the automaton after each unit.
+	// Warmth curve: cold engines serve their first interleaved pass of
+	// traffic; sample each machine's automaton after each of its units.
 	warmth := &Table{
 		ID: "SV.warmth",
-		Title: fmt.Sprintf("automaton warmth over server traffic on %s (cold engine, one unit per row)",
-			gname),
-		Header: []string{"unit", "cum-nodes", "states", "transitions"},
+		Title: fmt.Sprintf("automaton warmth over server traffic on %s (cold engines, one unit per row)",
+			label),
+		Header: []string{"machine", "unit", "cum-nodes", "states", "transitions"},
 	}
-	coldSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	coldReg, err := svRegistry(ms)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	coldSrv := server.NewSingle(coldSel, server.Config{Workers: workers})
+	coldSrv := server.New(coldReg, server.Config{Workers: workers})
 	var points []SVWarmthPoint
 	cum := 0
-	for i, u := range units {
-		if _, err := coldSrv.CompileUnit(context.Background(), "warmup", "", u); err != nil {
-			return nil, nil, nil, err
+	for _, sm := range ms {
+		for i, u := range sm.units {
+			if _, err := coldSrv.CompileUnit(context.Background(), "warmup", sm.name, u); err != nil {
+				return nil, nil, nil, err
+			}
+			cum += u.TotalNodes()
+			snap := coldReg.Snapshots()[sm.name]
+			points = append(points, SVWarmthPoint{Machine: sm.name, Unit: sm.names[i], Nodes: cum, States: snap.States, Trans: snap.Transitions})
+			warmth.AddRow(sm.name, sm.names[i], itoa(cum), itoa(snap.States), itoa(snap.Transitions))
 		}
-		cum += u.TotalNodes()
-		snap := coldSel.Snapshot()
-		points = append(points, SVWarmthPoint{Unit: names[i], Nodes: cum, States: snap.States, Trans: snap.Transitions})
-		warmth.AddRow(names[i], itoa(cum), itoa(snap.States), itoa(snap.Transitions))
 	}
 	coldSrv.Shutdown()
-	warmth.Note("the curve flattens: late units ride tables earlier units (and other clients) built")
+	warmth.Note("each machine's curve flattens independently: late units ride tables earlier units (and other clients) built")
 
 	t := &Table{
 		ID: "SV",
-		Title: fmt.Sprintf("compilation-server throughput on %s (%d workers, %d corpus passes per client, GOMAXPROCS=%d)",
-			gname, workers, passes, runtime.GOMAXPROCS(0)),
+		Title: fmt.Sprintf("compilation-server throughput on %s (%d workers, %d corpus passes per client per machine, GOMAXPROCS=%d)",
+			label, workers, passes, runtime.GOMAXPROCS(0)),
 		Header: []string{"mode", "clients", "jobs", "ns/node", "knodes/s", "vs-direct", "states", "trans"},
 	}
 
-	// Direct baseline: one client, sequential CompileUnit, same warm
-	// engine shape, no server in the path.
-	baseSel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	for _, u := range units {
-		if _, err := baseSel.CompileUnit(context.Background(), u); err != nil {
+	// Direct baseline: one client, sequential CompileUnit per machine on
+	// its own warm selector, no server in the path.
+	baseSels := make([]*repro.Selector, len(ms))
+	for i, sm := range ms {
+		sel, err := sm.m.NewSelector(repro.KindOnDemand, repro.Options{})
+		if err != nil {
 			return nil, nil, nil, err
+		}
+		baseSels[i] = sel
+		for _, u := range sm.units {
+			if _, err := sel.CompileUnit(context.Background(), u); err != nil {
+				return nil, nil, nil, err
+			}
 		}
 	}
 	start := time.Now()
 	for p := 0; p < passes; p++ {
-		for _, u := range units {
-			if _, err := baseSel.CompileUnit(context.Background(), u); err != nil {
-				return nil, nil, nil, err
+		for i, sm := range ms {
+			for _, u := range sm.units {
+				if _, err := baseSels[i].CompileUnit(context.Background(), u); err != nil {
+					return nil, nil, nil, err
+				}
 			}
 		}
 	}
 	baseElapsed := time.Since(start)
 	baseNodes := int64(passes * nodesPerPass)
 	baseNs := float64(baseElapsed.Nanoseconds()) / float64(baseNodes)
-	baseSnap := baseSel.Snapshot()
+	baseStates, baseTrans := 0, 0
+	for _, sel := range baseSels {
+		snap := sel.Snapshot()
+		baseStates += snap.States
+		baseTrans += snap.Transitions
+	}
 	rows := []SVRow{{
-		Grammar: gname, Clients: 0, Workers: 0, Passes: passes,
+		Grammar: label, Clients: 0, Workers: 0, Passes: passes,
 		Jobs: int64(passes * jobsPerPass), Nodes: baseNodes,
 		NsPerNode: baseNs, KNodesPerS: 1e6 / baseNs, Speedup: 1.0,
-		States: baseSnap.States, Trans: baseSnap.Transitions,
+		States: baseStates, Trans: baseTrans,
 	}}
 	t.AddRow("direct", "1", itoa(passes*jobsPerPass), f1(baseNs), f1(1e6/baseNs), f2(1.0),
-		itoa(baseSnap.States), itoa(baseSnap.Transitions))
+		itoa(baseStates), itoa(baseTrans))
 
 	for _, clients := range clientCounts {
-		row, err := runServerConfig(m, gname, units, clients, workers, passes, nodesPerPass, jobsPerPass)
+		row, err := runServerConfig(ms, label, clients, workers, passes, nodesPerPass, jobsPerPass)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -160,25 +222,33 @@ func RunServer(gname string, clientCounts []int, workers, passes int) ([]SVRow, 
 		t.AddRow("server", itoa(clients), itoa(int(row.Jobs)), f1(row.NsPerNode), f1(row.KNodesPerS),
 			f2(row.Speedup), itoa(row.States), itoa(row.Trans))
 	}
-	t.Note("vs-direct ≥ 1.00 means the server front end costs nothing over direct CompileUnit on one warm engine")
+	t.Note("vs-direct ≥ 1.00 means the server front end costs nothing over direct CompileUnit on warm engines")
 	t.Note("per-client counters verified to sum exactly to the server-global counters in every configuration")
+	if len(ms) > 1 {
+		t.Note("mixed replay: client c walks the machines starting at offset (c+pass) mod machines, so the shared queue interleaves machines at every moment")
+	}
 	return rows, t, warmth, nil
 }
 
-// runServerConfig measures one (clients, workers) configuration on a
-// freshly warmed server and checks the counter-accounting invariant.
-func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, clients, workers, passes, nodesPerPass, jobsPerPass int) (SVRow, error) {
-	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+// runServerConfig measures one (clients, workers) configuration on
+// freshly warmed engines behind one server and checks the
+// counter-accounting invariant. With several machines each client walks
+// them in a rotated order, so concurrent clients hit different machines
+// at the same time — the multi-machine queue under load.
+func runServerConfig(ms []*svMachine, label string, clients, workers, passes, nodesPerPass, jobsPerPass int) (SVRow, error) {
+	reg, err := svRegistry(ms)
 	if err != nil {
 		return SVRow{}, err
 	}
-	srv := server.NewSingle(sel, server.Config{Workers: workers})
+	srv := server.New(reg, server.Config{Workers: workers})
 	defer srv.Shutdown()
 	// Warm up over one pass so the measured passes ride the fast path,
 	// like the direct baseline.
-	for _, u := range units {
-		if _, err := srv.CompileUnit(context.Background(), "warmup", "", u); err != nil {
-			return SVRow{}, err
+	for _, sm := range ms {
+		for _, u := range sm.units {
+			if _, err := srv.CompileUnit(context.Background(), "warmup", sm.name, u); err != nil {
+				return SVRow{}, err
+			}
 		}
 	}
 
@@ -191,10 +261,13 @@ func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, client
 			defer wg.Done()
 			name := fmt.Sprintf("client-%d", c)
 			for p := 0; p < passes; p++ {
-				for _, u := range units {
-					if _, err := srv.CompileUnit(context.Background(), name, "", u); err != nil {
-						errs[c] = err
-						return
+				for k := range ms {
+					sm := ms[(c+p+k)%len(ms)]
+					for _, u := range sm.units {
+						if _, err := srv.CompileUnit(context.Background(), name, sm.name, u); err != nil {
+							errs[c] = err
+							return
+						}
 					}
 				}
 			}
@@ -208,7 +281,8 @@ func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, client
 		}
 	}
 
-	// Accounting invariant: per-client counters sum to the global.
+	// Accounting invariant: per-client counters sum to the global,
+	// machine mix notwithstanding.
 	var merged metrics.Counters
 	for _, name := range srv.Clients() {
 		cc := srv.ClientCounters(name)
@@ -216,16 +290,20 @@ func runServerConfig(m *repro.Machine, gname string, units []*repro.Unit, client
 	}
 	if global := srv.GlobalCounters(); merged != global {
 		return SVRow{}, fmt.Errorf("SV %s clients=%d: per-client counters do not sum to global:\n  merged: %v\n  global: %v",
-			gname, clients, &merged, &global)
+			label, clients, &merged, &global)
 	}
 
 	nodes := int64(clients * passes * nodesPerPass)
 	ns := float64(elapsed.Nanoseconds()) / float64(nodes)
-	snap := sel.Snapshot()
+	states, trans := 0, 0
+	for _, snap := range reg.Snapshots() {
+		states += snap.States
+		trans += snap.Transitions
+	}
 	return SVRow{
-		Grammar: gname, Clients: clients, Workers: workers, Passes: passes,
+		Grammar: label, Clients: clients, Workers: workers, Passes: passes,
 		Jobs: int64(clients * passes * jobsPerPass), Nodes: nodes,
 		NsPerNode: ns, KNodesPerS: 1e6 / ns,
-		States: snap.States, Trans: snap.Transitions,
+		States: states, Trans: trans,
 	}, nil
 }

@@ -1,0 +1,331 @@
+package gen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/automaton"
+	"repro/internal/grammar"
+)
+
+// The `.isel` wire format, version 1. Everything after the magic is
+// little-endian fixed-width integers, in a fully deterministic order, so
+// the same grammar always serializes to the same bytes (the golden-file
+// guarantee cmd/iselgen's committed outputs rely on).
+//
+//	magic   "ISEL1\n"
+//	u64     grammar fingerprint (Fingerprint; name + normal-form dump)
+//	u32     grammar-name length, then the name bytes (diagnostics only)
+//	u32×3   numOps, numNT, numStates
+//	u8×ops  operator arities (structure check against the loading grammar)
+//	states  numStates × numNT × (u32 delta, u32 rule)
+//	leaf    numOps × u32 state ids (^0 for non-leaf operators)
+//	projs   per operator, per child position < arity:
+//	            u32 nreps, then numStates × u32 representer ids
+//	trans   per unary operator:  u32 len, len × u32 state ids (t1)
+//	        per binary operator: u32 len, len × u32 state ids (t2)
+//	u32     trailer 0x4c455349 ("ISEL" reversed) — truncation check
+//	u64     FNV-64a checksum of everything before it — content check
+//
+// The trailing checksum is what rejects body corruption the structural
+// validation cannot see (a flipped cost bit still yields a well-formed
+// state vector); Decode verifies it before parsing a single table.
+//
+// Version bumps change the magic ("ISEL2\n", ...): loaders reject
+// unknown magics outright instead of guessing, and a fingerprint mismatch
+// rejects tables generated for any other grammar (or another revision of
+// the same grammar — the fingerprint covers the normal-form dump).
+const (
+	// Magic identifies (and versions) the blob format.
+	Magic = "ISEL1\n"
+	// trailer terminates a well-formed blob.
+	trailer uint32 = 0x4c455349
+)
+
+// Header is the cheap-to-read prefix of a blob: enough to route it to the
+// right grammar (fingerprint matching) without decoding any table.
+type Header struct {
+	Fingerprint uint64
+	// Grammar is the name the tables were generated for (diagnostics; the
+	// fingerprint is the authority).
+	Grammar string
+	NumOps  int
+	NumNT   int
+	States  int
+}
+
+// Encode writes the `.isel` form of ts (generated for g) to w.
+func Encode(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) error {
+	blob, err := EncodeBytes(g, ts)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// EncodeBytes is the canonical encoder: payload plus the trailing
+// FNV-64a content checksum.
+func EncodeBytes(g *grammar.Grammar, ts *automaton.TableSet) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodePayload(&buf, g, ts); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+func encodePayload(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	put64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	put := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	putIDs := func(ids []int32) {
+		for _, id := range ids {
+			put(uint32(id))
+		}
+	}
+	put64(Fingerprint(g))
+	put(uint32(len(g.Name)))
+	bw.WriteString(g.Name)
+	numOps, numNT, numStates := g.NumOps(), ts.NumNT, ts.NumStates()
+	put(uint32(numOps))
+	put(uint32(numNT))
+	put(uint32(numStates))
+	for op := 0; op < numOps; op++ {
+		bw.WriteByte(byte(g.Ops[op].Arity))
+	}
+	for i := 0; i < numStates*numNT; i++ {
+		put(uint32(ts.Deltas[i]))
+		put(uint32(ts.Rules[i]))
+	}
+	putIDs(ts.Leaf)
+	for op := 0; op < numOps; op++ {
+		for p := 0; p < g.Ops[op].Arity; p++ {
+			put(uint32(ts.NReps[op][p]))
+			putIDs(ts.Mu[op][p])
+		}
+	}
+	for op := 0; op < numOps; op++ {
+		switch g.Ops[op].Arity {
+		case 1:
+			put(uint32(len(ts.T1[op])))
+			putIDs(ts.T1[op])
+		case 2:
+			put(uint32(len(ts.T2[op])))
+			putIDs(ts.T2[op])
+		}
+	}
+	put(trailer)
+	return bw.Flush()
+}
+
+// maxPlausible bounds counts read from a blob before any allocation, so a
+// corrupt header cannot demand gigabytes.
+const maxPlausible = 1 << 24
+
+// maxBlobBytes bounds how much of a blob Decode will read: far above any
+// real table set, far below what a corrupt length field could waste.
+const maxBlobBytes = 1 << 28
+
+type reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint32
+	r.err = binary.Read(r.br, binary.LittleEndian, &v)
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint64
+	r.err = binary.Read(r.br, binary.LittleEndian, &v)
+	return v
+}
+
+func (r *reader) ids(n int) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32())
+	}
+	return out
+}
+
+// readHeader consumes the blob prefix through the arity table.
+func readHeader(br *bufio.Reader) (*Header, []int, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("gen: reading blob header: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, nil, fmt.Errorf("gen: not a .isel blob (or an unsupported version): magic %q, want %q", magic, Magic)
+	}
+	r := &reader{br: br}
+	h := &Header{Fingerprint: r.u64()}
+	nameLen := r.u32()
+	if r.err == nil && nameLen > maxPlausible {
+		return nil, nil, fmt.Errorf("gen: implausible grammar-name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if r.err == nil {
+		_, r.err = io.ReadFull(br, name)
+	}
+	h.Grammar = string(name)
+	h.NumOps = int(r.u32())
+	h.NumNT = int(r.u32())
+	h.States = int(r.u32())
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("gen: reading blob header: %w", r.err)
+	}
+	if h.NumOps > maxPlausible || h.NumNT > maxPlausible || h.States > maxPlausible {
+		return nil, nil, fmt.Errorf("gen: implausible blob header (%d ops, %d nonterminals, %d states)", h.NumOps, h.NumNT, h.States)
+	}
+	arities := make([]int, h.NumOps)
+	ab := make([]byte, h.NumOps)
+	if _, err := io.ReadFull(br, ab); err != nil {
+		return nil, nil, fmt.Errorf("gen: reading arity table: %w", err)
+	}
+	for i, b := range ab {
+		arities[i] = int(b)
+	}
+	return h, arities, nil
+}
+
+// ReadHeader reads just the routing prefix of a blob: the front ends use
+// it to match a blob file against a machine's grammar (full vs stripped
+// fingerprint) before paying for a decode.
+func ReadHeader(r io.Reader) (*Header, error) {
+	h, _, err := readHeader(bufio.NewReader(r))
+	return h, err
+}
+
+// Decode reads a blob generated for exactly g and returns its table set.
+// The content checksum is verified first (any corruption — header, body
+// or truncation — fails here), then a fingerprint mismatch — tables for
+// another grammar, or for another revision of this one — is rejected
+// before any table is decoded.
+func Decode(g *grammar.Grammar, rd io.Reader) (*automaton.TableSet, error) {
+	data, err := io.ReadAll(io.LimitReader(rd, maxBlobBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading blob: %w", err)
+	}
+	if len(data) > maxBlobBytes {
+		return nil, fmt.Errorf("gen: blob exceeds %d bytes", maxBlobBytes)
+	}
+	if len(data) < len(Magic)+8 {
+		return nil, fmt.Errorf("gen: blob too short (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	ck := fnv.New64a()
+	ck.Write(payload)
+	if got := ck.Sum64(); got != sum {
+		return nil, fmt.Errorf("gen: blob checksum mismatch (%016x != %016x): corrupt or truncated", got, sum)
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+	h, arities, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if want := Fingerprint(g); h.Fingerprint != want {
+		return nil, fmt.Errorf("gen: blob was generated for grammar %q (fingerprint %016x), not %q (%016x)",
+			h.Grammar, h.Fingerprint, g.Name, want)
+	}
+	if h.NumOps != g.NumOps() || h.NumNT != g.NumNonterms() {
+		return nil, fmt.Errorf("gen: blob shape (%d ops, %d nonterminals) does not match grammar %s (%d, %d)",
+			h.NumOps, h.NumNT, g.Name, g.NumOps(), g.NumNonterms())
+	}
+	// Bound the state-vector product too: the per-field checks alone would
+	// let a corrupt header (with a copied magic+fingerprint prefix) demand
+	// States*NumNT entries of allocation before the payload read fails.
+	if h.States*h.NumNT > maxPlausible {
+		return nil, fmt.Errorf("gen: implausible state-vector volume (%d states × %d nonterminals)", h.States, h.NumNT)
+	}
+	for op, ar := range arities {
+		if ar != g.Ops[op].Arity {
+			return nil, fmt.Errorf("gen: operator %s has arity %d in the blob, %d in grammar %s",
+				g.OpName(grammar.OpID(op)), ar, g.Ops[op].Arity, g.Name)
+		}
+	}
+
+	r := &reader{br: br}
+	ts := &automaton.TableSet{
+		NumNT:  h.NumNT,
+		Deltas: make([]grammar.Cost, h.States*h.NumNT),
+		Rules:  make([]int32, h.States*h.NumNT),
+		NReps:  make([][2]int32, h.NumOps),
+		Mu:     make([][2][]int32, h.NumOps),
+		T1:     make([][]int32, h.NumOps),
+		T2:     make([][]int32, h.NumOps),
+	}
+	for i := range ts.Deltas {
+		if r.err != nil {
+			break // a short payload fails once below, not per entry
+		}
+		ts.Deltas[i] = grammar.Cost(int32(r.u32()))
+		ts.Rules[i] = int32(r.u32())
+	}
+	ts.Leaf = r.ids(h.NumOps)
+	for op := 0; op < h.NumOps; op++ {
+		for p := 0; p < arities[op]; p++ {
+			nreps := r.u32()
+			if r.err == nil && nreps > maxPlausible {
+				return nil, fmt.Errorf("gen: implausible representer count %d", nreps)
+			}
+			ts.NReps[op][p] = int32(nreps)
+			ts.Mu[op][p] = r.ids(h.States)
+		}
+	}
+	for op := 0; op < h.NumOps; op++ {
+		if arities[op] == 0 {
+			continue
+		}
+		n := r.u32()
+		if r.err == nil && n > maxPlausible {
+			return nil, fmt.Errorf("gen: implausible transition count %d", n)
+		}
+		if arities[op] == 1 {
+			ts.T1[op] = r.ids(int(n))
+		} else {
+			ts.T2[op] = r.ids(int(n))
+		}
+	}
+	if tr := r.u32(); r.err == nil && tr != trailer {
+		return nil, fmt.Errorf("gen: blob trailer mismatch (%08x): truncated or corrupt", tr)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("gen: decoding blob for %s: %w", g.Name, r.err)
+	}
+	return ts, nil
+}
+
+// Load decodes a blob for g and reconstitutes the labeling automaton in
+// one step — the serving-side entry point behind Options.PreloadPath and
+// the preload store.
+func Load(g *grammar.Grammar, rd io.Reader) (*automaton.Static, error) {
+	ts, err := Decode(g, rd)
+	if err != nil {
+		return nil, err
+	}
+	return automaton.NewStaticFromTables(g, ts)
+}

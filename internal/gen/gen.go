@@ -1,0 +1,128 @@
+// Package gen is the ahead-of-time automaton compiler: the offline half
+// of the paper's comparison that the repo had been missing. Where the
+// on-demand engine (internal/core) constructs states lazily under
+// traffic, gen computes the grammar's entire tree-parsing automaton —
+// the exhaustive fixpoint over leaf/unary/binary transitions, closed
+// over Chase representer classes and interned through the shared
+// automaton.Table — before any tree is ever labeled, and serializes the
+// result two ways:
+//
+//   - a compact versioned binary blob (the `.isel` format; Encode/Decode)
+//     that a serving process loads at Registry construction, so a machine
+//     is fully warm before its first request, and
+//   - generated Go source (GoSource) embedding the same blob and
+//     registering it in the process-global preload store at init time,
+//     for tables compiled into the binary itself.
+//
+// cmd/iselgen is the front end; the `offline` engine kind (the fourth
+// registered repro engine) consumes the output. The tradeoff measured
+// against the on-demand engine is the paper's: offline tables cost full
+// generation up front and cannot host dynamic-cost rules, but serve every
+// request at pure table-lookup speed with zero construction under
+// traffic.
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/grammar"
+)
+
+// Config tunes ahead-of-time compilation.
+type Config struct {
+	// DeltaCap bounds relative costs in states (automaton.DefaultDeltaCap
+	// if zero).
+	DeltaCap grammar.Cost
+	// MaxStates bounds the closure (a generator-side safety valve, 1<<20 if
+	// zero). A closure pruned by the bound fails with a
+	// *automaton.TruncatedError carrying the truncation diagnostics.
+	MaxStates int
+}
+
+// Stats is the closure report of one compilation — what
+// `iselgen -stats` prints.
+type Stats struct {
+	Grammar     string
+	Fingerprint uint64
+	Ops         int
+	Nonterms    int
+	Rules       int
+	// States and Representers describe the computed closure;
+	// TransitionEntries counts the tabulated (compressed) transition
+	// cells.
+	States            int
+	Representers      int
+	TransitionEntries int
+	// TableBytes is the in-memory footprint of the loaded automaton;
+	// BlobBytes the size of the serialized `.isel` form.
+	TableBytes int
+	BlobBytes  int
+	GenTime    time.Duration
+}
+
+// Result is a completed ahead-of-time compilation.
+type Result struct {
+	Grammar *grammar.Grammar
+	// Auto is the generated automaton, ready to label in-process.
+	Auto *automaton.Static
+	// Tables is its exported flat form; Blob its serialized `.isel`
+	// bytes — encoded once here so callers never pay a second pass.
+	Tables *automaton.TableSet
+	Blob   []byte
+	Stats  Stats
+}
+
+// Fingerprint identifies a grammar for table compatibility: the same
+// identity the on-demand persistence format uses, so one fingerprint
+// notion covers every serialized automaton in the repo.
+func Fingerprint(g *grammar.Grammar) uint64 { return core.Fingerprint(g) }
+
+// Compile computes the full (or MaxStates-bounded) closure of g's
+// tree-parsing automaton. It fails for grammars with dynamic-cost rules —
+// the classical offline limitation the paper's on-demand construction
+// lifts; strip them first (grammar.StripDynamic) to tabulate the
+// fixed-cost subset — and with a *automaton.TruncatedError when the
+// closure is pruned by Config.MaxStates.
+func Compile(g *grammar.Grammar, cfg Config) (*Result, error) {
+	if g.HasAnyDynRules() {
+		return nil, fmt.Errorf("gen: grammar %s has dynamic-cost rules; ahead-of-time tables are impossible (strip them first, or use the on-demand engine)", g.Name)
+	}
+	start := time.Now()
+	a, err := automaton.Generate(g, automaton.StaticConfig{
+		DeltaCap:  cfg.DeltaCap,
+		MaxStates: cfg.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := a.Export()
+	blob, err := EncodeBytes(g, ts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	st := g.ComputeStats()
+	res := &Result{
+		Grammar: g,
+		Auto:    a,
+		Tables:  ts,
+		Blob:    blob,
+		Stats: Stats{
+			Grammar:           g.Name,
+			Fingerprint:       Fingerprint(g),
+			Ops:               st.Operators,
+			Nonterms:          st.Nonterminals,
+			Rules:             st.NormalizedRules,
+			States:            a.NumStates(),
+			Representers:      a.Gen.Representers,
+			TransitionEntries: a.NumTransitions(),
+			TableBytes:        a.MemoryBytes(),
+			BlobBytes:         len(blob),
+			GenTime:           elapsed,
+		},
+	}
+	return res, nil
+}

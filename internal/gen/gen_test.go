@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/md"
+)
+
+// fixedGrammar loads a machine description with its dynamic rules
+// stripped — the grammars the offline generator can tabulate.
+func fixedGrammar(t *testing.T, name string) *grammar.Grammar {
+	t.Helper()
+	d, err := md.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Grammar.StripDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRoundTrip: encode/decode must reconstitute an automaton that is
+// indistinguishable from the in-process generation — same table shape,
+// same label for every node of a few hundred random forests.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range md.Names() {
+		g := fixedGrammar(t, name)
+		res, err := Compile(g, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		blob := res.Blob
+		if res.Stats.BlobBytes != len(blob) || len(blob) == 0 {
+			t.Errorf("%s: Stats.BlobBytes = %d, blob %d", g.Name, res.Stats.BlobBytes, len(blob))
+		}
+		loaded, err := Load(g, bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if loaded.NumStates() != res.Auto.NumStates() || loaded.NumTransitions() != res.Auto.NumTransitions() {
+			t.Fatalf("%s: loaded %d states / %d transitions, generated %d / %d",
+				g.Name, loaded.NumStates(), loaded.NumTransitions(), res.Auto.NumStates(), res.Auto.NumTransitions())
+		}
+		for seed := 0; seed < 60; seed++ {
+			f := ir.RandomForest(g, ir.RandomConfig{Seed: int64(seed), Trees: 3, MaxDepth: 5, MaxLeafVal: 64})
+			want := res.Auto.LabelStates(f)
+			got := loaded.LabelStates(f)
+			for _, n := range f.Nodes {
+				for nt := 0; nt < g.NumNonterms(); nt++ {
+					if want.RuleAt(n, grammar.NT(nt)) != got.RuleAt(n, grammar.NT(nt)) {
+						t.Fatalf("%s seed %d node %d nt %d: loaded automaton disagrees with generated one",
+							g.Name, seed, n.Index, nt)
+					}
+				}
+			}
+			res.Auto.ReleaseLabeling(want)
+			loaded.ReleaseLabeling(got)
+		}
+	}
+}
+
+// TestEncodeDeterministic: the same grammar must serialize to the same
+// bytes every time — the property the committed golden files rely on.
+func TestEncodeDeterministic(t *testing.T) {
+	g := fixedGrammar(t, "x86")
+	var blobs [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := Compile(g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, res.Blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatal("two compilations of one grammar produced different blobs")
+	}
+	src1, err := GoSource("p", "v", mustResult(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := GoSource("p", "v", mustResult(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src1, src2) {
+		t.Fatal("GoSource output is not deterministic")
+	}
+}
+
+func mustResult(t *testing.T, g *grammar.Grammar) *Result {
+	t.Helper()
+	res, err := Compile(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompileRejectsDynamic: grammars with dynamic rules cannot be
+// tabulated offline.
+func TestCompileRejectsDynamic(t *testing.T) {
+	d := md.MustLoad("x86")
+	if _, err := Compile(d.Grammar, Config{}); err == nil {
+		t.Fatal("Compile accepted a grammar with dynamic-cost rules")
+	}
+}
+
+// TestTruncation: a closure pruned by MaxStates must fail with the typed
+// diagnostics, never return partial tables.
+func TestTruncation(t *testing.T) {
+	g := fixedGrammar(t, "x86")
+	_, err := Compile(g, Config{MaxStates: 10})
+	var trunc *automaton.TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("err = %v, want *automaton.TruncatedError", err)
+	}
+	if trunc.MaxStates != 10 || trunc.States <= 10 || trunc.PendingWork == 0 {
+		t.Errorf("implausible truncation diagnostics: %+v", trunc)
+	}
+}
+
+// TestDecodeRejects: wrong grammar, corrupt magic, and truncated payloads
+// must all be rejected with errors, not garbage tables.
+func TestDecodeRejects(t *testing.T) {
+	g := fixedGrammar(t, "demo")
+	other := fixedGrammar(t, "jit64")
+	blob := mustResult(t, g).Blob
+	if _, err := Decode(other, bytes.NewReader(blob)); err == nil {
+		t.Error("Decode accepted tables generated for a different grammar")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := Decode(g, bytes.NewReader(bad)); err == nil {
+		t.Error("Decode accepted a corrupted magic")
+	}
+	if _, err := Decode(g, bytes.NewReader(blob[:len(blob)-6])); err == nil {
+		t.Error("Decode accepted a truncated blob")
+	}
+	short := append([]byte(nil), blob[:len(blob)-4]...)
+	short = append(short, 0xde, 0xad, 0xbe, 0xef)
+	if _, err := Decode(g, bytes.NewReader(short)); err == nil {
+		t.Error("Decode accepted a blob with a corrupt trailer")
+	}
+}
+
+// TestLoadRejectsBodyCorruption: bit flips inside the state-vector region
+// leave the framing (magic, fingerprint, trailer) intact, so only the
+// cost-normalization validation in NewStaticFromTables can catch them —
+// a corrupt blob must fail at load, never panic or mislabel at serve
+// time.
+func TestLoadRejectsBodyCorruption(t *testing.T) {
+	g := fixedGrammar(t, "jit64")
+	blob := mustResult(t, g).Blob
+	// The state vectors start right after the header; flip high bits
+	// through that region so deltas go negative or rules leave range.
+	start := len(Magic) + 8 + 4 + len(g.Name) + 3*4 + g.NumOps()
+	rejected := 0
+	const probes = 40
+	for i := 0; i < probes; i++ {
+		bad := append([]byte(nil), blob...)
+		bad[start+i*5] ^= 0x80
+		if _, err := Load(g, bytes.NewReader(bad)); err != nil {
+			rejected++
+		}
+	}
+	if rejected != probes {
+		t.Errorf("only %d/%d corrupt-body probes rejected at load (the content checksum must catch every flip)", rejected, probes)
+	}
+	// A huge state count with a valid prefix must be rejected before any
+	// large allocation (the States*NumNT volume bound).
+	bad := append([]byte(nil), blob...)
+	pos := len(Magic) + 8 + 4 + len(g.Name) + 8 // the states u32
+	bad[pos], bad[pos+1], bad[pos+2] = 0xff, 0xff, 0xfe
+	if _, err := Load(g, bytes.NewReader(bad)); err == nil {
+		t.Error("Load accepted an implausibly huge state count")
+	}
+}
+
+// TestHeaderAndRegister: ReadHeader routes blobs without decoding, and
+// the preload store rejects duplicate fingerprints.
+func TestHeaderAndRegister(t *testing.T) {
+	g := fixedGrammar(t, "demo")
+	blob := mustResult(t, g).Blob
+	h, err := ReadHeader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Grammar != g.Name || h.Fingerprint != Fingerprint(g) || h.States == 0 {
+		t.Fatalf("bad header %+v", h)
+	}
+	if _, err := Register(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := Lookup(h.Fingerprint); !ok || !bytes.Equal(got, blob) {
+		t.Fatal("registered blob not found by fingerprint")
+	}
+	if _, err := Register(blob); err == nil {
+		t.Fatal("Register accepted a duplicate fingerprint")
+	}
+}

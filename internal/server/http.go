@@ -17,6 +17,7 @@ import (
 // repro.Registry (one warm engine each) from one process:
 //
 //	POST /compile?machine=x86   CompileRequest -> CompileResponse
+//	POST /evict?machine=x86     drop the machine's engine (next job rebuilds)
 //	GET  /stats                 -> StatsResponse (every machine's warmth)
 //	GET  /healthz               -> 200 "ok"
 //
@@ -101,6 +102,7 @@ type Handler struct {
 func NewHandler(srv *Server) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /compile", h.compile)
+	h.mux.HandleFunc("POST /evict", h.evict)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -212,6 +214,26 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 	resp.States, resp.Transitions = snap.States, snap.Transitions
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// evict resets one machine's engine (POST /evict?machine=x): 404 for
+// unregistered names, 409 for machines whose selector the registry cannot
+// reconstruct (AddSelector entries).
+func (h *Handler) evict(w http.ResponseWriter, r *http.Request) {
+	machine := r.URL.Query().Get("machine")
+	if err := h.srv.Evict(machine); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, repro.ErrUnknownMachine) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	if machine == "" {
+		machine = h.srv.Registry().DefaultName()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"machine": machine, "evicted": true})
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {

@@ -190,6 +190,13 @@ func NewSingle(sel *repro.Selector, cfg Config) *Server {
 // Registry returns the served registry (for warmth inspection).
 func (s *Server) Registry() *repro.Registry { return s.reg }
 
+// Evict drops machine's constructed engine from the served registry (the
+// registry default when empty): its next job reconstructs a fresh one.
+// The operational reset for a MaxStates-capped automaton, exposed over
+// HTTP as POST /evict. Jobs already holding the old selector finish on it
+// unharmed.
+func (s *Server) Evict(machine string) error { return s.reg.Evict(machine) }
+
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
 

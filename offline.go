@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/automaton"
+	"repro/internal/gen"
+)
+
+// KindOffline is the fourth engine kind: an automaton whose tables were
+// computed ahead of time by the offline generator (internal/gen,
+// fronted by cmd/iselgen) — the classic burg-style comparison point the
+// paper argues against. It labels at pure table-lookup speed from the very
+// first request (no construction ever happens under traffic) but cannot
+// host dynamic-cost rules; serve a FixedMachine for grammars that have
+// them.
+//
+// Tables resolve in order: Options.PreloadPath (a `.isel` blob written by
+// iselgen — the instant-warm serving path behind `iselserver -preload`),
+// then the process-global preload store (generated Go source compiled into
+// the binary), and finally an in-process ahead-of-time compilation that is
+// round-tripped through the wire format, so every offline engine — however
+// constructed — runs tables that took the loading path.
+const KindOffline Kind = "offline"
+
+func init() {
+	RegisterEngine(KindOffline, newOfflineEngine)
+}
+
+func newOfflineEngine(m *Machine, opt Options) (Labeler, error) {
+	g := m.Grammar
+	if g.HasAnyDynRules() {
+		return nil, fmt.Errorf("repro: grammar %s has dynamic-cost rules; offline tables are impossible (use FixedMachine, or KindOnDemand — the engine the paper exists for)", g.Name)
+	}
+	a, err := offlineAutomaton(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	a.SetMetrics(opt.Metrics)
+	return a, nil
+}
+
+func offlineAutomaton(m *Machine, opt Options) (*automaton.Static, error) {
+	g := m.Grammar
+	if opt.PreloadPath != "" {
+		f, err := os.Open(opt.PreloadPath)
+		if err != nil {
+			return nil, fmt.Errorf("repro: machine %s: %w", m.Name, err)
+		}
+		defer f.Close()
+		a, err := gen.Load(g, f)
+		if err != nil {
+			return nil, fmt.Errorf("repro: machine %s: loading %s: %w", m.Name, opt.PreloadPath, err)
+		}
+		return a, nil
+	}
+	if blob, ok := gen.Lookup(gen.Fingerprint(g)); ok {
+		a, err := gen.Load(g, bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("repro: machine %s: preloaded tables: %w", m.Name, err)
+		}
+		return a, nil
+	}
+	// No precompiled tables anywhere: compile the closure now, and take
+	// the encode/decode round trip so in-process construction exercises
+	// exactly the deserialization path served blobs take.
+	res, err := gen.Compile(g, gen.Config{DeltaCap: opt.DeltaCap, MaxStates: opt.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	return gen.Load(g, bytes.NewReader(res.Blob))
+}

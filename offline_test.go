@@ -1,0 +1,307 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/server"
+
+	// Registers the committed ahead-of-time tables for demo.fixed and
+	// jit64.fixed, so this binary also exercises the compiled-in preload
+	// path of the offline engine.
+	_ "repro/internal/gen/precompiled"
+)
+
+// writeBlob compiles m's grammar ahead of time and writes the `.isel`
+// blob — what `iselgen -machine <m> -fixed -out <path>` produces.
+func writeBlob(t *testing.T, m *repro.Machine, path string) {
+	t.Helper()
+	res, err := gen.Compile(m.Grammar, gen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, res.Blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOfflineRoundTrip: for every machine description, a selector loading
+// a generated `.isel` blob must be indistinguishable from one whose
+// tables were generated in-process, and from the static engine — same
+// labels, same costs, same emitted code, blob or no blob.
+func TestOfflineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range repro.Machines() {
+		t.Run(name, func(t *testing.T) {
+			m, err := repro.LoadMachine(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := m.FixedMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, name+".isel")
+			writeBlob(t, fixed, path)
+			fromBlob, err := fixed.NewSelector(repro.KindOffline, repro.Options{PreloadPath: path})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inProc, err := fixed.NewSelector(repro.KindOffline, repro.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			static, err := fixed.NewSelector(repro.KindStatic, repro.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromBlob.States() != inProc.States() || fromBlob.States() != static.States() {
+				t.Fatalf("states: blob %d, in-process %d, static %d",
+					fromBlob.States(), inProc.States(), static.States())
+			}
+			roots, inner, leaf := opSplit(fixed.Grammar)
+			for seed := 0; seed < 50; seed++ {
+				f := ir.RandomForest(fixed.Grammar, diffConfig(seed, roots, inner, leaf))
+				labBlob, err := fromBlob.Label(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				labProc, err := inProc.Label(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, n := range f.Nodes {
+					for nt := 0; nt < fixed.Grammar.NumNonterms(); nt++ {
+						if labBlob.RuleAt(n, grammar.NT(nt)) != labProc.RuleAt(n, grammar.NT(nt)) {
+							t.Fatalf("seed %d node %d nt %d: blob-loaded tables disagree with in-process generation",
+								seed, n.Index, nt)
+						}
+					}
+				}
+				outBlob, errBlob := fromBlob.Compile(context.Background(), f)
+				outStatic, errStatic := static.Compile(context.Background(), f)
+				if (errBlob == nil) != (errStatic == nil) {
+					t.Fatalf("seed %d: blob err=%v static err=%v", seed, errBlob, errStatic)
+				}
+				if errBlob == nil && (outBlob.Asm != outStatic.Asm || outBlob.Cost != outStatic.Cost) {
+					t.Fatalf("seed %d: blob-loaded output differs from static automaton", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestOfflineRejectsDynamicAndWrongBlob: the offline kind refuses
+// dynamic-cost grammars and blobs generated for another grammar.
+func TestOfflineRejectsDynamicAndWrongBlob(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewSelector(repro.KindOffline, repro.Options{}); err == nil {
+		t.Fatal("offline selector constructed on a grammar with dynamic rules")
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherM, err := repro.LoadMachine("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherFixed, err := otherM.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "other.isel")
+	writeBlob(t, otherFixed, path)
+	if _, err := fixed.NewSelector(repro.KindOffline, repro.Options{PreloadPath: path}); err == nil {
+		t.Fatal("offline selector accepted tables generated for a different grammar")
+	}
+}
+
+// TestOfflinePreloadRegistered: with the precompiled package imported,
+// demo.fixed constructs from the compiled-in blob — no PreloadPath, no
+// closure computation — and still agrees with static.
+func TestOfflinePreloadRegistered(t *testing.T) {
+	if _, ok := gen.Lookup(gen.Fingerprint(mustFixed(t, "demo").Grammar)); !ok {
+		t.Fatal("precompiled demo.fixed tables not registered")
+	}
+	fixed := mustFixed(t, "demo")
+	off, err := fixed.NewSelector(repro.KindOffline, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := fixed.NewSelector(repro.KindStatic, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.States() != static.States() || off.Transitions() != static.Transitions() {
+		t.Fatalf("preloaded tables (%d states, %d trans) differ from generated (%d, %d)",
+			off.States(), off.Transitions(), static.States(), static.Transitions())
+	}
+}
+
+func mustFixed(t *testing.T, name string) *repro.Machine {
+	t.Helper()
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixed
+}
+
+// statsStates fetches /stats and returns the one served machine's
+// states/transitions plus its engine kind.
+func statsStates(t *testing.T, url string) (states, trans int, kind string) {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Machines) != 1 {
+		t.Fatalf("stats machines = %d, want 1", len(st.Machines))
+	}
+	return st.Machines[0].States, st.Machines[0].Transitions, st.Machines[0].Kind
+}
+
+// TestOfflinePreloadServesWarm is the acceptance check end to end:
+// loading a generated `.isel` blob yields a served machine whose first
+// request is already warm — /stats reports the full table before any
+// traffic and exactly zero construction under it.
+func TestOfflinePreloadServesWarm(t *testing.T) {
+	fixed := mustFixed(t, "demo")
+	fixed.Name = "demo" // serve under the requested name, like iselserver -preload
+	path := filepath.Join(t.TempDir(), "demo.isel")
+	writeBlob(t, fixed, path)
+
+	reg := repro.NewRegistry()
+	if err := reg.AddMachine(fixed, repro.KindOffline, repro.Options{PreloadPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Warm("demo"); err != nil { // boot-time construction, like iselserver
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 2})
+	defer srv.Shutdown()
+	hs := httptest.NewServer(server.NewHandler(srv))
+	defer hs.Close()
+
+	before, beforeTrans, kind := statsStates(t, hs.URL)
+	if kind != string(repro.KindOffline) {
+		t.Fatalf("served kind = %q, want offline", kind)
+	}
+	if before == 0 || beforeTrans == 0 {
+		t.Fatalf("machine not warm before traffic: %d states, %d transitions", before, beforeTrans)
+	}
+
+	body := `{"client":"t","trees":"Store(Reg[1], Plus(Reg[2], Reg[3]))"}`
+	resp, err := http.Post(hs.URL+"/compile?machine=demo", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	var cr server.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Outputs) != 1 || cr.Outputs[0].Asm == "" {
+		t.Fatalf("no code emitted: %+v", cr)
+	}
+	if cr.States != before {
+		t.Fatalf("first request constructed states: %d -> %d, want 0 construction under traffic", before, cr.States)
+	}
+
+	after, afterTrans, _ := statsStates(t, hs.URL)
+	if after != before || afterTrans != beforeTrans {
+		t.Fatalf("traffic grew the tables: states %d -> %d, transitions %d -> %d (want unchanged)",
+			before, after, beforeTrans, afterTrans)
+	}
+}
+
+// TestEvictOverHTTP: POST /evict resets a machine's engine — /stats
+// shows it unconstructed, the next request rebuilds it.
+func TestEvictOverHTTP(t *testing.T) {
+	reg := repro.NewRegistry()
+	if err := reg.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 2})
+	defer srv.Shutdown()
+	hs := httptest.NewServer(server.NewHandler(srv))
+	defer hs.Close()
+
+	body := `{"client":"t","minc":"int f(int a) { return a + 2; }"}`
+	resp, err := http.Post(hs.URL+"/compile?machine=jit64", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d", resp.StatusCode)
+	}
+	if states, _, _ := statsStates(t, hs.URL); states == 0 {
+		t.Fatal("no states after traffic")
+	}
+
+	resp, err = http.Post(hs.URL+"/evict?machine=jit64", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict status = %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	r2, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if st.Machines[0].Constructed {
+		t.Fatal("machine still constructed after /evict")
+	}
+	// Next job reconstructs transparently.
+	resp, err = http.Post(hs.URL+"/compile?machine=jit64", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile after evict status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(hs.URL+"/evict?machine=ghost", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evict unknown machine status = %d, want 404", resp.StatusCode)
+	}
+}

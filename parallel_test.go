@@ -143,15 +143,16 @@ type errMismatch int
 
 func (e errMismatch) Error() string { return "concurrent Compile output mismatch" }
 
-// TestKindsRegistry: the three built-ins are registered in declaration
-// order, and every registered kind constructs through the registry.
+// TestKindsRegistry: the built-ins are registered in declaration order
+// (offline, living in its own file, follows them), and every registered
+// kind constructs through the registry on a fixed-cost grammar.
 func TestKindsRegistry(t *testing.T) {
 	kinds := repro.Kinds()
-	if len(kinds) < 3 {
-		t.Fatalf("kinds = %v, want at least the three built-ins", kinds)
+	if len(kinds) < 4 {
+		t.Fatalf("kinds = %v, want the three built-ins plus offline", kinds)
 	}
-	if kinds[0] != repro.KindDP || kinds[1] != repro.KindStatic || kinds[2] != repro.KindOnDemand {
-		t.Errorf("built-in kinds out of order: %v", kinds)
+	if kinds[0] != repro.KindDP || kinds[1] != repro.KindStatic || kinds[2] != repro.KindOnDemand || kinds[3] != repro.KindOffline {
+		t.Errorf("registered kinds out of order: %v", kinds)
 	}
 	m, err := repro.LoadMachine("demo")
 	if err != nil {
@@ -165,7 +166,7 @@ func TestKindsRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kind := range kinds[:3] {
+	for _, kind := range kinds {
 		sel, err := fixed.NewSelector(kind, repro.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)

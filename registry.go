@@ -15,6 +15,12 @@ import (
 // fault" correctly. Match with errors.Is.
 var ErrUnknownMachine = errors.New("repro: machine not registered")
 
+// ErrNotEvictable is the typed error Registry.Evict fails with for
+// entries registered via AddSelector: the registry did not construct
+// their selector and cannot reconstruct it after dropping it. Match with
+// errors.Is.
+var ErrNotEvictable = errors.New("repro: machine registered via AddSelector cannot be evicted")
+
 // Registry holds named, lazily-constructed, individually-warmed selectors
 // for several machine descriptions — the multi-machine serving substrate
 // behind internal/server and cmd/iselserver's /compile?machine=x
@@ -28,19 +34,29 @@ var ErrUnknownMachine = errors.New("repro: machine not registered")
 // constructed and SaveAll writes the current tables back — warm starts
 // across process restarts, one file per machine.
 //
+// Entries can also be dropped again: Evict resets one machine to
+// unconstructed (its next Get rebuilds the selector from scratch — the
+// way a MaxStates-capped automaton is reset without a restart), and
+// SetMaxMachines arms a least-recently-used cap so cold machines are
+// evicted automatically as hot ones construct.
+//
 // Add/AddMachine/SetAutomatonDir configure the registry and must complete
-// before it is shared; Get, Warm, Names, DefaultName, Status and SaveAll
-// are safe for concurrent use.
+// before it is shared; Get, Warm, Names, DefaultName, Status, Evict and
+// SaveAll are safe for concurrent use.
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*regEntry
 	order   []string // registration order; order[0] is the default
 	dir     string   // automaton persistence directory ("" = disabled)
+	maxLive int      // LRU cap on constructed entries (0 = unlimited)
+	clock   atomic.Int64
 }
 
 // regEntry is one registered machine: a lazy constructor plus its
 // materialized result. once guards construction so concurrent Gets of a
-// cold entry build one selector.
+// cold entry build one selector. Eviction never mutates an entry — it
+// replaces it with a fresh unconstructed one — so a Get that raced the
+// eviction simply finishes against the old selector.
 type regEntry struct {
 	name string
 	kind Kind
@@ -52,6 +68,9 @@ type regEntry struct {
 	m    *Machine
 	sel  *Selector
 	err  error
+	// lastUse orders entries for LRU eviction: the registry clock value of
+	// the entry's most recent Get.
+	lastUse atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -126,11 +145,133 @@ func (r *Registry) Get(name string) (*Machine, *Selector, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownMachine, name, r.names())
 	}
+	e.lastUse.Store(r.clock.Add(1))
+	constructed := false
 	e.once.Do(func() {
 		e.construct(dir)
 		e.done.Store(true)
+		constructed = true
 	})
+	if constructed && e.err == nil {
+		r.enforceMaxLive(e)
+	}
 	return e.m, e.sel, e.err
+}
+
+// SetMaxMachines arms the LRU cap: whenever a Get constructs a selector
+// and more than n reconstructible selectors are live, the least recently
+// used others are evicted (reset to unconstructed) until n remain. Zero
+// disables the cap. Entries registered via AddSelector count toward n but
+// are never chosen as victims (they cannot be reconstructed).
+//
+// Eviction frees the dropped selector's tables as soon as in-flight work
+// referencing it completes; the machine's next Get rebuilds it — cold
+// machines cost a reconstruction, not correctness.
+func (r *Registry) SetMaxMachines(n int) {
+	r.mu.Lock()
+	r.maxLive = n
+	r.mu.Unlock()
+}
+
+// Evict resets name's entry to unconstructed, dropping its selector: the
+// next Get reconstructs from scratch (reloading any persisted automaton).
+// This is the reset lever for a MaxStates-capped automaton and the manual
+// form of the SetMaxMachines LRU. Entries registered via AddSelector fail
+// with ErrNotEvictable; evicting a never-constructed (or sticky-failed)
+// entry simply clears it.
+//
+// Evict deliberately discards state rather than preserving it — that is
+// its purpose; call SaveAll beforehand to keep warmth. With an automaton
+// directory configured it also removes the machine's persisted file, so
+// reconstruction truly starts from scratch instead of restoring the very
+// (possibly capped) tables the eviction meant to shed. (Automatic LRU
+// eviction is the opposite: it persists capable automata before dropping
+// them, because there the goal is bounding memory, not resetting.)
+//
+// In-flight compilations that already resolved the old selector finish on
+// it unharmed; they just no longer share tables with future traffic.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	if name == "" && len(r.order) > 0 {
+		name = r.order[0]
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		err := fmt.Errorf("%w: %q (have %v)", ErrUnknownMachine, name, r.names())
+		r.mu.Unlock()
+		return err
+	}
+	if e.load == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEvictable, name)
+	}
+	r.entries[name] = r.resetEntry(e)
+	dir := r.dir
+	r.mu.Unlock()
+	if dir != "" {
+		if err := os.Remove(automatonPath(dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("repro: machine %q evicted, but removing its persisted automaton failed: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// resetEntry returns a fresh unconstructed clone of e. Caller holds r.mu.
+func (r *Registry) resetEntry(e *regEntry) *regEntry {
+	ne := &regEntry{name: e.name, kind: e.kind, opt: e.opt, load: e.load}
+	ne.lastUse.Store(e.lastUse.Load())
+	return ne
+}
+
+// enforceMaxLive evicts least-recently-used constructed entries until at
+// most maxLive remain. keep (the entry just constructed) is never chosen.
+// With an automaton directory configured, a persistence-capable victim's
+// tables are saved (best effort), so LRU pressure never silently discards
+// warmth the next construction could restore — but the disk writes happen
+// after the registry lock is released: a save of a large automaton must
+// not stall every machine's job dispatch and /stats behind r.mu.
+func (r *Registry) enforceMaxLive(keep *regEntry) {
+	var evicted []*regEntry
+	r.mu.Lock()
+	dir := r.dir
+	for r.maxLive > 0 {
+		live := 0
+		var victim *regEntry
+		for _, name := range r.order {
+			e := r.entries[name]
+			if !e.done.Load() || e.sel == nil {
+				continue
+			}
+			live++
+			if e == keep || e.load == nil {
+				continue // the protected newcomer, or not reconstructible
+			}
+			if victim == nil || e.lastUse.Load() < victim.lastUse.Load() {
+				victim = e
+			}
+		}
+		if live <= r.maxLive || victim == nil {
+			break
+		}
+		r.entries[victim.name] = r.resetEntry(victim)
+		evicted = append(evicted, victim)
+	}
+	r.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	for _, e := range evicted {
+		if !e.sel.SupportsPersistence() {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			// Best effort: an eviction that cannot save still evicts — the
+			// cap is a resource bound, not a durability promise. The old
+			// selector is exclusively ours to snapshot here; racing jobs
+			// that still hold it only read warm tables.
+			saveAutomatonFile(e.sel, automatonPath(dir, e.name))
+		}
+	}
 }
 
 // construct materializes one entry: machine, selector, and — when dir is

@@ -259,3 +259,151 @@ func TestStateBudgetThroughAPI(t *testing.T) {
 		t.Fatalf("warm compile under budget: %v", err)
 	}
 }
+
+// TestRegistryEvict: eviction resets an entry to unconstructed; the next
+// Get rebuilds a fresh selector — the reset lever for capped automata.
+func TestRegistryEvict(t *testing.T) {
+	reg := repro.NewRegistry()
+	if err := reg.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m, sel1, err := reg.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the selector so the rebuilt one is observably different.
+	u, err := m.CompileMinC("int f(int a) { return a + 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel1.CompileUnit(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	if sel1.States() == 0 {
+		t.Fatal("warmup constructed no states")
+	}
+	if err := reg.Evict("jit64"); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range reg.Status() {
+		if st.Machine == "jit64" && st.Constructed {
+			t.Fatal("jit64 still constructed after Evict")
+		}
+	}
+	_, sel2, err := reg.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2 == sel1 {
+		t.Fatal("Get after Evict returned the evicted selector")
+	}
+	if sel2.States() != 0 {
+		t.Fatalf("rebuilt selector starts with %d states, want 0", sel2.States())
+	}
+	// The old selector must keep working for callers that still hold it.
+	if _, err := sel1.CompileUnit(context.Background(), u); err != nil {
+		t.Fatalf("evicted selector broke for an in-flight holder: %v", err)
+	}
+
+	if err := reg.Evict("nope"); !errors.Is(err, repro.ErrUnknownMachine) {
+		t.Fatalf("Evict(unknown) = %v, want ErrUnknownMachine", err)
+	}
+
+	// With persistence configured, Evict is a true reset: the saved file
+	// goes too, so reconstruction cannot restore the state being shed.
+	dir := t.TempDir()
+	preg := repro.NewRegistry()
+	preg.SetAutomatonDir(dir)
+	if err := preg.Add("jit64", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, psel, err := preg.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psel.CompileUnit(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	if err := preg.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	saved := filepath.Join(dir, "jit64.automaton")
+	if _, err := os.Stat(saved); err != nil {
+		t.Fatalf("SaveAll left no file: %v", err)
+	}
+	if err := preg.Evict("jit64"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(saved); !os.IsNotExist(err) {
+		t.Fatalf("Evict left the persisted automaton behind (stat err = %v)", err)
+	}
+	_, fresh, err := preg.Get("jit64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.States() != 0 {
+		t.Fatalf("post-evict reconstruction restored %d states, want a cold engine", fresh.States())
+	}
+	// AddSelector entries cannot be reconstructed, so they refuse.
+	hand, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handReg := repro.NewRegistry()
+	if err := handReg.AddSelector(hand); err != nil {
+		t.Fatal(err)
+	}
+	if err := handReg.Evict(hand.Machine().Name); !errors.Is(err, repro.ErrNotEvictable) {
+		t.Fatalf("Evict(AddSelector entry) = %v, want ErrNotEvictable", err)
+	}
+}
+
+// TestRegistryMaxMachinesLRU: with the cap armed, constructing machine
+// N+1 evicts the least recently used constructed machine, and a
+// re-requested evicted machine comes back.
+func TestRegistryMaxMachinesLRU(t *testing.T) {
+	reg := repro.NewRegistry()
+	reg.SetMaxMachines(2)
+	for _, name := range []string{"x86", "jit64", "mips"} {
+		if err := reg.Add(name, repro.KindOnDemand, repro.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	constructed := func() []string {
+		var live []string
+		for _, st := range reg.Status() {
+			if st.Constructed {
+				live = append(live, st.Machine)
+			}
+		}
+		return live
+	}
+	if err := reg.Warm("x86"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Warm("jit64"); err != nil {
+		t.Fatal(err)
+	}
+	if live := constructed(); len(live) != 2 {
+		t.Fatalf("constructed = %v, want 2 machines", live)
+	}
+	// Touch x86 so jit64 is the LRU victim when mips constructs.
+	if _, _, err := reg.Get("x86"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Warm("mips"); err != nil {
+		t.Fatal(err)
+	}
+	live := constructed()
+	if len(live) != 2 || live[0] != "x86" || live[1] != "mips" {
+		t.Fatalf("constructed after LRU eviction = %v, want [x86 mips]", live)
+	}
+	// The evicted machine reconstructs on demand (and evicts the LRU one).
+	if _, _, err := reg.Get("jit64"); err != nil {
+		t.Fatal(err)
+	}
+	live = constructed()
+	if len(live) != 2 || live[0] != "jit64" || live[1] != "mips" {
+		t.Fatalf("constructed after re-Get = %v, want [jit64 mips]", live)
+	}
+}
