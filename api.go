@@ -301,9 +301,14 @@ type Selector struct {
 	eng reduce.Labeler
 	rd  *reduce.Reducer
 	// emitters recycles emit.Emitter instances across Compile calls.
-	// Outputs are copied out before an emitter returns to the pool, so
-	// per-call isolation is preserved.
+	// Outputs are interned or copied out before an emitter returns to the
+	// pool, so per-call isolation is preserved.
 	emitters sync.Pool
+	// intern canonicalizes emitted assembly text across the selector's
+	// pooled emitters: a warm Compile of previously seen code returns the
+	// retained string instead of allocating a fresh copy — the last piece
+	// of the zero-allocs-per-node warm Compile contract.
+	intern *emit.Interner
 }
 
 // NewSelector builds a selector of the given kind (any registered kind;
@@ -325,8 +330,8 @@ func (m *Machine) NewSelector(kind Kind, opt Options) (*Selector, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Selector{kind: kind, machine: m, m: opt.Metrics, eng: eng, rd: rd}
-	s.emitters.New = func() any { return emitterFor(m.Grammar) }
+	s := &Selector{kind: kind, machine: m, m: opt.Metrics, eng: eng, rd: rd, intern: newInterner()}
+	s.emitters.New = func() any { return emitterFor(m.Grammar, s.intern) }
 	return s, nil
 }
 
@@ -367,7 +372,7 @@ type Output struct {
 // its buffers if it is handed back via ReleaseLabeling, but keeping it is
 // always safe.
 func (s *Selector) Label(f *Forest) (reduce.Labeling, error) {
-	return s.labelChecked(f, nil)
+	return s.labelChecked(f, nil, 0)
 }
 
 // CompileOption tunes one Compile or CompileUnit call. Options compose:
@@ -400,9 +405,14 @@ func CostOnly() CompileOption {
 	return func(cfg *compileConfig) { cfg.costOnly = true }
 }
 
-// WithWorkers compiles a unit's functions across n goroutines sharing the
-// selector's one engine (n <= 0 means GOMAXPROCS; 1 is sequential). Only
-// meaningful for CompileUnit.
+// WithWorkers runs this call's work across n goroutines sharing the
+// selector's one engine (n <= 0 means GOMAXPROCS; 1 is sequential).
+// CompileUnit spreads a unit's functions across the workers; Compile —
+// and CompileUnit when functions are scarcer than workers — fans the
+// labeling pass out inside each forest instead, labeling topological
+// levels of nodes in parallel when the engine supports it (see
+// reduce.ParallelLabeler; the automaton kinds do, DP does not). Results
+// are identical to sequential compilation either way.
 func WithWorkers(n int) CompileOption {
 	return func(cfg *compileConfig) {
 		if n <= 0 {
@@ -422,16 +432,32 @@ func WithWorkers(n int) CompileOption {
 // an arbitrarily large forest returns ctx.Err() within a bounded amount of
 // work. context.Background() costs nothing on the warm path.
 func (s *Selector) Compile(ctx context.Context, f *Forest, opts ...CompileOption) (*Output, error) {
+	cfg := resolveOpts(opts)
+	return s.compile(ctx, f, &cfg)
+}
+
+// resolveOpts applies a call's options to a fresh config. Kept out of the
+// callers so their cfg stays on the stack when no options are passed: the
+// dynamic option calls happen against this function's own copy (which
+// escape analysis must heap-allocate), so the common Compile(ctx, f) path
+// allocates only its *Output.
+func resolveOpts(opts []CompileOption) compileConfig {
+	if len(opts) == 0 {
+		return compileConfig{}
+	}
+	// cfg is declared on the options path only: its address reaches the
+	// option closures, so it is heap-allocated — but just for calls that
+	// actually pass options.
 	var cfg compileConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return s.compile(ctx, f, &cfg)
+	return cfg
 }
 
 func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (*Output, error) {
 	if cfg.costOnly {
-		cost, err := s.selectCost(ctx, f, cfg.counters)
+		cost, err := s.selectCostWorkers(ctx, f, cfg.counters, cfg.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -440,7 +466,7 @@ func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	lab, err := s.labelChecked(f, cfg.counters)
+	lab, err := s.labelChecked(f, cfg.counters, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +474,7 @@ func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (
 	em := s.emitters.Get().(*emit.Emitter)
 	defer s.emitters.Put(em)
 	em.Reset()
-	cost, err := s.rd.CoverContext(ctx, f, lab, em.Visit, cfg.counters)
+	cost, err := s.rd.CoverContext(ctx, f, lab, em.Visitor(), cfg.counters)
 	if err != nil {
 		return nil, err
 	}
@@ -458,10 +484,15 @@ func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (
 // selectCost is the shared cost-only path: label + reduce, no emitter and
 // no Output allocation, so a warm call allocates nothing at all.
 func (s *Selector) selectCost(ctx context.Context, f *Forest, m *Counters) (Cost, error) {
+	return s.selectCostWorkers(ctx, f, m, 0)
+}
+
+// selectCostWorkers is selectCost with optional level-parallel labeling.
+func (s *Selector) selectCostWorkers(ctx context.Context, f *Forest, m *Counters, workers int) (Cost, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	lab, err := s.labelChecked(f, m)
+	lab, err := s.labelChecked(f, m, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -473,7 +504,7 @@ func (s *Selector) selectCost(ctx context.Context, f *Forest, m *Counters) (Cost
 // (Options.MaxStates exceeded; see core.Config.MaxStates) into an error.
 // Any other panic — a user dynamic-cost function blowing up — propagates
 // to the caller's containment boundary unchanged.
-func (s *Selector) labelChecked(f *Forest, m *Counters) (lab reduce.Labeling, err error) {
+func (s *Selector) labelChecked(f *Forest, m *Counters, workers int) (lab reduce.Labeling, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := r.(error); ok && errors.Is(e, ErrStateBudget) {
@@ -483,7 +514,7 @@ func (s *Selector) labelChecked(f *Forest, m *Counters) (lab reduce.Labeling, er
 			panic(r)
 		}
 	}()
-	return s.labelMetered(f, m), nil
+	return s.labelMetered(f, m, workers), nil
 }
 
 // CompileMetered is Compile with per-call counter attribution.
@@ -519,10 +550,17 @@ func (s *Selector) releaseLabeling(lab reduce.Labeling) {
 	}
 }
 
-// labelMetered labels through the engine's MeteredLabeler capability when
-// a per-call sink is requested and the engine has one; otherwise it falls
-// back to the plain engine sink.
-func (s *Selector) labelMetered(f *Forest, m *Counters) reduce.Labeling {
+// labelMetered labels through the engine's optional capabilities: with
+// workers > 1 and a reduce.ParallelLabeler engine, the forest is labeled
+// level-parallel; with a per-call sink and a MeteredLabeler engine,
+// events attribute to m; otherwise the plain sequential path runs against
+// the engine's configured sink.
+func (s *Selector) labelMetered(f *Forest, m *Counters, workers int) reduce.Labeling {
+	if workers > 1 {
+		if pl, ok := s.eng.(reduce.ParallelLabeler); ok {
+			return pl.LabelParallel(f, workers, m)
+		}
+	}
 	if m != nil {
 		if ml, ok := s.eng.(reduce.MeteredLabeler); ok {
 			return ml.LabelMetered(f, m)
@@ -543,10 +581,7 @@ func (s *Selector) labelMetered(f *Forest, m *Counters) reduce.Labeling {
 // reducer checkpoints), so cancelling mid-unit stops promptly; queued
 // functions fail with ctx.Err().
 func (s *Selector) CompileUnit(ctx context.Context, u *Unit, opts ...CompileOption) ([]*Output, error) {
-	var cfg compileConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := resolveOpts(opts)
 	return s.compileUnit(ctx, u, &cfg)
 }
 
@@ -556,13 +591,25 @@ func (s *Selector) compileUnit(ctx context.Context, u *Unit, cfg *compileConfig)
 	if workers > n {
 		workers = n
 	}
+	// The per-function config: when the unit has fewer functions than
+	// requested workers — one big function is the common case — the surplus
+	// parallelism flows inward as level-parallel labeling of each forest
+	// (see reduce.ParallelLabeler) instead of going idle. With enough
+	// functions to occupy every worker, inner compiles label sequentially:
+	// function-level parallelism already saturates the workers, and nested
+	// fan-out would just multiply goroutines.
+	inner := *cfg
+	inner.workers = 0
+	if cfg.workers > n {
+		inner.workers = cfg.workers
+	}
 	if workers <= 1 {
 		outs := make([]*Output, n)
 		for i := range u.Funcs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, err := s.compile(ctx, u.Funcs[i].Forest, cfg)
+			out, err := s.compile(ctx, u.Funcs[i].Forest, &inner)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", u.Funcs[i].Name, err)
 			}
@@ -590,7 +637,7 @@ func (s *Selector) compileUnit(ctx context.Context, u *Unit, cfg *compileConfig)
 					errs[i] = err
 					continue
 				}
-				outs[i], errs[i] = s.compile(ctx, u.Funcs[i].Forest, cfg)
+				outs[i], errs[i] = s.compile(ctx, u.Funcs[i].Forest, &inner)
 			}
 		}()
 	}

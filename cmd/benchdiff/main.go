@@ -7,10 +7,16 @@
 //
 //	benchdiff BENCH_PR3.json BENCH_PR4.json               # default 10%
 //	benchdiff -max-regress 5 BENCH_PR3.json BENCH_PR4.json
+//	benchdiff -markdown BENCH_PR5.json BENCH_PR6.json     # GFM before/after table
 //
 // Allocation baselines of zero are a hard contract: any growth fails
 // regardless of tolerance. CI runs this over the committed trajectory
 // files so a hot-path PR cannot land a silent regression.
+//
+// -markdown prints a per-grammar before/after table of the warm metrics
+// (GitHub-flavored markdown) before the verdict — what the CI perf-gate
+// step surfaces in the build log so reviewers see the deltas without
+// opening the JSON. It changes only the output, never the gate.
 package main
 
 import (
@@ -24,18 +30,19 @@ import (
 func main() {
 	tol := flag.Float64("max-regress", 10, "maximum tolerated regression, in percent")
 	allocsOnly := flag.Bool("allocs-only", false, "compare only the deterministic allocation metrics (for CI runners whose wall-clock numbers are not comparable to the committed baseline)")
+	markdown := flag.Bool("markdown", false, "print a per-grammar before/after markdown table of the warm metrics before the verdict")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] BASELINE.json CURRENT.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-markdown] BASELINE.json CURRENT.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *tol, *allocsOnly); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *tol, *allocsOnly, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, curPath string, tol float64, allocsOnly bool) error {
+func run(basePath, curPath string, tol float64, allocsOnly, markdown bool) error {
 	base, err := bench.LoadPerfReport(basePath)
 	if err != nil {
 		return err
@@ -43,6 +50,10 @@ func run(basePath, curPath string, tol float64, allocsOnly bool) error {
 	cur, err := bench.LoadPerfReport(curPath)
 	if err != nil {
 		return err
+	}
+	if markdown {
+		fmt.Print(bench.MarkdownDiff(base, cur))
+		fmt.Println()
 	}
 	regressions := bench.ComparePerf(base, cur, tol, allocsOnly)
 	if len(regressions) > 0 {

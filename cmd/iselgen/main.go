@@ -160,7 +160,8 @@ func printStats(s gen.Stats) {
 	fmt.Printf("iselgen: grammar %s (fingerprint %016x)\n", s.Grammar, s.Fingerprint)
 	fmt.Printf("  operators %d, nonterminals %d, rules %d\n", s.Ops, s.Nonterms, s.Rules)
 	fmt.Printf("  states %d, representer classes %d, transition entries %d\n", s.States, s.Representers, s.TransitionEntries)
-	fmt.Printf("  table bytes %d, blob bytes %d\n", s.TableBytes, s.BlobBytes)
+	fmt.Printf("  table bytes %d (compact), %d expanded at serve time, blob bytes %d\n",
+		s.TableBytes, s.ExpandedTableBytes, s.BlobBytes)
 	fmt.Printf("  generation time %s\n", s.GenTime)
 }
 

@@ -6,5 +6,15 @@ import (
 )
 
 // emitterFor isolates the emit dependency so api.go stays focused on
-// selector plumbing.
-func emitterFor(g *grammar.Grammar) *emit.Emitter { return emit.New(g) }
+// selector plumbing. All emitters of one selector share the selector's
+// interner, so repeated compiles of the same functions return the same
+// Asm string without a per-call copy.
+func emitterFor(g *grammar.Grammar, in *emit.Interner) *emit.Emitter {
+	e := emit.New(g)
+	e.SetInterner(in)
+	return e
+}
+
+// newInterner isolates the constructor the selector uses for its shared
+// assembly-text store.
+func newInterner() *emit.Interner { return emit.NewInterner(0) }

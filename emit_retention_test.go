@@ -1,0 +1,134 @@
+// Cross-call retention guards for the emit arena/intern scheme: the
+// strings a Compile returns must stay valid after the emitter that built
+// them is recycled (Reset, arena reuse) by any number of subsequent
+// Compile calls. The zero-alloc warm path hands out interned or copied
+// strings, never views of pooled buffers — these tests would catch an
+// aliasing bug by observing a returned Output mutate. The -race CI job
+// runs them too, with concurrent compiles overlapping the re-reads.
+package repro_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/ir"
+	"repro/internal/workload"
+)
+
+// compileCorpus compiles every forest once and returns the outputs.
+func compileCorpus(t *testing.T, sel *repro.Selector, fs []*ir.Forest) []*repro.Output {
+	t.Helper()
+	ctx := context.Background()
+	outs := make([]*repro.Output, len(fs))
+	for i, f := range fs {
+		out, err := sel.Compile(ctx, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = out
+	}
+	return outs
+}
+
+// TestCompileOutputSurvivesArenaRecycling: outputs captured early must be
+// byte-identical after the selector's pooled emitters (and their arenas)
+// have been recycled by many further compiles of different forests.
+func TestCompileOutputSurvivesArenaRecycling(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(m.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+
+	first := compileCorpus(t, sel, fs)
+	snapshots := make([]string, len(first))
+	for i, out := range first {
+		// Force a private copy of the bytes the Output currently shows, so
+		// a later mutation of the original string's storage is detectable.
+		snapshots[i] = string(append([]byte(nil), out.Asm...))
+	}
+
+	// Recycle hard: every emitter in the pool gets Reset and refilled with
+	// other forests' text many times over.
+	ctx := context.Background()
+	for pass := 0; pass < 20; pass++ {
+		for i := len(fs) - 1; i >= 0; i-- {
+			if _, err := sel.Compile(ctx, fs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for i, out := range first {
+		if out.Asm != snapshots[i] {
+			t.Fatalf("forest %d: retained Output.Asm changed after arena recycling\nwas:\n%s\nnow:\n%s",
+				i, snapshots[i], out.Asm)
+		}
+	}
+}
+
+// TestCompileOutputRetentionUnderConcurrency is the -race variant:
+// goroutines continuously recycle the emitter pool while others re-verify
+// retained outputs. Any aliasing of returned strings onto pooled arenas
+// shows up as a data race or a mismatch.
+func TestCompileOutputRetentionUnderConcurrency(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(m.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	first := compileCorpus(t, sel, fs)
+	snapshots := make([]string, len(first))
+	for i, out := range first {
+		snapshots[i] = string(append([]byte(nil), out.Asm...))
+	}
+
+	ctx := context.Background()
+	const writers, checkers, passes = 4, 2, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for pass := 0; pass < passes; pass++ {
+				for i := range fs {
+					if _, err := sel.Compile(ctx, fs[(i+w)%len(fs)]); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for c := 0; c < checkers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for pass := 0; pass < passes; pass++ {
+				for i, out := range first {
+					if out.Asm != snapshots[i] {
+						t.Errorf("checker %d: forest %d output mutated mid-flight", c, i)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

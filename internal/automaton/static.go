@@ -104,6 +104,32 @@ func (a *Static) Expand() {
 	a.Gen.TableBytes = a.MemoryBytes()
 }
 
+// ExpandBytes reports the bytes the direct-lookup arrays of Expand cost
+// on top of the compressed tables: 4·states per unary operator and
+// 4·states² per binary one — exactly what MemoryBytes grows by after
+// expansion. It returns 0 when the automaton is past ExpandMaxStates
+// (Expand refuses the trade there), so compact-plus-ExpandBytes is
+// always the true serving footprint of the preloaded offline engine,
+// which expands at load time. Offline table accounting was previously
+// reported pre-expansion only, understating served memory by the
+// quadratic grids.
+func (a *Static) ExpandBytes() int {
+	if len(a.states) > ExpandMaxStates {
+		return 0
+	}
+	n := len(a.states)
+	b := 0
+	for op := range a.mu {
+		switch a.g.Ops[op].Arity {
+		case 1:
+			b += 4 * n
+		case 2:
+			b += 4 * n * n
+		}
+	}
+	return b
+}
+
 // GenStats summarizes offline generation.
 type GenStats struct {
 	States              int

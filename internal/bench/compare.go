@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // Comparing two BENCH_PR<N>.json trajectory points: the CI regression
@@ -75,6 +76,17 @@ func ComparePerf(base, cur *PerfReport, tolPct float64, allocsOnly bool) []strin
 			}
 			check("offline-select-allocs/pass", b.OfflineWarmSelectAllocsPerPass, row.OfflineWarmSelectAllocsPerPass)
 		}
+		// Full-Compile columns only exist from PR 6 onward
+		// (CorpusForests > 0 marks them present). The extra-allocs figure
+		// is a zero baseline on purpose: the warm Compile contract is one
+		// *Output per forest and nothing else, so any surplus fails
+		// regardless of tolerance.
+		if b.CorpusForests > 0 {
+			if !allocsOnly {
+				check("warm-compile-ns/node", b.WarmCompileNsPerNode, row.WarmCompileNsPerNode)
+			}
+			check("warm-compile-extra-allocs/pass", b.WarmCompileExtraAllocsPerPass, row.WarmCompileExtraAllocsPerPass)
+		}
 	}
 	for _, row := range base.Rows {
 		if !seen[row.Grammar] {
@@ -93,4 +105,70 @@ func exceeded(base, cur, tolPct float64) bool {
 		return cur > 0.5
 	}
 	return cur > base*(1+tolPct/100)
+}
+
+// MarkdownDiff renders a per-grammar before/after table of the warm
+// metrics in GitHub-flavored markdown — what `benchdiff -markdown` prints
+// and the CI perf gate posts into the build log, so a reviewer sees the
+// trajectory delta without opening either JSON file. Missing columns
+// (a baseline that predates a metric) render as "—"; deltas are
+// percentages, negative = faster.
+func MarkdownDiff(base, cur *PerfReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Perf trajectory: %s (base) → %s (current)\n\n",
+		goLabel(base), goLabel(cur))
+	b.WriteString("| grammar | warm label ns/node | warm select ns/node | warm compile ns/node | select allocs/pass | compile extra allocs | table bytes |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	baseRows := map[string]PerfRow{}
+	for _, row := range base.Rows {
+		baseRows[row.Grammar] = row
+	}
+	for _, row := range cur.Rows {
+		br, ok := baseRows[row.Grammar]
+		if !ok {
+			br = PerfRow{} // new grammar: every before-cell renders "—"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			row.Grammar,
+			cell(br.WarmLabelNsPerNode, row.WarmLabelNsPerNode, true),
+			cell(br.WarmSelectNsPerNode, row.WarmSelectNsPerNode, true),
+			cell(br.WarmCompileNsPerNode, row.WarmCompileNsPerNode, br.CorpusForests > 0),
+			cell(br.WarmSelectAllocsPerPass, row.WarmSelectAllocsPerPass, true),
+			cell(br.WarmCompileExtraAllocsPerPass, row.WarmCompileExtraAllocsPerPass, br.CorpusForests > 0),
+			intCell(br.TableBytes, row.TableBytes))
+	}
+	b.WriteString("\nNegative delta = improvement. ns/node columns are wall-clock (compare same-machine runs only); allocation and byte columns are deterministic.\n")
+	return b.String()
+}
+
+// cell renders one "before → after (delta%)" markdown cell. haveBase
+// false (the baseline predates the column) renders the before side and
+// delta as "—".
+func cell(baseV, curV float64, haveBase bool) string {
+	if !haveBase {
+		return fmt.Sprintf("— → %s", f1(curV))
+	}
+	if baseV == curV {
+		return fmt.Sprintf("%s (=)", f1(curV))
+	}
+	if baseV == 0 {
+		return fmt.Sprintf("0 → %s", f1(curV))
+	}
+	return fmt.Sprintf("%s → %s (%+.1f%%)", f1(baseV), f1(curV), (curV-baseV)/baseV*100)
+}
+
+// intCell is cell for deterministic integer columns (byte counts).
+func intCell(baseV, curV int) string {
+	if baseV == curV {
+		return fmt.Sprintf("%d (=)", curV)
+	}
+	if baseV == 0 {
+		return fmt.Sprintf("0 → %d", curV)
+	}
+	return fmt.Sprintf("%d → %d (%+.1f%%)", baseV, curV, float64(curV-baseV)/float64(baseV)*100)
+}
+
+// goLabel summarizes one report for the diff header.
+func goLabel(r *PerfReport) string {
+	return fmt.Sprintf("%s, %d passes", r.GoVersion, r.Passes)
 }

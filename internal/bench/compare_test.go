@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func perfReport(rows ...PerfRow) *PerfReport {
 	return &PerfReport{Schema: 1, Rows: rows}
@@ -60,5 +63,69 @@ func TestComparePerf(t *testing.T) {
 	}
 	if regs := ComparePerf(base, leaky, 10, true); len(regs) != 1 {
 		t.Fatalf("allocs-only missed an alloc regression: %v", regs)
+	}
+}
+
+func TestComparePerfCompileColumns(t *testing.T) {
+	// A baseline without the full-Compile columns (CorpusForests == 0)
+	// must not gate them — older trajectory points predate the metric.
+	old := perfReport(PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60})
+	cur := perfReport(PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+		CorpusForests: 12, WarmCompileNsPerNode: 100, WarmCompileAllocsPerPass: 12})
+	if regs := ComparePerf(old, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("pre-compile-column baseline gated the new columns: %v", regs)
+	}
+
+	// With the columns present, ns regresses at tolerance and the
+	// extra-allocs surplus is a zero baseline: any growth fails.
+	base := perfReport(PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+		CorpusForests: 12, WarmCompileNsPerNode: 100})
+	slower := perfReport(PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+		CorpusForests: 12, WarmCompileNsPerNode: 115})
+	if regs := ComparePerf(base, slower, 10, false); len(regs) != 1 {
+		t.Fatalf("15%% compile-ns regression not caught: %v", regs)
+	}
+	if regs := ComparePerf(base, slower, 10, true); len(regs) != 0 {
+		t.Fatalf("allocs-only flagged a compile-ns regression: %v", regs)
+	}
+	leaky := perfReport(PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60,
+		CorpusForests: 12, WarmCompileNsPerNode: 100, WarmCompileExtraAllocsPerPass: 1})
+	if regs := ComparePerf(base, leaky, 10, true); len(regs) != 1 {
+		t.Fatalf("compile extra-alloc surplus not caught: %v", regs)
+	}
+}
+
+func TestMarkdownDiff(t *testing.T) {
+	base := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 40, WarmSelectNsPerNode: 60, TableBytes: 1000},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 30, WarmSelectNsPerNode: 50,
+			CorpusForests: 8, WarmCompileNsPerNode: 90, TableBytes: 2000},
+	)
+	cur := perfReport(
+		PerfRow{Grammar: "x86", WarmLabelNsPerNode: 36, WarmSelectNsPerNode: 58,
+			CorpusForests: 8, WarmCompileNsPerNode: 80, TableBytes: 1000},
+		PerfRow{Grammar: "jit64", WarmLabelNsPerNode: 33, WarmSelectNsPerNode: 50,
+			CorpusForests: 8, WarmCompileNsPerNode: 85, TableBytes: 2000},
+	)
+	md := MarkdownDiff(base, cur)
+	for _, want := range []string{
+		"| grammar |",          // header row
+		"| x86 |", "| jit64 |", // one row per grammar
+		"40.0 → 36.0 (-10.0%)",             // improvement, negative delta
+		"30.0 → 33.0 (+10.0%)",             // regression, positive delta
+		"— → 80.0",                         // column absent in the baseline
+		"90.0 → 85.0 (-5.6%)",              // present in both
+		"50.0 (=)", "1000 (=)", "2000 (=)", // unchanged values
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("MarkdownDiff output missing %q:\n%s", want, md)
+		}
+	}
+	// Every table line must have the same column count — a malformed GFM
+	// table renders as prose.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") && strings.Count(line, "|") != 8 {
+			t.Errorf("table line has %d pipes, want 8: %q", strings.Count(line, "|"), line)
+		}
 	}
 }

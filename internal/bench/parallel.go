@@ -22,6 +22,13 @@ type EPRow struct {
 	Nodes     int // nodes labeled per pass (whole corpus)
 	NsPerNode float64
 	Speedup   float64 // vs the 1-worker configuration (first row if absent)
+
+	// Level-parallel columns: the same worker count applied *inside* one
+	// wide forest (topological levels fanned across goroutines, barrier
+	// between levels — reduce.ParallelLabeler) instead of across forests.
+	LevelNodes     int // nodes of the wide forest labeled per pass
+	LevelNsPerNode float64
+	LevelSpeedup   float64 // vs the 1-worker level configuration
 }
 
 // RunParallel measures warm labeling throughput for each worker count.
@@ -56,27 +63,41 @@ func RunParallel(gname string, workerCounts []int, passes int) ([]EPRow, *Table,
 	for _, f := range fs { // warm up: the measured passes are pure fast path
 		e.Label(f)
 	}
+	// The level-parallel measurement needs one forest wide enough that its
+	// topological levels carry hundreds of independent nodes — intra-forest
+	// fan-out, the complement of the across-forest worker pool above.
+	wide := ir.RandomForest(d.Grammar, ir.RandomConfig{
+		Seed: 7, Trees: 4000, MaxDepth: 8, MaxLeafVal: 3,
+	})
+	e.ReleaseLabeling(e.LabelStates(wide)) // warm the wide forest's transitions too
 
 	t := &Table{
 		ID: "EP",
 		Title: fmt.Sprintf("parallel labeling scaling on %s (one warm on-demand engine, %d corpus passes, GOMAXPROCS=%d)",
 			gname, passes, runtime.GOMAXPROCS(0)),
-		Header: []string{"workers", "nodes/pass", "ns/node", "speedup"},
+		Header: []string{"workers", "nodes/pass", "ns/node", "speedup", "level ns/node", "level speedup"},
 	}
 	nsPer := make([]float64, len(workerCounts))
+	lvlPer := make([]float64, len(workerCounts))
 	for i, workers := range workerCounts {
 		start := time.Now()
 		for p := 0; p < passes; p++ {
 			labelAll(e, fs, workers)
 		}
 		nsPer[i] = float64(time.Since(start).Nanoseconds()) / float64(passes*nodes)
+
+		start = time.Now()
+		for p := 0; p < passes; p++ {
+			e.ReleaseLabeling(e.LabelStatesParallel(wide, workers, nil))
+		}
+		lvlPer[i] = float64(time.Since(start).Nanoseconds()) / float64(passes*wide.NumNodes())
 	}
 	// Baseline: the 1-worker configuration wherever it appears in the
 	// list; fall back to the first configuration if it is absent.
-	base := nsPer[0]
+	base, lvlBase := nsPer[0], lvlPer[0]
 	for i, workers := range workerCounts {
 		if workers == 1 {
-			base = nsPer[i]
+			base, lvlBase = nsPer[i], lvlPer[i]
 			break
 		}
 	}
@@ -85,11 +106,13 @@ func RunParallel(gname string, workerCounts []int, passes int) ([]EPRow, *Table,
 		row := EPRow{
 			Grammar: gname, Workers: workers, Passes: passes, Nodes: nodes,
 			NsPerNode: nsPer[i], Speedup: base / nsPer[i],
+			LevelNodes: wide.NumNodes(), LevelNsPerNode: lvlPer[i], LevelSpeedup: lvlBase / lvlPer[i],
 		}
 		rows = append(rows, row)
-		t.AddRow(itoa(workers), itoa(nodes), f1(nsPer[i]), f2(row.Speedup))
+		t.AddRow(itoa(workers), itoa(nodes), f1(nsPer[i]), f2(row.Speedup), f1(lvlPer[i]), f2(row.LevelSpeedup))
 	}
 	t.Note("warm fast path is lock-free (atomic loads); speedup tracks available cores")
+	t.Note("level columns: the same workers fanned inside one %d-node forest (topological levels, barrier per level)", wide.NumNodes())
 	return rows, t, nil
 }
 

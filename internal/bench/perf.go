@@ -8,12 +8,14 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/grammar"
@@ -95,6 +97,26 @@ type PerfRow struct {
 	OfflineBlobBytes               int     `json:"offline_blob_bytes"`
 	OfflineWarmSelectNsPerNode     float64 `json:"offline_warm_select_ns_per_node"`
 	OfflineWarmSelectAllocsPerPass float64 `json:"offline_warm_select_allocs_per_pass"`
+
+	// Full warm Compile (label + reduce + emit) through the public
+	// Selector — the end-to-end path a JIT client pays, added to the
+	// trajectory when emission went allocation-free. The contract is
+	// exactly one *Output allocation per forest and zero per node:
+	// WarmCompileExtraAllocsPerPass is the surplus beyond one-per-forest
+	// and must stay 0. CorpusForests > 0 marks the columns present
+	// (older baselines lack them).
+	CorpusForests                 int     `json:"corpus_forests,omitempty"`
+	WarmCompileNsPerNode          float64 `json:"warm_compile_ns_per_node,omitempty"`
+	WarmCompileAllocsPerPass      float64 `json:"warm_compile_allocs_per_pass,omitempty"`
+	WarmCompileExtraAllocsPerPass float64 `json:"warm_compile_extra_allocs_per_pass"`
+
+	// OfflineTableBytes above is the loaded serving footprint — the blob
+	// expands into direct arrays at load time, so it already includes
+	// them. OfflineCompactTableBytes is the pre-expansion footprint
+	// (gen.Stats.TableBytes): the two together make the space-for-time
+	// trade of expansion visible in the trajectory. 0 = column predates
+	// the stat.
+	OfflineCompactTableBytes int `json:"offline_compact_table_bytes,omitempty"`
 }
 
 // PerfReport is the BENCH_PR<N>.json payload.
@@ -127,7 +149,8 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		ID:    "PF",
 		Title: fmt.Sprintf("warm-path performance trajectory (%d timed corpus passes per grammar; off-* = ahead-of-time tables on the stripped grammar)", passes),
 		Header: []string{"grammar", "nodes", "cold-label-ns", "warm-label-ns", "warm-select-ns",
-			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "states", "trans", "table-bytes",
+			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "compile-ns", "compile-xallocs",
+			"states", "trans", "table-bytes",
 			"off-select-ns", "off-allocs", "off-states", "off-bytes", "off-gen-ms"},
 	}
 	rep := &PerfReport{
@@ -188,12 +211,16 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 			States:            e.NumStates(), Transitions: e.NumTransitions(),
 			TableBytes: e.MemoryBytes(),
 		}
+		if err := measureCompile(name, fs, nodes, passes, &row); err != nil {
+			return nil, nil, err
+		}
 		if err := measureOffline(d.Grammar, passes, &row); err != nil {
 			return nil, nil, err
 		}
 		rep.Rows = append(rep.Rows, row)
 		t.AddRow(name, itoa(nodes), f1(coldNs), f1(warmNs), f1(selNs),
 			f1(labelAllocs), f1(selAllocs), f2(row.WarmAllocsPerNode),
+			f1(row.WarmCompileNsPerNode), f1(row.WarmCompileExtraAllocsPerPass),
 			itoa(row.States), itoa(row.Transitions), itoa(row.TableBytes),
 			f1(row.OfflineWarmSelectNsPerNode), f1(row.OfflineWarmSelectAllocsPerPass),
 			itoa(row.OfflineStates), itoa(row.OfflineTableBytes), f2(row.OfflineGenMs))
@@ -203,11 +230,47 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		"ns figures are wall-clock and machine-dependent; compare trends, not absolutes, across BENCH_PR*.json",
 		"warm ns figures are min-of-3 timed windows: external noise only adds time, so the minimum is the comparable statistic on a shared machine",
 		"offline columns run the stripped grammar through the .isel encode/decode round trip: the one-time gen cost buys lookup-only selection with zero construction under traffic",
+		"compile-ns/compile-xallocs cover the full warm Compile (label+reduce+emit) through the public Selector: the contract is one *Output per forest and zero allocations per node, so compile-xallocs must stay 0",
+		"off-bytes is the loaded serving footprint (tables expand into direct arrays at load); offline_compact_table_bytes in the JSON is the pre-expansion figure",
 	)
 	t.Note("cold includes every state construction of the session; warm is the steady state a JIT/server reaches")
 	t.Note("allocs/pass counted over the whole corpus (runtime.MemStats.Mallocs delta); 0 is the contract for label and select — offline included")
 	t.Note("off-gen-ms is the ahead-of-time closure+encode+decode cost; the on-demand engine never pays it, the offline engine pays it exactly once")
 	return rep, t, nil
+}
+
+// measureCompile fills row's full-warm-Compile columns through the public
+// Selector — label + reduce + emit end to end. The warm path allocates
+// exactly one *Output per forest: operand text lives in per-emitter
+// arenas, registers and bookkeeping are reused across Reset, and repeated
+// assembly comes interned. The surplus beyond one-per-forest is the gated
+// contract and must stay 0.
+func measureCompile(name string, fs []*ir.Forest, nodes, passes int, row *PerfRow) error {
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		return err
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	compilePass := func() {
+		for _, f := range fs {
+			if _, err := sel.Compile(ctx, f); err != nil {
+				panic(err) // corpus is known-derivable; see the tests
+			}
+		}
+	}
+	compilePass() // warm: automaton, emitter pool, interner
+	row.CorpusForests = len(fs)
+	row.WarmCompileNsPerNode = minNsPerNode(passes, nodes, compilePass)
+	row.WarmCompileAllocsPerPass = allocsPerRun(10, compilePass)
+	row.WarmCompileExtraAllocsPerPass = row.WarmCompileAllocsPerPass - float64(len(fs))
+	if row.WarmCompileExtraAllocsPerPass < 0 {
+		row.WarmCompileExtraAllocsPerPass = 0
+	}
+	return nil
 }
 
 // measureOffline fills row's offline comparison columns: the same corpus
@@ -252,6 +315,7 @@ func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) error {
 	row.OfflineWarmSelectAllocsPerPass = allocsPerRun(10, selectPass)
 	row.OfflineStates = a.NumStates()
 	row.OfflineTableBytes = a.MemoryBytes()
+	row.OfflineCompactTableBytes = res.Stats.TableBytes
 	row.OfflineBlobBytes = len(res.Blob)
 	return nil
 }

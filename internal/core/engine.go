@@ -45,16 +45,21 @@
 //     pointer is released.
 //   - The construct slow path is sharded per operator: misses on
 //     different operators construct concurrently (the dense tables and
-//     hash maps they write are per-op; the shared state table synchronizes
-//     interning internally). Cold-start contention therefore scales with
-//     the operator mix instead of serializing on one engine-global lock.
+//     open-addressing tables they write are per-op; the shared state table
+//     synchronizes interning internally). Cold-start contention therefore
+//     scales with the operator mix instead of serializing on one
+//     engine-global lock.
 //   - The hash-consing state table (automaton.Table) serializes interning
 //     internally; see its documentation.
 //   - The hash transition path (dynamic operators, ForceHash) uses one
-//     sync.Map per operator: lock-free hit path, misses serialized on the
-//     operator's mutex. The hit path probes with a no-copy view of the
-//     pooled signature bytes; the key is materialized only when a miss
-//     actually inserts it.
+//     open-addressing table per operator (see openTab): flat []uint64 key
+//     words and []int32 id slots, linear probing, a lock-free hit path
+//     with no interface conversions or boxed values, misses serialized on
+//     the operator's mutex. Keys — child state ids plus the packed
+//     dynamic-cost signature — are built in pooled scratch and copied into
+//     the table only when a miss actually inserts them. Growth rehashes
+//     into a double-size table published through the operator's atomic
+//     pointer once fully populated.
 //   - Per-call scratch (dynamic-cost values and signature bytes) comes
 //     from a sync.Pool instead of engine fields, so concurrent labelers
 //     never share buffers; the return to the pool is deferred, so a
@@ -74,11 +79,8 @@
 package core
 
 import (
-	"encoding/binary"
-	"strings"
 	"sync"
 	"sync/atomic"
-	"unsafe"
 
 	"repro/internal/automaton"
 	"repro/internal/grammar"
@@ -155,25 +157,23 @@ type Engine struct {
 	un   []atomic.Pointer[unRow]   // [op][kidState] -> state id
 	bin  []atomic.Pointer[binGrid] // [op][left*stride+right] -> state id
 
-	// Dynamic-rule (and ForceHash) path: hash maps, keyed by child state
-	// ids plus the dynamic-cost signature; values are state ids.
-	hash []sync.Map // [op]: transKey -> int32
+	// Dynamic-rule (and ForceHash) path: open-addressing tables keyed by
+	// child state ids plus the packed dynamic-cost signature; slot values
+	// are state ids. nil until the operator's first miss.
+	dyn []atomic.Pointer[openTab] // [op]
 
 	transitions atomic.Int64
 	scratch     sync.Pool // *dynScratch
 	labels      sync.Pool // *automaton.Labeling
 }
 
-type transKey struct {
-	l, r int32
-	sig  string
-}
-
 // dynScratch holds the per-call buffers of the dynamic-cost evaluation;
-// pooled so concurrent labelers never share them.
+// pooled so concurrent labelers never share them. key is the packed
+// open-addressing probe key: word 0 is l<<32|r, the remaining words pack
+// the signature costs two per word (low half first).
 type dynScratch struct {
 	dyn []grammar.Cost
-	sig []byte
+	key []uint64
 }
 
 // New creates an empty on-demand automaton for g. env binds the grammar's
@@ -200,7 +200,7 @@ func New(g *grammar.Grammar, env grammar.DynEnv, cfg Config) (*Engine, error) {
 		leaf:     make([]atomic.Int32, g.NumOps()),
 		un:       make([]atomic.Pointer[unRow], g.NumOps()),
 		bin:      make([]atomic.Pointer[binGrid], g.NumOps()),
-		hash:     make([]sync.Map, g.NumOps()),
+		dyn:      make([]atomic.Pointer[openTab], g.NumOps()),
 	}
 	for op := range e.leaf {
 		e.leaf[op].Store(-1) // 0 is a valid state id; -1 means "no transition yet"
@@ -297,23 +297,40 @@ func (e *Engine) LabelNode(n *ir.Node, ids []int32) int32 {
 	return e.labelNode(n, ids, e.m)
 }
 
+// labelDyn labels one node of an operator with dynamic-cost rules.
+func (e *Engine) labelDyn(op grammar.OpID, n *ir.Node, ids []int32, m *metrics.Counters) int32 {
+	sc := e.scratch.Get().(*dynScratch)
+	// Deferred so a panicking user cost function cannot leak the pooled
+	// buffers; see the package concurrency notes.
+	defer e.scratch.Put(sc)
+	e.evalDyn(n, ids, sc, m)
+	return e.lookupHash(op, n, ids, sc.key, sc.dyn, m)
+}
+
+// labelForced labels one node through the hash path regardless of the
+// operator's rules — the ForceHash ablation.
+func (e *Engine) labelForced(op grammar.OpID, n *ir.Node, ids []int32, m *metrics.Counters) int32 {
+	sc := e.scratch.Get().(*dynScratch)
+	defer e.scratch.Put(sc)
+	sc.key = append(sc.key[:0], packLR(n, ids))
+	return e.lookupHash(op, n, ids, sc.key, nil, m)
+}
+
 // labelNode labels one node, counting events into m.
 func (e *Engine) labelNode(n *ir.Node, ids []int32, m *metrics.Counters) int32 {
 	m.CountNode()
 	op := n.Op
 
 	// The fast path evaluates the operator's dynamic costs (rarely any)
-	// and performs one lookup.
+	// and performs one lookup. Both pooled-scratch paths live in their own
+	// single-defer helpers: a second defer here would push labelNode past
+	// the compiler's returns×defers open-coding budget and put the slow
+	// deferred-call machinery on every warm dynamic probe.
 	if e.g.HasDynRules(op) {
-		sc := e.scratch.Get().(*dynScratch)
-		// Deferred so a panicking user cost function cannot leak the
-		// pooled buffers; see the package concurrency notes.
-		defer e.scratch.Put(sc)
-		e.evalDyn(n, ids, sc, m)
-		return e.lookupHash(op, n, ids, byteView(sc.sig), sc.dyn, m)
+		return e.labelDyn(op, n, ids, m)
 	}
 	if e.force {
-		return e.lookupHash(op, n, ids, "", nil, m)
+		return e.labelForced(op, n, ids, m)
 	}
 	switch len(n.Kids) {
 	case 0:
@@ -457,40 +474,47 @@ func (e *Engine) addTransition(m *metrics.Counters) {
 	m.CountTransition()
 }
 
-// byteView returns a no-copy string view of b for transient hash probes.
-// The view aliases b's storage, so it must never be stored: keys that a
-// miss actually inserts are materialized with strings.Clone first.
-func byteView(b []byte) string {
-	if len(b) == 0 {
-		return ""
-	}
-	return unsafe.String(unsafe.SliceData(b), len(b))
-}
-
-// lookupHash handles operators with dynamic rules (and the ForceHash
-// ablation): one map probe keyed by child state ids and signature. sig may
-// be a transient byteView of pooled bytes — the hit path never copies it;
-// the miss path clones it before insertion.
-func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, ids []int32, sig string, dynVals []grammar.Cost, m *metrics.Counters) int32 {
-	var key transKey
-	key.sig = sig
+// packLR packs n's child state ids into the first key word: left id in
+// the high 32 bits, right in the low (the same convention the persisted
+// binary triples use). Absent children pack as state 0 slots of zero —
+// unambiguous because the operator's arity is fixed by the grammar.
+func packLR(n *ir.Node, ids []int32) uint64 {
+	var l, r int32
 	switch len(n.Kids) {
 	case 0:
 	case 1:
-		key.l = ids[n.Kids[0].Index]
+		l = ids[n.Kids[0].Index]
 	default:
-		key.l, key.r = ids[n.Kids[0].Index], ids[n.Kids[1].Index]
+		l, r = ids[n.Kids[0].Index], ids[n.Kids[1].Index]
 	}
-	h := &e.hash[op]
-	if v, ok := h.Load(key); ok {
-		m.CountProbe(false)
-		return v.(int32)
+	return uint64(uint32(l))<<32 | uint64(uint32(r))
+}
+
+// keyWords returns the fixed open-addressing key width of op: one (l, r)
+// word plus the packed signature words (two 32-bit costs per word).
+func (e *Engine) keyWords(op grammar.OpID) int {
+	return 1 + (len(e.g.DynRules(op))+1)/2
+}
+
+// lookupHash handles operators with dynamic rules (and the ForceHash
+// ablation): one open-addressing probe keyed by the packed key words. key
+// aliases pooled scratch — the hit path never copies it; the miss path
+// copies it into the table on insertion.
+func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, ids []int32, key []uint64, dynVals []grammar.Cost, m *metrics.Counters) int32 {
+	h := hashKey(key)
+	if t := e.dyn[op].Load(); t != nil {
+		if id, ok := t.get(key, h); ok {
+			m.CountProbe(false)
+			return id
+		}
 	}
 	e.mus[op].Lock()
 	defer e.mus[op].Unlock()
-	if v, ok := h.Load(key); ok {
-		m.CountProbe(false)
-		return v.(int32)
+	if t := e.dyn[op].Load(); t != nil {
+		if id, ok := t.get(key, h); ok {
+			m.CountProbe(false)
+			return id
+		}
 	}
 	m.CountProbe(true)
 	var kbuf [2]*automaton.State
@@ -499,27 +523,49 @@ func (e *Engine) lookupHash(op grammar.OpID, n *ir.Node, ids []int32, sig string
 		kids = append(kids, e.table.Get(ids[n.Kids[ki].Index]))
 	}
 	s := e.construct(op, kids, dynVals, m)
-	key.sig = strings.Clone(sig) // the stored key owns its bytes
-	h.Store(key, s.ID)
+	e.insertDynLocked(op, key, h, s.ID)
 	e.addTransition(m)
 	return s.ID
 }
 
+// insertDynLocked memoizes (key -> id) in op's open table, allocating or
+// growing it as needed. Caller holds e.mus[op]. A fresh or grown table is
+// fully populated before its pointer is published.
+func (e *Engine) insertDynLocked(op grammar.OpID, key []uint64, h uint64, id int32) {
+	t := e.dyn[op].Load()
+	switch {
+	case t == nil:
+		t = newOpenTab(len(key), openTabMinCap)
+		t.insertLocked(key, h, id)
+		e.dyn[op].Store(t)
+	case t.full():
+		nt := t.grown()
+		nt.insertLocked(key, h, id)
+		e.dyn[op].Store(nt)
+	default:
+		t.insertLocked(key, h, id)
+	}
+}
+
 // evalDyn evaluates the dynamic rules of n's operator into sc.dyn and
-// builds the signature bytes (sc.sig) that distinguish transition
-// outcomes. A dynamic-cost function only runs when its rule is
-// structurally applicable (every kid nonterminal derivable in the kid's
-// state); such functions inspect the matched pattern's shape, so calling
-// them on non-matching nodes would be wrong — and skipping them also keeps
-// the fast path's dynamic-evaluation count low.
+// packs the probe key (sc.key) that distinguishes transition outcomes:
+// the (l, r) word followed by the signature costs, two 32-bit values per
+// word with the earlier rule in the low half — the same byte image the
+// persisted signature uses, so saved automata round-trip bit-exactly. A
+// dynamic-cost function only runs when its rule is structurally
+// applicable (every kid nonterminal derivable in the kid's state); such
+// functions inspect the matched pattern's shape, so calling them on
+// non-matching nodes would be wrong — and skipping them also keeps the
+// fast path's dynamic-evaluation count low.
 func (e *Engine) evalDyn(n *ir.Node, ids []int32, sc *dynScratch, m *metrics.Counters) {
 	rules := e.g.DynRules(n.Op)
 	// One snapshot resolves every kid id: kid states were interned before
 	// their ids were published, and the state list is append-only.
 	states := e.table.States()
 	sc.dyn = sc.dyn[:0]
-	sc.sig = sc.sig[:0]
-	for _, ri := range rules {
+	sc.key = append(sc.key[:0], packLR(n, ids))
+	var w uint64
+	for i, ri := range rules {
 		r := &e.g.Rules[ri]
 		c := grammar.Inf
 		applicable := true
@@ -537,9 +583,14 @@ func (e *Engine) evalDyn(n *ir.Node, ids []int32, sc *dynScratch, m *metrics.Cou
 			}
 		}
 		sc.dyn = append(sc.dyn, c)
-		var tmp [4]byte
-		binary.LittleEndian.PutUint32(tmp[:], uint32(c))
-		sc.sig = append(sc.sig, tmp[:]...)
+		if i%2 == 0 {
+			w = uint64(uint32(c))
+		} else {
+			sc.key = append(sc.key, w|uint64(uint32(c))<<32)
+		}
+	}
+	if len(rules)%2 == 1 {
+		sc.key = append(sc.key, w)
 	}
 }
 
@@ -576,10 +627,9 @@ func (e *Engine) MemoryBytes() int {
 		if t := e.bin[op].Load(); t != nil {
 			b += 4*len(t.cells) + 16
 		}
-		e.hash[op].Range(func(k, _ any) bool {
-			b += 16 + len(k.(transKey).sig) + 4
-			return true
-		})
+		if t := e.dyn[op].Load(); t != nil {
+			b += t.memoryBytes()
+		}
 	}
 	b += 4 * len(e.leaf)
 	return b

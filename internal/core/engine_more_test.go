@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"testing"
 
 	"repro/internal/automaton"
@@ -31,17 +30,11 @@ func TestFixedGrammarNoDynWork(t *testing.T) {
 	if m.DynEvals != 0 {
 		t.Errorf("dyn evals = %d on a fixed grammar", m.DynEvals)
 	}
-	for op := range e.hash {
-		if syncMapLen(&e.hash[op]) != 0 {
+	for op := range e.dyn {
+		if tab := e.dyn[op].Load(); tab != nil && tab.entries() != 0 {
 			t.Errorf("hash path used for op %s on a fixed grammar", g.OpName(grammar.OpID(op)))
 		}
 	}
-}
-
-func syncMapLen(m *sync.Map) int {
-	n := 0
-	m.Range(func(_, _ any) bool { n++; return true })
-	return n
 }
 
 // TestForceHashUsesNoDenseTables is the inverse: with ForceHash, dense

@@ -193,7 +193,7 @@ func TestSaveDuringLabeling(t *testing.T) {
 }
 
 // TestParallelForceHash drives the all-hash ablation layout from many
-// goroutines: the sync.Map path must be as safe as the dense one.
+// goroutines: the open-addressing path must be as safe as the dense one.
 func TestParallelForceHash(t *testing.T) {
 	d := md.MustLoad("demo")
 	e, err := New(d.Grammar, d.Env, Config{ForceHash: true})

@@ -92,28 +92,43 @@ func (e *Engine) Save(w io.Writer) error {
 	writeTriples(un)
 	writeTriples(bin)
 
-	// Hash transitions (dynamic operators and ForceHash). Collect first so
-	// the count precedes the entries even when written from a snapshot.
-	type hashEntry struct {
-		op  int
-		key transKey
-		id  int32
+	// Hash transitions (dynamic operators and ForceHash), unpacked from the
+	// open-addressing tables back into the (op, l, r, sig, id) wire entries
+	// the format has always used — the signature byte image equals the
+	// little-endian key words truncated to 4 bytes per dynamic rule, so
+	// blobs saved before the open tables load unchanged. Count first.
+	nHash := 0
+	for op := range e.dyn {
+		if t := e.dyn[op].Load(); t != nil {
+			nHash += t.used
+		}
 	}
-	var entries []hashEntry
-	for op := range e.hash {
-		e.hash[op].Range(func(k, v any) bool {
-			entries = append(entries, hashEntry{op, k.(transKey), v.(int32)})
-			return true
-		})
-	}
-	put(uint64(len(entries)))
-	for _, en := range entries {
-		put(uint64(en.op))
-		put(uint64(uint32(en.key.l)))
-		put(uint64(uint32(en.key.r)))
-		put(uint64(len(en.key.sig)))
-		bw.WriteString(en.key.sig)
-		put(uint64(en.id))
+	put(uint64(nHash))
+	for op := range e.dyn {
+		t := e.dyn[op].Load()
+		if t == nil {
+			continue
+		}
+		sigLen := 4 * len(e.g.DynRules(grammar.OpID(op)))
+		kw := t.kw
+		for slot := 0; slot <= int(t.mask); slot++ {
+			id := t.ids[slot]
+			if id < 0 {
+				continue
+			}
+			key := t.keys[slot*kw : slot*kw+kw]
+			put(uint64(op))
+			put(uint64(uint32(key[0] >> 32))) // l
+			put(uint64(uint32(key[0])))       // r
+			put(uint64(sigLen))
+			for j := 0; j < sigLen/4; j++ {
+				c := uint32(key[1+j/2] >> (32 * uint(j%2)))
+				var tmp [4]byte
+				binary.LittleEndian.PutUint32(tmp[:], c)
+				bw.Write(tmp[:])
+			}
+			put(uint64(id))
+		}
 	}
 	return bw.Flush()
 }
@@ -307,11 +322,24 @@ func (e *Engine) Load(r io.Reader) error {
 		if op >= uint64(e.g.NumOps()) {
 			return fmt.Errorf("core: hash transition references operator %d", op)
 		}
+		if int(sigLen) != 4*len(e.g.DynRules(grammar.OpID(op))) {
+			return fmt.Errorf("core: hash transition of operator %d carries a %d-byte signature, want %d",
+				op, sigLen, 4*len(e.g.DynRules(grammar.OpID(op))))
+		}
 		s, err := state(sid)
 		if err != nil {
 			return err
 		}
-		e.hash[op].Store(transKey{l: int32(uint32(lv)), r: int32(uint32(rv)), sig: string(sig)}, s.ID)
+		// Repack the wire entry into the open-addressing key layout:
+		// word 0 is l<<32|r, signature bytes fill the remaining words
+		// little-endian (zero-padded in the last word).
+		key := make([]uint64, e.keyWords(grammar.OpID(op)))
+		key[0] = uint64(uint32(lv))<<32 | uint64(uint32(rv))
+		for j := 0; j < int(sigLen)/4; j++ {
+			c := binary.LittleEndian.Uint32(sig[4*j:])
+			key[1+j/2] |= uint64(c) << (32 * uint(j%2))
+		}
+		e.insertDynLocked(grammar.OpID(op), key, hashKey(key), s.ID)
 		e.transitions.Add(1)
 	}
 	return nil

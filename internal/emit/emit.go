@@ -21,50 +21,125 @@
 // output, and the experiments need "emitted target instructions" as their
 // denominator and "identical code out of every engine" as a correctness
 // check.
+//
+// # Allocation discipline
+//
+// A warm Emitter (one that has been Reset after emitting forests at least
+// as large) allocates nothing per node: operand and rule bookkeeping live
+// in flat slices indexed by (node, nonterminal), operand text is built in
+// a per-emitter byte arena whose views are handed around as unsafe
+// zero-copy strings valid until the next Reset, virtual-register names
+// come from a grown-once table, and the assembly accumulates in a reused
+// byte buffer. The only storage that leaves the emitter is the Asm()
+// string, which is interned through the shared Interner (or plain-copied
+// without one) — never a view of recycled memory, so returned assembly
+// stays valid forever.
 package emit
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
+	"unsafe"
 
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/reduce"
 )
 
-// Emitter accumulates assembly for one forest. Use one Emitter per Cover.
+// Emitter accumulates assembly for one forest. Use one Emitter per Cover;
+// Reset recycles it for the next. Emitters are not safe for concurrent
+// use — pool them (see Selector in the root package).
 type Emitter struct {
-	g *grammar.Grammar
-	b strings.Builder
-	// operands[key(node, nt)] is the operand text the (node, nonterminal)
-	// result can be referenced by.
-	operands map[int64]string
-	// applied[key(node, nt)] is the rule reduced at (node, nt); dotted
-	// template paths walk through it.
-	applied map[int64]*grammar.Rule
+	g     *grammar.Grammar
+	numNT int
+
+	// operands[n.Index*numNT+nt] is the operand text the (node,
+	// nonterminal) result can be referenced by; applied[...] the rule
+	// reduced there (nil = not visited, the presence marker). Flat slices,
+	// grown to the largest forest seen and cleared by Reset.
+	operands []string
+	applied  []*grammar.Rule
+
+	// arena backs within-call operand text (expanded value templates, leaf
+	// payload renderings) as zero-copy views; tmp is the template-expansion
+	// scratch, separate from arena so nested operand rendering cannot
+	// interleave bytes into an expansion in progress. Both are reused
+	// across Reset.
+	arena []byte
+	tmp   []byte
+
+	// asm is the accumulated assembly text; regs the grown-once virtual
+	// register name table ("r0", "r1", ...).
+	asm  []byte
+	regs []string
+
+	// intern, when set, canonicalizes Asm() results (see Interner); visit
+	// is the cached Visit method value, so callers passing the visitor
+	// per call do not allocate a closure each time.
+	intern *Interner
+	visit  reduce.Visitor
+
 	nextReg int
 	instrs  int
 }
 
 // New creates an emitter for g.
 func New(g *grammar.Grammar) *Emitter {
-	return &Emitter{g: g, operands: map[int64]string{}, applied: map[int64]*grammar.Rule{}}
+	e := &Emitter{g: g, numNT: g.NumNonterms()}
+	e.visit = e.Visit
+	return e
 }
 
+// SetInterner shares in as the canonical store for Asm() results; all
+// emitters pooled by one selector share one interner. A nil interner
+// reverts to plain per-call copies.
+func (e *Emitter) SetInterner(in *Interner) { e.intern = in }
+
+// Visitor returns the emitter's reduce.Visitor without allocating: the
+// method value is created once at construction.
+func (e *Emitter) Visitor() reduce.Visitor { return e.visit }
+
 // Reset clears all per-forest state so the emitter can be reused for the
-// next Cover, keeping its maps' capacity. Previously returned Asm strings
-// stay valid: the builder's storage is never rewritten after Reset.
+// next Cover, keeping every buffer's capacity. Previously returned Asm
+// strings stay valid: they were interned or copied out, never views of
+// the recycled buffers.
 func (e *Emitter) Reset() {
-	e.b.Reset()
+	e.asm = e.asm[:0]
+	e.arena = e.arena[:0]
 	clear(e.operands)
 	clear(e.applied)
 	e.nextReg = 0
 	e.instrs = 0
 }
 
+// key returns the flat (node, nonterminal) slot index. Callers rely on
+// ensure having sized the slices: Visit grows them for its node up front,
+// which covers every slot the visit can touch — kid indexes are strictly
+// smaller in the forest's topological child-before-parent order.
+func (e *Emitter) key(n *ir.Node, nt grammar.NT) int {
+	return n.Index*e.numNT + int(nt)
+}
+
+// ensure grows the bookkeeping slices to cover node index idx. Growth only
+// happens when a larger forest than ever before arrives; a warm emitter
+// never reallocates here.
+func (e *Emitter) ensure(idx int) {
+	need := (idx + 1) * e.numNT
+	if need <= len(e.operands) {
+		return
+	}
+	grown := make([]string, need+4*e.numNT)
+	copy(grown, e.operands)
+	e.operands = grown
+	grownR := make([]*grammar.Rule, len(grown))
+	copy(grownR, e.applied)
+	e.applied = grownR
+}
+
 // Visit is the reduce.Visitor that drives emission.
 func (e *Emitter) Visit(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
-	key := opKey(n, nt)
+	e.ensure(n.Index)
+	key := e.key(n, nt)
 	e.applied[key] = r
 	switch {
 	case r.Template == "":
@@ -76,29 +151,30 @@ func (e *Emitter) Visit(n *ir.Node, nt grammar.NT, r *grammar.Rule) {
 		} else if len(n.Kids) > 0 {
 			e.operands[key] = e.operandOf(n.Kids[0], r.Kids[0])
 		} else {
-			e.operands[key] = leafText(n)
+			e.operands[key] = e.leafText(n)
 		}
 	case strings.HasPrefix(r.Template, "="):
-		e.operands[key] = e.expand(r.Template[1:], n, r, "")
+		e.expandTmp(r.Template[1:], n, r, "")
+		e.operands[key] = e.internArena(e.tmp)
 	default:
-		dst := fmt.Sprintf("r%d", e.nextReg)
+		dst := e.regName(e.nextReg)
 		e.nextReg++
-		line := e.expand(r.Template, n, r, dst)
-		e.b.WriteByte('\t')
-		e.b.WriteString(line)
-		e.b.WriteByte('\n')
+		e.expandTmp(r.Template, n, r, dst)
+		e.asm = append(e.asm, '\t')
+		e.asm = append(e.asm, e.tmp...)
+		e.asm = append(e.asm, '\n')
 		e.instrs++
 		e.operands[key] = dst
 	}
 }
 
-// expand substitutes template escapes.
-func (e *Emitter) expand(tmpl string, n *ir.Node, r *grammar.Rule, dst string) string {
-	var out strings.Builder
+// expandTmp substitutes template escapes into e.tmp.
+func (e *Emitter) expandTmp(tmpl string, n *ir.Node, r *grammar.Rule, dst string) {
+	e.tmp = e.tmp[:0]
 	for i := 0; i < len(tmpl); i++ {
 		c := tmpl[i]
 		if c != '%' || i+1 >= len(tmpl) {
-			out.WriteByte(c)
+			e.tmp = append(e.tmp, c)
 			continue
 		}
 		i++
@@ -106,31 +182,51 @@ func (e *Emitter) expand(tmpl string, n *ir.Node, r *grammar.Rule, dst string) s
 		case '0', '1':
 			ki := int(tmpl[i] - '0')
 			// Collect a dotted path: %1.1 descends through helper rules.
-			var path []int
-			path = append(path, ki)
+			var pbuf [4]int
+			path := append(pbuf[:0], ki)
 			for i+2 < len(tmpl) && tmpl[i+1] == '.' && tmpl[i+2] >= '0' && tmpl[i+2] <= '9' {
 				path = append(path, int(tmpl[i+2]-'0'))
 				i += 2
 			}
 			if r.IsChain {
-				out.WriteString(e.operandOf(n, r.ChainRHS))
+				e.tmp = append(e.tmp, e.operandOf(n, r.ChainRHS)...)
 			} else {
-				out.WriteString(e.pathOperand(n, r, path))
+				e.tmp = append(e.tmp, e.pathOperand(n, r, path)...)
 			}
 		case 'c':
-			fmt.Fprintf(&out, "%d", n.Val)
+			e.tmp = strconv.AppendInt(e.tmp, n.Val, 10)
 		case 's':
-			out.WriteString(n.Sym)
+			e.tmp = append(e.tmp, n.Sym...)
 		case 'd':
-			out.WriteString(dst)
+			e.tmp = append(e.tmp, dst...)
 		case '%':
-			out.WriteByte('%')
+			e.tmp = append(e.tmp, '%')
 		default:
-			out.WriteByte('%')
-			out.WriteByte(tmpl[i])
+			e.tmp = append(e.tmp, '%', tmpl[i])
 		}
 	}
-	return out.String()
+}
+
+// internArena copies b into the arena and returns a zero-copy view, valid
+// until the next Reset — the lifetime of every operand string.
+func (e *Emitter) internArena(b []byte) string {
+	start := len(e.arena)
+	e.arena = append(e.arena, b...)
+	v := e.arena[start:]
+	if len(v) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(v), len(v))
+}
+
+// regName returns the interned name of virtual register i. Names are
+// plain heap strings retained across Reset, so a warm emitter never
+// re-renders them.
+func (e *Emitter) regName(i int) string {
+	for len(e.regs) <= i {
+		e.regs = append(e.regs, "r"+strconv.Itoa(len(e.regs)))
+	}
+	return e.regs[i]
 }
 
 // pathOperand resolves a dotted kid path starting at base rule r of node n:
@@ -145,10 +241,10 @@ func (e *Emitter) pathOperand(n *ir.Node, r *grammar.Rule, path []int) string {
 		n = n.Kids[ki]
 		// Follow chain rules applied at the kid down to a base rule so a
 		// further path step has kids to descend into.
-		kr := e.applied[opKey(n, nt)]
+		kr := e.applied[e.key(n, nt)]
 		for kr != nil && kr.IsChain {
 			nt = kr.ChainRHS
-			kr = e.applied[opKey(n, nt)]
+			kr = e.applied[e.key(n, nt)]
 		}
 		if step == len(path)-1 {
 			return e.operandOf(n, nt)
@@ -159,26 +255,38 @@ func (e *Emitter) pathOperand(n *ir.Node, r *grammar.Rule, path []int) string {
 }
 
 func (e *Emitter) operandOf(n *ir.Node, nt grammar.NT) string {
-	if s, ok := e.operands[opKey(n, nt)]; ok {
-		return s
+	key := e.key(n, nt)
+	if e.applied[key] != nil {
+		return e.operands[key]
 	}
 	// A kid whose reduction carried no template at all: render the leaf.
-	return leafText(n)
+	return e.leafText(n)
 }
 
-func leafText(n *ir.Node) string {
+// leafText renders a leaf payload: the symbol if present, else the value
+// as an arena-backed decimal.
+func (e *Emitter) leafText(n *ir.Node) string {
 	if n.Sym != "" {
 		return n.Sym
 	}
-	return fmt.Sprintf("%d", n.Val)
+	start := len(e.arena)
+	e.arena = strconv.AppendInt(e.arena, n.Val, 10)
+	v := e.arena[start:]
+	return unsafe.String(unsafe.SliceData(v), len(v))
 }
 
-func opKey(n *ir.Node, nt grammar.NT) int64 {
-	return int64(n.Index)<<16 | int64(nt)
+// Asm returns the emitted assembly text: interned through the shared
+// Interner when one is set, otherwise a fresh copy. Either way the result
+// owns its bytes — it survives Reset and further emission.
+func (e *Emitter) Asm() string {
+	if len(e.asm) == 0 {
+		return ""
+	}
+	if e.intern != nil {
+		return e.intern.Intern(e.asm)
+	}
+	return string(e.asm)
 }
-
-// Asm returns the emitted assembly text.
-func (e *Emitter) Asm() string { return e.b.String() }
 
 // Instructions returns the number of emitted instruction lines — the
 // "emitted target instructions" denominator of the per-instruction

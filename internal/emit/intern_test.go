@@ -1,0 +1,43 @@
+package emit
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestInternerDedupes(t *testing.T) {
+	in := NewInterner(0)
+	a := in.Intern([]byte("mov r0, r1"))
+	b := in.Intern([]byte("mov r0, r1"))
+	if a != b {
+		t.Fatal("equal text interned to different strings")
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", in.Len())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if in.Intern([]byte("mov r0, r1")) != a {
+			t.Fatal("hit returned different string")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Intern hit allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestInternerCapFallsBackToCopies(t *testing.T) {
+	in := NewInterner(64)
+	for i := 0; i < 100; i++ {
+		s := in.Intern([]byte("line " + strconv.Itoa(i)))
+		if s != "line "+strconv.Itoa(i) {
+			t.Fatalf("wrong text for %d: %q", i, s)
+		}
+	}
+	if in.Bytes() > 64 {
+		t.Errorf("retained %d bytes past the 64-byte cap", in.Bytes())
+	}
+	// Capped interner still answers correctly for retained entries.
+	if got := in.Intern([]byte("line 0")); got != "line 0" {
+		t.Fatalf("retained entry answered %q", got)
+	}
+}

@@ -56,11 +56,17 @@ type Stats struct {
 	States            int
 	Representers      int
 	TransitionEntries int
-	// TableBytes is the in-memory footprint of the loaded automaton;
-	// BlobBytes the size of the serialized `.isel` form.
-	TableBytes int
-	BlobBytes  int
-	GenTime    time.Duration
+	// TableBytes is the in-memory footprint of the compact (compressed)
+	// automaton; BlobBytes the size of the serialized `.isel` form.
+	// ExpandedTableBytes is the footprint a serving process actually pays:
+	// the preloaded offline engine expands the compressed tables into
+	// direct state-indexed arrays at load time (automaton.Static.Expand),
+	// and those arrays — 4·states² per binary operator — dominate the
+	// served memory, so accounting only TableBytes understates it.
+	TableBytes         int
+	ExpandedTableBytes int
+	BlobBytes          int
+	GenTime            time.Duration
 }
 
 // Result is a completed ahead-of-time compilation.
@@ -111,17 +117,18 @@ func Compile(g *grammar.Grammar, cfg Config) (*Result, error) {
 		Tables:  ts,
 		Blob:    blob,
 		Stats: Stats{
-			Grammar:           g.Name,
-			Fingerprint:       Fingerprint(g),
-			Ops:               st.Operators,
-			Nonterms:          st.Nonterminals,
-			Rules:             st.NormalizedRules,
-			States:            a.NumStates(),
-			Representers:      a.Gen.Representers,
-			TransitionEntries: a.NumTransitions(),
-			TableBytes:        a.MemoryBytes(),
-			BlobBytes:         len(blob),
-			GenTime:           elapsed,
+			Grammar:            g.Name,
+			Fingerprint:        Fingerprint(g),
+			Ops:                st.Operators,
+			Nonterms:           st.Nonterminals,
+			Rules:              st.NormalizedRules,
+			States:             a.NumStates(),
+			Representers:       a.Gen.Representers,
+			TransitionEntries:  a.NumTransitions(),
+			TableBytes:         a.MemoryBytes(),
+			ExpandedTableBytes: a.MemoryBytes() + a.ExpandBytes(),
+			BlobBytes:          len(blob),
+			GenTime:            elapsed,
 		},
 	}
 	return res, nil

@@ -68,6 +68,47 @@ func TestRoundTrip(t *testing.T) {
 
 // TestEncodeDeterministic: the same grammar must serialize to the same
 // bytes every time — the property the committed golden files rely on.
+// TestExpandedTableBytesAccounting: the generation-time stat must predict
+// exactly what a serving process pays — a loaded blob, expanded into
+// direct tables the way preloaded serving does, must report precisely
+// Stats.ExpandedTableBytes, and the expansion increment must match
+// ExpandBytes. This closes the accounting gap where offline table memory
+// was reported pre-expansion only.
+func TestExpandedTableBytesAccounting(t *testing.T) {
+	for _, name := range md.Names() {
+		g := fixedGrammar(t, name)
+		res, err := Compile(g, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		// Generate-time automaton stays compact: its footprint is the
+		// TableBytes stat, and the expansion increment is its ExpandBytes.
+		if got := res.Auto.MemoryBytes(); got != res.Stats.TableBytes {
+			t.Errorf("%s: compact footprint %d != Stats.TableBytes %d", g.Name, got, res.Stats.TableBytes)
+		}
+		predicted := res.Auto.ExpandBytes()
+		if res.Stats.ExpandedTableBytes != res.Stats.TableBytes+predicted {
+			t.Errorf("%s: Stats.ExpandedTableBytes %d != TableBytes %d + ExpandBytes %d",
+				g.Name, res.Stats.ExpandedTableBytes, res.Stats.TableBytes, predicted)
+		}
+		// A loaded blob is the serving form — NewStaticFromTables expands
+		// at load time — so its real footprint must be exactly what the
+		// stat predicted at generation time.
+		loaded, err := Load(g, bytes.NewReader(res.Blob))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if got := loaded.MemoryBytes(); got != res.Stats.ExpandedTableBytes {
+			t.Errorf("%s: loaded serving footprint %d != Stats.ExpandedTableBytes %d",
+				g.Name, got, res.Stats.ExpandedTableBytes)
+		}
+		if predicted > 0 && res.Stats.ExpandedTableBytes <= res.Stats.TableBytes {
+			t.Errorf("%s: ExpandedTableBytes %d not above compact %d despite expandable tables",
+				g.Name, res.Stats.ExpandedTableBytes, res.Stats.TableBytes)
+		}
+	}
+}
+
 func TestEncodeDeterministic(t *testing.T) {
 	g := fixedGrammar(t, "x86")
 	var blobs [][]byte

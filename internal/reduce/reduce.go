@@ -81,6 +81,23 @@ type MeteredLabeler interface {
 	LabelMetered(f *ir.Forest, m *metrics.Counters) Labeling
 }
 
+// ParallelLabeler is the optional engine capability behind level-parallel
+// labeling inside one compilation unit: LabelParallel partitions f's nodes
+// into topological levels (see Levels) and labels each level's nodes
+// across up to workers goroutines against the engine's shared tables,
+// with a barrier between levels so every node's children are labeled
+// before it. workers <= 1 must behave exactly like LabelMetered(f, m).
+//
+// The labeling produced must be indistinguishable from the sequential
+// one — engines implement this only when their per-node labeling is
+// already safe for concurrent callers (all built-in automaton engines
+// are; dp's whole-forest recurrence is inherently sequential and does not
+// implement it). Small levels should fall back to the sequential loop:
+// fan-out only pays above a few hundred independent nodes.
+type ParallelLabeler interface {
+	LabelParallel(f *ir.Forest, workers int, m *metrics.Counters) Labeling
+}
+
 // LabelingRecycler is the optional engine capability behind the
 // allocation-free warm path: engines that implement it hand labelings out
 // of an internal pool, and ReleaseLabeling returns one so the next Label

@@ -143,6 +143,90 @@ type errMismatch int
 
 func (e errMismatch) Error() string { return "concurrent Compile output mismatch" }
 
+// TestCompileWithWorkersLevelParallel: Compile(f, WithWorkers(n)) labels
+// the forest level-parallel on engines that support it, and must produce
+// byte-identical outputs to the sequential compile — across the automaton
+// kinds (which implement reduce.ParallelLabeler) and DP (which silently
+// falls back to the sequential path).
+func TestCompileWithWorkersLevelParallel(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.FixedMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One wide forest: many trees in one unit, so leaf-side levels carry
+	// hundreds of independent nodes.
+	unit, err := fixed.CompileMinC(parallelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, kind := range []repro.Kind{repro.KindDP, repro.KindStatic, repro.KindOnDemand, repro.KindOffline} {
+		sel, err := fixed.NewSelector(kind, repro.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, fn := range unit.Funcs {
+			want, err := sel.Compile(ctx, fn.Forest)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, fn.Name, err)
+			}
+			for _, workers := range []int{2, 4, 0} {
+				got, err := sel.Compile(ctx, fn.Forest, repro.WithWorkers(workers))
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", kind, fn.Name, workers, err)
+				}
+				if got.Asm != want.Asm || got.Cost != want.Cost || got.Instructions != want.Instructions {
+					t.Errorf("%s/%s workers=%d: level-parallel output differs from sequential", kind, fn.Name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileUnitSurplusWorkersFlowInward: a unit with fewer functions
+// than workers routes the surplus into level-parallel labeling instead of
+// idling it; outputs must stay identical to sequential compilation.
+func TestCompileUnitSurplusWorkersFlowInward(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := m.CompileMinC(`
+int one(int n) {
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i += 1) { s += i * i + n; }
+	return s;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit.Funcs) != 1 {
+		t.Fatalf("want a single-function unit, got %d", len(unit.Funcs))
+	}
+	sel, err := m.NewSelector(repro.KindOnDemand, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := sel.CompileUnit(ctx, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sel.CompileUnit(ctx, unit, repro.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Asm != want[0].Asm || got[0].Cost != want[0].Cost {
+		t.Error("single-function unit with surplus workers differs from sequential")
+	}
+}
+
 // TestKindsRegistry: the built-ins are registered in declaration order
 // (offline, living in its own file, follows them), and every registered
 // kind constructs through the registry on a fixed-cost grammar.
