@@ -172,6 +172,79 @@ func TestWarmLabelReleaseAllocFree(t *testing.T) {
 	assertZeroAllocs(t, "warm LabelStates+Release (dynamic x86, whole corpus)", allocs)
 }
 
+// TestWarmHybridSelectCostAllocFree: the hybrid engine inherits both
+// halves' warm contracts at once — overlay hits are plain loads on
+// immutable arrays, fallthrough hits are the on-demand engine's pooled
+// hash path — so a warm label+reduce on the FULL dynamic x86 grammar must
+// allocate nothing.
+func TestWarmHybridSelectCostAllocFree(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindHybrid, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(m.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	for i := 0; i < 3; i++ { // warm the dynamic fallthrough transitions
+		for _, f := range fs {
+			if _, err := sel.SelectCost(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range fs {
+			sel.SelectCost(f)
+		}
+	})
+	assertZeroAllocs(t, "warm SelectCost (hybrid x86 full grammar, whole corpus)", allocs)
+}
+
+// TestWarmHybridCompileAllocsAreResultOnly: a warm full hybrid Compile —
+// label across the fixed/dynamic boundary, reduce, emit — allocates
+// exactly one *Output per forest, matching the on-demand engine's
+// contract from PR 6.
+func TestWarmHybridCompileAllocsAreResultOnly(t *testing.T) {
+	m, err := repro.LoadMachine("x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.NewSelector(repro.KindHybrid, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*ir.Forest
+	for _, c := range workload.MustCompileAll(m.Grammar) {
+		fs = append(fs, c.Forests()...)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm transitions, emitter pool and interner
+		for _, f := range fs {
+			if _, err := sel.Compile(ctx, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, f := range fs {
+			sel.Compile(ctx, f)
+		}
+	})
+	t.Logf("warm hybrid Compile: %.1f allocs per corpus pass over %d forests", allocs, len(fs))
+	if raceEnabled {
+		return
+	}
+	if allocs != float64(len(fs)) {
+		t.Errorf("warm hybrid Compile allocates %.1f per corpus pass, want exactly %d (one *Output per call)",
+			allocs, len(fs))
+	}
+}
+
 // TestWarmCompileAllocsAreResultOnly: a full warm Compile allocates
 // exactly its *Output result and nothing else — zero allocations per
 // node. The emit layer's operand text lives in per-emitter arenas, the

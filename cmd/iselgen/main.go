@@ -8,6 +8,7 @@
 // Usage:
 //
 //	iselgen -machine x86 -fixed -out x86.isel
+//	iselgen -machine x86 -hybrid -out x86.hybrid.isel
 //	iselgen -machine demo -fixed -go -pkg precompiled -out demo_fixed_gen.go
 //	iselgen -grammar mydesc.gr -out mydesc.isel
 //	iselgen -machine jit64 -fixed -stats
@@ -16,7 +17,11 @@
 // Grammars with dynamic-cost rules cannot be tabulated offline (the
 // limitation the paper's on-demand engine lifts): pass -fixed to strip
 // them and compile the fixed-cost subset, exactly what a burg user would
-// feed the offline generator.
+// feed the offline generator. Or pass -hybrid to compile the
+// fixed-operator-subset closure of the FULL grammar (rule numbering and
+// fingerprint preserved) for the `hybrid` engine kind, which serves the
+// fixed operators from those tables and falls through to the on-demand
+// path for the dynamic ones.
 //
 // -stats prints the closure report: states, representer classes,
 // transition entries, table and blob bytes, and generation time. When the
@@ -48,6 +53,7 @@ func main() {
 	machine := flag.String("machine", "", "built-in machine description to compile (x86, mips, sparc, alpha, jit64, demo)")
 	grammarFile := flag.String("grammar", "", "burg-style grammar source file to compile (alternative to -machine)")
 	fixed := flag.Bool("fixed", false, "strip dynamic-cost rules first (required for grammars that have any)")
+	hybrid := flag.Bool("hybrid", false, "compile the fixed-operator subset of the full grammar for the hybrid engine (mutually exclusive with -fixed)")
 	out := flag.String("out", "", "output path (.isel blob, or Go source with -go)")
 	goSrc := flag.Bool("go", false, "emit generated Go source embedding the blob instead of the raw blob")
 	pkg := flag.String("pkg", "precompiled", "package name for -go output")
@@ -58,7 +64,7 @@ func main() {
 	deltaCap := flag.Int("delta-cap", 0, "relative-cost cap in states (0 = default)")
 	flag.Parse()
 
-	if err := run(*machine, *grammarFile, *out, *pkg, *varName, *fixed, *goSrc, *stats, *check, *maxStates, *deltaCap); err != nil {
+	if err := run(*machine, *grammarFile, *out, *pkg, *varName, *fixed, *hybrid, *goSrc, *stats, *check, *maxStates, *deltaCap); err != nil {
 		fmt.Fprintln(os.Stderr, "iselgen:", err)
 		var trunc *automaton.TruncatedError
 		if errors.As(err, &trunc) {
@@ -78,15 +84,24 @@ func main() {
 
 var errStale = errors.New("stale")
 
-func run(machine, grammarFile, out, pkg, varName string, fixed, goSrc, stats, check bool, maxStates, deltaCap int) error {
+func run(machine, grammarFile, out, pkg, varName string, fixed, hybrid, goSrc, stats, check bool, maxStates, deltaCap int) error {
+	if fixed && hybrid {
+		return fmt.Errorf("set at most one of -fixed/-hybrid: -fixed strips dynamic rules (new grammar), -hybrid keeps the full grammar and tabulates its fixed-operator subset")
+	}
 	g, err := loadGrammar(machine, grammarFile, fixed)
 	if err != nil {
 		return err
 	}
-	res, err := gen.Compile(g, gen.Config{MaxStates: maxStates, DeltaCap: grammar.Cost(deltaCap)})
+	cfg := gen.Config{MaxStates: maxStates, DeltaCap: grammar.Cost(deltaCap)}
+	var res *gen.Result
+	if hybrid {
+		res, err = gen.CompileHybrid(g, cfg)
+	} else {
+		res, err = gen.Compile(g, cfg)
+	}
 	if err != nil {
-		if g.HasAnyDynRules() {
-			return fmt.Errorf("%w (hint: pass -fixed to compile the fixed-cost subset)", err)
+		if !hybrid && g.HasAnyDynRules() {
+			return fmt.Errorf("%w (hint: pass -fixed to compile the fixed-cost subset, or -hybrid to tabulate the fixed operators of the full grammar)", err)
 		}
 		return err
 	}

@@ -32,14 +32,16 @@
 // saved back on graceful drain, one <machine>.automaton file each.
 //
 // With -preload, each machine whose <machine>.isel blob exists in the
-// given directory (written by cmd/iselgen) is served by the `offline`
-// engine from those ahead-of-time tables: the machine is fully warm
-// before its first request and constructs nothing under traffic — the
-// offline end of the paper's tradeoff. Machines without a blob fall back
-// to -kind. Built-in grammars carry dynamic-cost rules, which offline
-// tables cannot host, so a blob generated with `iselgen -fixed` serves
-// the machine's fixed-cost subset (the blob's grammar fingerprint decides;
-// mismatched tables are rejected at boot).
+// given directory (written by cmd/iselgen) is served from those
+// ahead-of-time tables. The blob's grammar fingerprint decides the
+// engine: a full-grammar blob for a grammar with dynamic-cost rules
+// (written by `iselgen -hybrid`) is served by the `hybrid` engine — fixed
+// operators warm before the first request, dynamic operators on-demand; a
+// full-grammar blob for a fixed-only grammar is served fully `offline`;
+// and a blob matching only the machine's fixed-cost subset (written by
+// `iselgen -fixed`) serves that stripped subset offline, as before.
+// Machines without a blob fall back to -kind; mismatched tables are
+// rejected at boot.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight compilations drain, the
 // automata persist (when -automaton-dir is set), and the final
@@ -82,44 +84,53 @@ func main() {
 	}
 }
 
-// addPreloaded registers name to be served offline from the iselgen blob
-// at path, if it exists. The blob's grammar fingerprint must match the
-// machine's grammar — or its fixed-cost subset, the only form a grammar
-// with dynamic rules can be tabulated in; in that case the fixed machine
-// is served under the requested name.
-func addPreloaded(reg *repro.Registry, name, path string) (bool, error) {
+// addPreloaded registers name to be served from the iselgen blob at path,
+// if it exists, and reports the engine kind it chose ("" when no blob).
+// A blob carrying the machine's full-grammar fingerprint serves the whole
+// grammar: hybrid when the grammar has dynamic-cost rules (the blob is
+// its fixed-operator subset; dynamic operators fall through on-demand),
+// offline when it has none. A blob carrying only the fixed-subset
+// fingerprint serves the stripped machine offline under the requested
+// name, as earlier PRs' -fixed blobs did.
+func addPreloaded(reg *repro.Registry, name, path string) (detail string, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return false, nil
+		return "", nil
 	}
 	if err != nil {
-		return false, err
+		return "", err
 	}
 	hdr, err := gen.ReadHeader(f)
 	f.Close()
 	if err != nil {
-		return false, fmt.Errorf("%s: %w", path, err)
+		return "", fmt.Errorf("%s: %w", path, err)
 	}
 	m, err := repro.LoadMachine(name)
 	if err != nil {
-		return false, err
+		return "", err
 	}
+	kind := repro.KindOffline
+	detail = "offline engine: full grammar, fully warm"
 	if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
 		fixed, err := m.FixedMachine()
 		if err != nil {
-			return false, err
+			return "", err
 		}
 		if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
-			return false, fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
+			return "", fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
 				path, hdr.Grammar, name)
 		}
 		m = fixed
+		detail = "offline engine: fixed-cost subset, fully warm"
+	} else if m.Grammar.HasAnyDynRules() {
+		kind = repro.KindHybrid
+		detail = "hybrid engine: fixed operators warm, dynamic on-demand"
 	}
 	m.Name = name // serve under the requested name
-	if err := reg.AddMachine(m, repro.KindOffline, repro.Options{PreloadPath: path}); err != nil {
-		return false, err
+	if err := reg.AddMachine(m, kind, repro.Options{PreloadPath: path}); err != nil {
+		return "", err
 	}
-	return true, nil
+	return detail, nil
 }
 
 func run(machines, kind, addr, autoDir, preload string, workers, queue, maxStates, maxMachines int, timeout time.Duration) error {
@@ -137,13 +148,13 @@ func run(machines, kind, addr, autoDir, preload string, workers, queue, maxState
 			continue
 		}
 		if preload != "" {
-			added, err := addPreloaded(reg, name, filepath.Join(preload, name+".isel"))
+			detail, err := addPreloaded(reg, name, filepath.Join(preload, name+".isel"))
 			if err != nil {
 				return err
 			}
-			if added {
-				fmt.Printf("iselserver: %s preloaded from %s (offline tables; grammar fixed subset if the machine has dynamic rules)\n",
-					name, filepath.Join(preload, name+".isel"))
+			if detail != "" {
+				fmt.Printf("iselserver: %s preloaded from %s (%s)\n",
+					name, filepath.Join(preload, name+".isel"), detail)
 				names = append(names, name)
 				continue
 			}

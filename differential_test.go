@@ -186,6 +186,15 @@ func TestDifferentialEngines(t *testing.T) {
 			if len(full.kinds) < 2 {
 				t.Fatalf("only %v construct on the full grammar", full.kinds)
 			}
+			// The hybrid engine must actually be in the full arena — for
+			// every built-in machine, including every dynamic-rule grammar.
+			// Without this assertion a constructor regression would silently
+			// drop it from the comparison (the loop tolerates ctor errors
+			// because offline legitimately rejects dynamic grammars).
+			if _, ok := full.sels[repro.KindHybrid]; !ok {
+				t.Fatalf("hybrid kind missing from the full arena (dynamic rules: %v): %v",
+					m.Grammar.HasAnyDynRules(), full.kinds)
+			}
 
 			// Fixed-grammar arena: every registered kind, no exceptions —
 			// in particular the offline engine's ahead-of-time tables must

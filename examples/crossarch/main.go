@@ -1,12 +1,13 @@
 // Cross-architecture matrix: one workload, five machine descriptions,
-// three engines.
+// five engines.
 //
 // The same MinC program is compiled for x86, mips, sparc, alpha and jit64
 // with every engine that the grammar admits. The table shows that (a) the
-// engines always agree on cost and instruction count, (b) the offline
-// automaton only participates after dynamic rules are stripped and then
-// selects worse code, and (c) per-node labeling work separates the engines
-// exactly as the paper describes.
+// engines always agree on cost and instruction count, (b) the purely
+// offline automata only participate after dynamic rules are stripped and
+// then select worse code — while the hybrid engine keeps the dynamic
+// rules and the dp-identical cost — and (c) per-node labeling work
+// separates the engines exactly as the paper describes.
 //
 // Run with: go run ./examples/crossarch
 package main

@@ -195,7 +195,7 @@ func Generate(g *grammar.Grammar, cfg StaticConfig) (*Static, error) {
 	if cfg.MaxStates == 0 {
 		cfg.MaxStates = 1 << 20
 	}
-	gen := newGenerator(g, cfg)
+	gen := newGenerator(g, cfg, false)
 	if err := gen.run(); err != nil {
 		return nil, err
 	}
@@ -237,21 +237,27 @@ type generator struct {
 	trans []map[uint64]int32
 	queue []workItem
 	nTr   int
+	// fixedOnly restricts the closure to the fixed operators (operators
+	// without dynamic rules): the hybrid engine's offline half. Dynamic
+	// operators are seeded, projected and transitioned nowhere — their
+	// states are constructed on demand at serve time.
+	fixedOnly bool
 }
 
-func newGenerator(g *grammar.Grammar, cfg StaticConfig) *generator {
+func newGenerator(g *grammar.Grammar, cfg StaticConfig, fixedOnly bool) *generator {
 	gen := &generator{
-		g:     g,
-		cfg:   cfg,
-		table: NewTable(g),
-		leaf:  make([]int32, g.NumOps()),
-		reps:  make([][2]*repSpace, g.NumOps()),
-		trans: make([]map[uint64]int32, g.NumOps()),
+		g:         g,
+		cfg:       cfg,
+		table:     NewTable(g),
+		leaf:      make([]int32, g.NumOps()),
+		reps:      make([][2]*repSpace, g.NumOps()),
+		trans:     make([]map[uint64]int32, g.NumOps()),
+		fixedOnly: fixedOnly,
 	}
 	for op := 0; op < g.NumOps(); op++ {
 		gen.leaf[op] = -1
 		arity := g.Ops[op].Arity
-		if arity == 0 {
+		if arity == 0 || gen.skip(grammar.OpID(op)) {
 			continue
 		}
 		gen.trans[op] = map[uint64]int32{}
@@ -260,6 +266,14 @@ func newGenerator(g *grammar.Grammar, cfg StaticConfig) *generator {
 		}
 	}
 	return gen
+}
+
+// skip reports whether the closure excludes op: in fixed-subset mode,
+// every operator with at least one dynamic-cost base rule goes entirely
+// through the serve-time on-demand path (a dynamic operator's state
+// depends on evaluated costs, so no single offline entry could be right).
+func (gen *generator) skip(op grammar.OpID) bool {
+	return gen.fixedOnly && gen.g.HasDynRules(op)
 }
 
 func newRepSpace(g *grammar.Grammar, op grammar.OpID, pos int) *repSpace {
@@ -322,7 +336,7 @@ func projKey(s *State, relevant []grammar.NT) string {
 func (gen *generator) run() error {
 	// Seed with the leaf-operator states.
 	for op := 0; op < gen.g.NumOps(); op++ {
-		if gen.g.Ops[op].Arity != 0 {
+		if gen.g.Ops[op].Arity != 0 || gen.skip(grammar.OpID(op)) {
 			continue
 		}
 		delta, rule := Compute(gen.g, grammar.OpID(op), nil, nil, gen.cfg.DeltaCap, gen.cfg.Metrics)
@@ -347,6 +361,9 @@ func (gen *generator) run() error {
 func (gen *generator) addState(s *State) {
 	for op := 0; op < gen.g.NumOps(); op++ {
 		arity := gen.g.Ops[op].Arity
+		if arity > 0 && gen.reps[op][0] == nil {
+			continue // excluded from the closure (fixed-subset mode)
+		}
 		for p := 0; p < arity; p++ {
 			rs := gen.reps[op][p]
 			rs.repOf = append(rs.repOf, -1)

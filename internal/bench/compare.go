@@ -87,6 +87,29 @@ func ComparePerf(base, cur *PerfReport, tolPct float64, allocsOnly bool) []strin
 			}
 			check("warm-compile-extra-allocs/pass", b.WarmCompileExtraAllocsPerPass, row.WarmCompileExtraAllocsPerPass)
 		}
+		// Hybrid columns only exist from PR 7 onward (HybridStates > 0
+		// marks them present in the baseline).
+		if b.HybridStates > 0 {
+			if !allocsOnly {
+				check("hybrid-select-ns/node", b.HybridWarmSelectNsPerNode, row.HybridWarmSelectNsPerNode)
+				check("hybrid-fixed-select-ns/node", b.HybridFixedWarmSelectNsPerNode, row.HybridFixedWarmSelectNsPerNode)
+			}
+			check("hybrid-select-allocs/pass", b.HybridWarmSelectAllocsPerPass, row.HybridWarmSelectAllocsPerPass)
+			check("hybrid-fixed-select-allocs/pass", b.HybridFixedWarmSelectAllocsPerPass, row.HybridFixedWarmSelectAllocsPerPass)
+		}
+		// Within-report contract, not a baseline diff: on the fixed-only
+		// grammar the hybrid engine's warm select must stay within 1.2× of
+		// the offline engine's — the fallthrough machinery may not tax the
+		// fixed path. Both figures come from the same run on the same
+		// corpus, so the ratio is meaningful even where cross-run
+		// wall-clock is not; allocsOnly mode still skips it because CI's
+		// shared runners make even same-run ratios jitter.
+		if !allocsOnly && row.HybridStates > 0 && row.OfflineStates > 0 &&
+			row.HybridFixedWarmSelectNsPerNode > 1.2*row.OfflineWarmSelectNsPerNode {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: hybrid fixed-grammar warm select %.2f ns/node exceeds 1.2x offline (%.2f)",
+					row.Grammar, row.HybridFixedWarmSelectNsPerNode, row.OfflineWarmSelectNsPerNode))
+		}
 	}
 	for _, row := range base.Rows {
 		if !seen[row.Grammar] {
@@ -117,8 +140,8 @@ func MarkdownDiff(base, cur *PerfReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### Perf trajectory: %s (base) → %s (current)\n\n",
 		goLabel(base), goLabel(cur))
-	b.WriteString("| grammar | warm label ns/node | warm select ns/node | warm compile ns/node | select allocs/pass | compile extra allocs | table bytes |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| grammar | warm label ns/node | warm select ns/node | warm compile ns/node | hybrid select ns/node | select allocs/pass | compile extra allocs | table bytes |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	baseRows := map[string]PerfRow{}
 	for _, row := range base.Rows {
 		baseRows[row.Grammar] = row
@@ -128,11 +151,12 @@ func MarkdownDiff(base, cur *PerfReport) string {
 		if !ok {
 			br = PerfRow{} // new grammar: every before-cell renders "—"
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s |\n",
 			row.Grammar,
 			cell(br.WarmLabelNsPerNode, row.WarmLabelNsPerNode, true),
 			cell(br.WarmSelectNsPerNode, row.WarmSelectNsPerNode, true),
 			cell(br.WarmCompileNsPerNode, row.WarmCompileNsPerNode, br.CorpusForests > 0),
+			cell(br.HybridWarmSelectNsPerNode, row.HybridWarmSelectNsPerNode, br.HybridStates > 0),
 			cell(br.WarmSelectAllocsPerPass, row.WarmSelectAllocsPerPass, true),
 			cell(br.WarmCompileExtraAllocsPerPass, row.WarmCompileExtraAllocsPerPass, br.CorpusForests > 0),
 			intCell(br.TableBytes, row.TableBytes))

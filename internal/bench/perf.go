@@ -47,13 +47,19 @@ func allocsPerRun(runs int, fn func()) float64 {
 // robust estimator for a trajectory whose committed points are compared
 // across runs — a single averaged window made BENCH_PR*.json hostage to
 // whatever else the machine was doing during its few milliseconds.
-const timedRepeats = 3
+const timedRepeats = 5
 
 // minNsPerNode times passes× fn over repeated windows and returns the
-// best window's ns/node.
+// best window's ns/node. Each window starts from a quiesced collector:
+// warm passes allocate nothing, so a forced collection up front keeps
+// background marking (which steals the only P on a single-core runner)
+// from landing inside the window — without it, whichever metric is
+// measured after a garbage-heavy setup phase absorbs that phase's GC
+// debt and reads tens of percent slow.
 func minNsPerNode(passes, nodes int, fn func()) float64 {
 	best := 0.0
 	for rep := 0; rep < timedRepeats; rep++ {
+		runtime.GC()
 		start := time.Now()
 		for p := 0; p < passes; p++ {
 			fn()
@@ -64,6 +70,50 @@ func minNsPerNode(passes, nodes int, fn func()) float64 {
 		}
 	}
 	return best
+}
+
+// minNsPerNodePaired measures two workloads over alternating windows
+// (A,B,A,B,…) and returns each side's best window ns/node. Metrics
+// measured minutes apart in a long run can land in different noise epochs
+// on a shared single-core host — sustained steal biases whichever phase
+// it overlaps — so a ratio between them says more about the host than the
+// code; alternating windows expose both sides to the same epochs. Each
+// window runs one untimed pass first: the partner's window just evicted
+// this engine's tables, and charging the refill to the window would bias
+// the ratio against whichever engine has the larger working set — a
+// contention that steady-state serving (one engine, one process) never
+// sees. Finer-grained interleaving is wrong for the same reason: pairing
+// at pass granularity makes every pass start cache-cold.
+func minNsPerNodePaired(passes, nodes int, fnA, fnB func()) (bestA, bestB float64) {
+	// Shorter windows, many more of them, than the unpaired metrics: the
+	// gated ratios decide pass/fail on gaps of a few percent, so both
+	// minima must converge to their true floors. A window only reads clean
+	// if no steal burst lands inside it, and a ~1ms window fits the quiet
+	// gaps between bursts far more often than a ~3ms one; taking the min
+	// over 15× as many windows does the rest.
+	wpasses := passes / 3
+	if wpasses < 1 {
+		wpasses = 1
+	}
+	window := func(fn func()) float64 {
+		fn() // restore the working set the partner's window evicted
+		runtime.GC()
+		start := time.Now()
+		for p := 0; p < wpasses; p++ {
+			fn()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(wpasses*nodes)
+	}
+	const pairedRepeats = 15 * timedRepeats
+	for rep := 0; rep < pairedRepeats; rep++ {
+		if a := window(fnA); rep == 0 || a < bestA {
+			bestA = a
+		}
+		if b := window(fnB); rep == 0 || b < bestB {
+			bestB = b
+		}
+	}
+	return bestA, bestB
 }
 
 // PerfRow is one grammar's warm-path measurements over the whole MinC
@@ -117,6 +167,24 @@ type PerfRow struct {
 	// trade of expansion visible in the trajectory. 0 = column predates
 	// the stat.
 	OfflineCompactTableBytes int `json:"offline_compact_table_bytes,omitempty"`
+
+	// The hybrid engine (the fifth kind): fixed-subset offline tables
+	// seeding an on-demand engine, dynamic operators falling through to
+	// the hash path. HybridWarmSelect* run the FULL grammar (dynamic rules
+	// active) over the same corpus as the warm on-demand figures above —
+	// the claim is strictly-faster-than-warm-on-demand on dynamic
+	// grammars. HybridFixedWarmSelect* run the STRIPPED grammar over the
+	// offline corpus: the ≤1.2×-offline contract ComparePerf gates within
+	// each report. HybridStates > 0 marks the columns present (older
+	// baselines lack them).
+	HybridGenMs                        float64 `json:"hybrid_gen_ms,omitempty"`
+	HybridStates                       int     `json:"hybrid_states,omitempty"`
+	HybridTableBytes                   int     `json:"hybrid_table_bytes,omitempty"`
+	HybridBlobBytes                    int     `json:"hybrid_blob_bytes,omitempty"`
+	HybridWarmSelectNsPerNode          float64 `json:"hybrid_warm_select_ns_per_node,omitempty"`
+	HybridWarmSelectAllocsPerPass      float64 `json:"hybrid_warm_select_allocs_per_pass"`
+	HybridFixedWarmSelectNsPerNode     float64 `json:"hybrid_fixed_warm_select_ns_per_node,omitempty"`
+	HybridFixedWarmSelectAllocsPerPass float64 `json:"hybrid_fixed_warm_select_allocs_per_pass"`
 }
 
 // PerfReport is the BENCH_PR<N>.json payload.
@@ -151,7 +219,8 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		Header: []string{"grammar", "nodes", "cold-label-ns", "warm-label-ns", "warm-select-ns",
 			"allocs/pass(label)", "allocs/pass(select)", "allocs/node", "compile-ns", "compile-xallocs",
 			"states", "trans", "table-bytes",
-			"off-select-ns", "off-allocs", "off-states", "off-bytes", "off-gen-ms"},
+			"off-select-ns", "off-allocs", "off-states", "off-bytes", "off-gen-ms",
+			"hyb-select-ns", "hyb-fixed-ns", "hyb-allocs", "hyb-states"},
 	}
 	rep := &PerfReport{
 		Schema:     1,
@@ -214,16 +283,22 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		if err := measureCompile(name, fs, nodes, passes, &row); err != nil {
 			return nil, nil, err
 		}
-		if err := measureOffline(d.Grammar, passes, &row); err != nil {
+		offPass, err := measureOffline(d.Grammar, passes, &row)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := measureHybrid(d.Grammar, d.Env, fs, nodes, passes, selectPass, offPass, &row); err != nil {
 			return nil, nil, err
 		}
 		rep.Rows = append(rep.Rows, row)
-		t.AddRow(name, itoa(nodes), f1(coldNs), f1(warmNs), f1(selNs),
+		t.AddRow(name, itoa(nodes), f1(coldNs), f1(warmNs), f1(row.WarmSelectNsPerNode),
 			f1(labelAllocs), f1(selAllocs), f2(row.WarmAllocsPerNode),
 			f1(row.WarmCompileNsPerNode), f1(row.WarmCompileExtraAllocsPerPass),
 			itoa(row.States), itoa(row.Transitions), itoa(row.TableBytes),
 			f1(row.OfflineWarmSelectNsPerNode), f1(row.OfflineWarmSelectAllocsPerPass),
-			itoa(row.OfflineStates), itoa(row.OfflineTableBytes), f2(row.OfflineGenMs))
+			itoa(row.OfflineStates), itoa(row.OfflineTableBytes), f2(row.OfflineGenMs),
+			f1(row.HybridWarmSelectNsPerNode), f1(row.HybridFixedWarmSelectNsPerNode),
+			f1(row.HybridWarmSelectAllocsPerPass), itoa(row.HybridStates))
 	}
 	rep.Notes = append(rep.Notes,
 		"warm label and select must stay at ~0 allocs/pass: labelings, reducer scratch and dyn buffers are pooled",
@@ -232,6 +307,8 @@ func RunPerf(passes int) (*PerfReport, *Table, error) {
 		"offline columns run the stripped grammar through the .isel encode/decode round trip: the one-time gen cost buys lookup-only selection with zero construction under traffic",
 		"compile-ns/compile-xallocs cover the full warm Compile (label+reduce+emit) through the public Selector: the contract is one *Output per forest and zero allocations per node, so compile-xallocs must stay 0",
 		"off-bytes is the loaded serving footprint (tables expand into direct arrays at load); offline_compact_table_bytes in the JSON is the pre-expansion figure",
+		"hyb-select-ns runs the hybrid engine on the FULL grammar (dynamic fallthrough active) over the same corpus as warm-select-ns; it must beat warm on-demand on dynamic grammars",
+		"hyb-fixed-ns runs the hybrid engine on the stripped grammar over the offline corpus; the gate is <= 1.2x off-select-ns (the fallthrough machinery may not tax the fixed path)",
 	)
 	t.Note("cold includes every state construction of the session; warm is the steady state a JIT/server reaches")
 	t.Note("allocs/pass counted over the whole corpus (runtime.MemStats.Mallocs delta); 0 is the contract for label and select — offline included")
@@ -276,10 +353,13 @@ func measureCompile(name string, fs []*ir.Forest, nodes, passes int, row *PerfRo
 // measureOffline fills row's offline comparison columns: the same corpus
 // selected with ahead-of-time tables (internal/gen) on the stripped
 // grammar, loaded through the wire format just as a served blob would be.
-func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) error {
+// It returns its warm select pass so measureHybrid can re-time it in
+// windows interleaved with the hybrid fixed pass (the 1.2× gate compares
+// the two, so they must face the same noise epochs).
+func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) (func(), error) {
 	fixed, err := g.StripDynamic()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var fs []*ir.Forest
 	nodes := 0
@@ -290,16 +370,16 @@ func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) error {
 	genStart := time.Now()
 	res, err := gen.Compile(fixed, gen.Config{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a, err := gen.Load(fixed, bytes.NewReader(res.Blob))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	row.OfflineGenMs = float64(time.Since(genStart).Nanoseconds()) / 1e6
 	rd, err := reduce.New(fixed, nil, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	selectPass := func() {
 		for _, f := range fs {
@@ -317,5 +397,103 @@ func measureOffline(g *grammar.Grammar, passes int, row *PerfRow) error {
 	row.OfflineTableBytes = a.MemoryBytes()
 	row.OfflineCompactTableBytes = res.Stats.TableBytes
 	row.OfflineBlobBytes = len(res.Blob)
+	return selectPass, nil
+}
+
+// measureHybrid fills row's hybrid columns twice over: once on the full
+// grammar against the on-demand corpus (fs/nodes — the dynamic-grammar
+// speedup claim) and once on the stripped grammar against the offline
+// corpus (the ≤1.2×-offline fixed-path contract). Both engines load their
+// tables through the `.isel` wire round trip, like a served blob.
+//
+// The two comparisons the report gates on (hybrid vs warm on-demand,
+// hybrid-fixed vs offline) are re-timed here in interleaved paired
+// windows against odPass/offPass, and the baseline columns keep their
+// best observation — a min estimator only improves with more samples, and
+// pairing makes the gated ratios robust to host-noise epochs.
+func measureHybrid(g *grammar.Grammar, env grammar.DynEnv, fs []*ir.Forest, nodes, passes int, odPass, offPass func(), row *PerfRow) error {
+	genStart := time.Now()
+	res, err := gen.CompileHybrid(g, gen.Config{})
+	if err != nil {
+		return err
+	}
+	ov, err := gen.LoadHybrid(g, bytes.NewReader(res.Blob))
+	if err != nil {
+		return err
+	}
+	h, err := core.NewHybrid(g, env, core.Config{}, ov)
+	if err != nil {
+		return err
+	}
+	row.HybridGenMs = float64(time.Since(genStart).Nanoseconds()) / 1e6
+	rd, err := reduce.New(g, env, nil)
+	if err != nil {
+		return err
+	}
+	selectPass := func() {
+		for _, f := range fs {
+			lab := h.LabelStates(f)
+			if _, err := rd.Cover(f, lab, nil); err != nil {
+				panic(err) // corpus is known-derivable; see the tests
+			}
+			h.ReleaseLabeling(lab)
+		}
+	}
+	selectPass() // warm: the dynamic fallthrough constructs its transitions
+	odNs, hybNs := minNsPerNodePaired(passes, nodes, odPass, selectPass)
+	if odNs < row.WarmSelectNsPerNode {
+		row.WarmSelectNsPerNode = odNs
+	}
+	row.HybridWarmSelectNsPerNode = hybNs
+	row.HybridWarmSelectAllocsPerPass = allocsPerRun(10, selectPass)
+	row.HybridStates = h.OfflineStates()
+	row.HybridTableBytes = h.MemoryBytes()
+	row.HybridBlobBytes = len(res.Blob)
+
+	// Fixed-only half: same stripped grammar and corpus as measureOffline,
+	// so HybridFixedWarmSelectNsPerNode and OfflineWarmSelectNsPerNode are
+	// directly comparable for the 1.2× gate.
+	fixed, err := g.StripDynamic()
+	if err != nil {
+		return err
+	}
+	var ffs []*ir.Forest
+	fnodes := 0
+	for _, u := range loadCorpus(fixed) {
+		ffs = append(ffs, u.forests...)
+		fnodes += u.nodes
+	}
+	resF, err := gen.CompileHybrid(fixed, gen.Config{})
+	if err != nil {
+		return err
+	}
+	ovF, err := gen.LoadHybrid(fixed, bytes.NewReader(resF.Blob))
+	if err != nil {
+		return err
+	}
+	hF, err := core.NewHybrid(fixed, nil, core.Config{}, ovF)
+	if err != nil {
+		return err
+	}
+	rdF, err := reduce.New(fixed, nil, nil)
+	if err != nil {
+		return err
+	}
+	fixedPass := func() {
+		for _, f := range ffs {
+			lab := hF.LabelStates(f)
+			if _, err := rdF.Cover(f, lab, nil); err != nil {
+				panic(err) // corpus is known-derivable; see the tests
+			}
+			hF.ReleaseLabeling(lab)
+		}
+	}
+	fixedPass() // fill pools; every transition is an overlay load already
+	offNs, hybFixedNs := minNsPerNodePaired(passes, fnodes, offPass, fixedPass)
+	if offNs < row.OfflineWarmSelectNsPerNode {
+		row.OfflineWarmSelectNsPerNode = offNs
+	}
+	row.HybridFixedWarmSelectNsPerNode = hybFixedNs
+	row.HybridFixedWarmSelectAllocsPerPass = allocsPerRun(10, fixedPass)
 	return nil
 }

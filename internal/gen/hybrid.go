@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/grammar"
+)
+
+// ErrNoFixedClosure re-exports the typed "every leaf operator is dynamic"
+// failure of hybrid compilation and loading; match with errors.Is. A
+// grammar in this situation has no offline half at all — callers should
+// use the plain on-demand engine.
+var ErrNoFixedClosure = automaton.ErrNoFixedClosure
+
+// CompileHybrid computes the fixed-operator-subset closure of g — the
+// offline half of the hybrid engine. Unlike Compile it accepts grammars
+// with dynamic-cost rules: dynamic operators are simply excluded from the
+// closure (they fall through to the on-demand path at serving time), and
+// the resulting blob uses the FULL grammar's fingerprint, because its
+// states are genuine full-grammar states (contrast StripDynamic, which
+// renumbers rules and so produces tables of a different grammar).
+//
+// For a grammar without dynamic rules the output blob is byte-identical
+// to Compile's — the fixed subset is the whole grammar — which is why the
+// preload store needs no hybrid-specific keying: one fingerprint, one
+// blob, loadable by whichever engine kind the grammar calls for.
+//
+// Result.Auto is nil for hybrid compilations: the closure is not a
+// complete static automaton (dynamic operators are missing), so there is
+// nothing that could label in-process on its own. Use LoadHybrid +
+// core.NewHybrid to serve it.
+//
+// Fails with ErrNoFixedClosure when every leaf operator carries dynamic
+// rules, and with *automaton.TruncatedError when Config.MaxStates prunes
+// the closure.
+func CompileHybrid(g *grammar.Grammar, cfg Config) (*Result, error) {
+	start := time.Now()
+	ts, gst, err := automaton.GenerateHybridTables(g, automaton.StaticConfig{
+		DeltaCap:  cfg.DeltaCap,
+		MaxStates: cfg.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	blob, err := EncodeBytes(g, ts)
+	if err != nil {
+		return nil, err
+	}
+	// Build the serving overlay once here as a self-check (the same
+	// validation a preloading server will run) and to account the expanded
+	// serving footprint.
+	ov, err := automaton.NewHybridOverlay(g, ts)
+	if err != nil {
+		return nil, fmt.Errorf("gen: hybrid tables for %s failed their own validation: %w", g.Name, err)
+	}
+	elapsed := time.Since(start)
+	st := g.ComputeStats()
+	return &Result{
+		Grammar: g,
+		Tables:  ts,
+		Blob:    blob,
+		Stats: Stats{
+			Grammar:            g.Name,
+			Fingerprint:        Fingerprint(g),
+			Ops:                st.Operators,
+			Nonterms:           st.Nonterminals,
+			Rules:              st.NormalizedRules,
+			States:             gst.States,
+			Representers:       gst.Representers,
+			TransitionEntries:  ts.TransitionEntries(),
+			TableBytes:         gst.TableBytes,
+			ExpandedTableBytes: gst.TableBytes + ov.MemoryBytes(),
+			BlobBytes:          len(blob),
+			GenTime:            elapsed,
+		},
+	}, nil
+}
+
+// LoadHybrid decodes a fixed-subset blob for g (full-grammar fingerprint)
+// and validates it into the hybrid engine's serving overlay — the hybrid
+// counterpart of Load. A full-table blob for a fixed-only grammar also
+// loads (its fixed subset is the whole grammar); a stripped-grammar blob
+// does not (fingerprint mismatch — its states are not states of g).
+func LoadHybrid(g *grammar.Grammar, rd io.Reader) (*automaton.HybridOverlay, error) {
+	ts, err := Decode(g, rd)
+	if err != nil {
+		return nil, err
+	}
+	return automaton.NewHybridOverlay(g, ts)
+}

@@ -228,14 +228,16 @@ int one(int n) {
 }
 
 // TestKindsRegistry: the built-ins are registered in declaration order
-// (offline, living in its own file, follows them), and every registered
-// kind constructs through the registry on a fixed-cost grammar.
+// (hybrid and offline, living in their own files, follow them — file
+// init order is alphabetical), and every registered kind constructs
+// through the registry on a fixed-cost grammar.
 func TestKindsRegistry(t *testing.T) {
 	kinds := repro.Kinds()
-	if len(kinds) < 4 {
-		t.Fatalf("kinds = %v, want the three built-ins plus offline", kinds)
+	if len(kinds) < 5 {
+		t.Fatalf("kinds = %v, want the three built-ins plus hybrid and offline", kinds)
 	}
-	if kinds[0] != repro.KindDP || kinds[1] != repro.KindStatic || kinds[2] != repro.KindOnDemand || kinds[3] != repro.KindOffline {
+	if kinds[0] != repro.KindDP || kinds[1] != repro.KindStatic || kinds[2] != repro.KindOnDemand ||
+		kinds[3] != repro.KindHybrid || kinds[4] != repro.KindOffline {
 		t.Errorf("registered kinds out of order: %v", kinds)
 	}
 	m, err := repro.LoadMachine("demo")
