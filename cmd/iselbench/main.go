@@ -15,6 +15,14 @@
 //	                           # clients multiplexed onto one warm engine
 //	                           # through internal/server (the Server that
 //	                           # cmd/iselserver fronts)
+//	iselbench -experiment SV -swap-at 100
+//	                           # mid-traffic hot-swap scenario: swap the
+//	                           # served table set after 100 jobs, under
+//	                           # injected faults (corrupt blob, panicking
+//	                           # cost fn, cancellation racing cutover,
+//	                           # saturated queue), asserting zero failed
+//	                           # requests, exact accounting and warmth
+//	                           # continuity
 //	iselbench -experiment PF -perf-out BENCH_PR3.json
 //	                           # machine-readable warm-path trajectory:
 //	                           # cold/warm ns/node, allocs per corpus pass,
@@ -42,6 +50,7 @@ func main() {
 	svMachines := flag.String("machines", "", "comma-separated machines for the SV mixed-machine replay (defaults to -grammar; several names interleave clients across machines)")
 	svWorkers := flag.Int("sv-workers", 0, "server worker-pool size for SV (0 = GOMAXPROCS)")
 	svPasses := flag.Int("sv-passes", 10, "corpus passes per client per SV configuration")
+	swapAt := flag.Int("swap-at", 0, "run the SV mid-traffic-swap scenario instead of the throughput replay, hot-swapping after N resolved jobs (0 = off; negative = swap at the halfway point)")
 	perfOut := flag.String("perf-out", "", "write the PF experiment's report to this JSON file (e.g. BENCH_PR3.json)")
 	perfPasses := flag.Int("perf-passes", 30, "timed corpus passes per grammar for PF")
 	flag.Parse()
@@ -56,7 +65,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *gname, *svMachines, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *perfOut, *perfPasses); err != nil {
+	if err := run(*exp, *gname, *svMachines, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *swapAt, *perfOut, *perfPasses); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
@@ -78,7 +87,7 @@ func parseCounts(flagName, s string) ([]int, error) {
 	return ws, nil
 }
 
-func run(exp, gname, svMachines string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses int, perfOut string, perfPasses int) error {
+func run(exp, gname, svMachines string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses, swapAt int, perfOut string, perfPasses int) error {
 	gnames := []string{gname}
 	if svMachines != "" {
 		gnames = nil
@@ -121,6 +130,21 @@ func run(exp, gname, svMachines string, ablations bool, workers []int, passes in
 		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
 		{"EP", func() error { _, t, err := bench.RunParallel(gname, workers, passes); show(t, err); return err }},
 		{"SV", func() error {
+			if swapAt != 0 {
+				// Mid-traffic-swap robustness scenario: hot-swap the served
+				// table set after swapAt resolved jobs, under each injected
+				// fault, asserting zero failed requests, exact accounting and
+				// warmth continuity (see internal/bench/swap.go).
+				nClients := 0
+				for _, c := range clients {
+					if c > nClients {
+						nClients = c
+					}
+				}
+				t, err := bench.RunServerSwap(gnames[0], nClients, svWorkers, svPasses, swapAt)
+				show(t, err)
+				return err
+			}
 			_, t, warmth, err := bench.RunServer(gnames, clients, svWorkers, svPasses)
 			show(warmth, err)
 			show(t, err)

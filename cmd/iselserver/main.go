@@ -8,28 +8,35 @@
 //	iselserver -machines x86 -addr :8931
 //	iselserver -machines x86,jit64,mips -kind ondemand -workers 8 -queue 64
 //	iselserver -machines x86,jit64 -automaton-dir /var/lib/isel -timeout 2s
-//	iselserver -machines x86,jit64 -preload ./tables
+//	iselserver -machines x86,jit64 -preload ./tables -max-table-bytes 8388608
 //
 // Protocol (HTTP/JSON; see internal/server for the request schemas):
 //
 //	POST /compile?machine=x86  {"client":"ci-1","trees":"ADD(REG[1], CNST[2])"}
 //	POST /compile              {"client":"ci-2","minc":"int main() { return 42; }"}
+//	POST /swap?machine=x86     rebuild the machine's table set and cut over with zero downtime
 //	POST /evict?machine=x86    drop the machine's engine; next job rebuilds it
-//	GET  /stats                every registered machine's warmth
-//	GET  /healthz
+//	GET  /stats                every registered machine's warmth, version and drain state
+//	GET  /readyz               200 once every boot machine is warm and no swap is mid-cutover
+//	GET  /healthz              200 while the process accepts work at all
 //
 // The machine query parameter picks the machine description; without it,
 // requests land on the first -machines entry. -timeout bounds each job
 // (queue wait + compile; exceeded jobs answer 504); -max-states bounds
 // each on-demand automaton's state table (exhausted budgets answer 503);
-// POST /evict resets a machine (a capped automaton starts over without a
-// restart). -max-machines keeps at most N engines live, evicting the
-// least recently used — cold machines are dropped, their next request
-// reconstructs them.
+// -shed turns a saturated queue from backpressure into load shedding
+// (jobs that would block answer 429 with Retry-After). POST /evict resets
+// a machine (a capped automaton starts over without a restart).
+// -max-machines keeps at most N engines live, evicting the least recently
+// used; -max-table-bytes bounds the summed resident table bytes the same
+// way (live versions draining through a swap count toward the budget but
+// are never its victims — cold machines are).
 //
 // With -automaton-dir, each machine's saved on-demand tables are loaded
 // at boot (warm start: zero misses on traffic the previous run saw) and
-// saved back on graceful drain, one <machine>.automaton file each.
+// saved back on graceful drain, one <machine>.automaton file each. A
+// corrupt file is quarantined to <machine>.automaton.bad and the machine
+// constructs cold instead of failing.
 //
 // With -preload, each machine whose <machine>.isel blob exists in the
 // given directory (written by cmd/iselgen) is served from those
@@ -41,7 +48,16 @@
 // and a blob matching only the machine's fixed-cost subset (written by
 // `iselgen -fixed`) serves that stripped subset offline, as before.
 // Machines without a blob fall back to -kind; mismatched tables are
-// rejected at boot.
+// rejected at boot, corrupt blobs are quarantined to <machine>.isel.bad
+// and the machine falls back to in-process tables.
+//
+// SIGHUP re-scans -preload and -automaton-dir and hot-swaps every served
+// machine to its freshly resolved recipe (POST /swap does the same for
+// one machine): a newly deployed or regenerated blob is picked up — even
+// electing a different engine kind — with zero downtime, live warmth
+// carried over, and the old tables serving until their last in-flight job
+// resolves. A machine whose new recipe fails to build keeps serving its
+// old version.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight compilations drain, the
 // automata persist (when -automaton-dir is set), and the final
@@ -76,123 +92,144 @@ func main() {
 	autoDir := flag.String("automaton-dir", "", "directory of persisted automata: loaded per machine at boot, saved on graceful drain")
 	preload := flag.String("preload", "", "directory of iselgen .isel blobs: machines with a <machine>.isel file are served offline from those tables")
 	maxMachines := flag.Int("max-machines", 0, "keep at most N engines constructed, evicting the least recently used (0 = unlimited)")
+	maxTableBytes := flag.Int("max-table-bytes", 0, "byte budget for summed resident table bytes, evicting the least recently used machine when exceeded (0 = unlimited)")
+	shed := flag.Bool("shed", false, "shed load when the work queue is full (429 + Retry-After) instead of blocking the submitter")
 	flag.Parse()
 
-	if err := run(*machines, *kind, *addr, *autoDir, *preload, *workers, *queue, *maxStates, *maxMachines, *timeout); err != nil {
+	cfg := serveConfig{
+		machines: *machines, kind: *kind, addr: *addr,
+		autoDir: *autoDir, preload: *preload,
+		workers: *workers, queue: *queue,
+		maxStates: *maxStates, maxMachines: *maxMachines, maxTableBytes: *maxTableBytes,
+		timeout: *timeout, shed: *shed,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iselserver:", err)
 		os.Exit(1)
 	}
 }
 
-// addPreloaded registers name to be served from the iselgen blob at path,
-// if it exists, and reports the engine kind it chose ("" when no blob).
-// A blob carrying the machine's full-grammar fingerprint serves the whole
-// grammar: hybrid when the grammar has dynamic-cost rules (the blob is
-// its fixed-operator subset; dynamic operators fall through on-demand),
-// offline when it has none. A blob carrying only the fixed-subset
-// fingerprint serves the stripped machine offline under the requested
-// name, as earlier PRs' -fixed blobs did.
-func addPreloaded(reg *repro.Registry, name, path string) (detail string, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return "", nil
-	}
-	if err != nil {
-		return "", err
-	}
-	hdr, err := gen.ReadHeader(f)
-	f.Close()
-	if err != nil {
-		return "", fmt.Errorf("%s: %w", path, err)
-	}
-	m, err := repro.LoadMachine(name)
-	if err != nil {
-		return "", err
-	}
-	kind := repro.KindOffline
-	detail = "offline engine: full grammar, fully warm"
-	if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
-		fixed, err := m.FixedMachine()
-		if err != nil {
-			return "", err
-		}
-		if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
-			return "", fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
-				path, hdr.Grammar, name)
-		}
-		m = fixed
-		detail = "offline engine: fixed-cost subset, fully warm"
-	} else if m.Grammar.HasAnyDynRules() {
-		kind = repro.KindHybrid
-		detail = "hybrid engine: fixed operators warm, dynamic on-demand"
-	}
-	m.Name = name // serve under the requested name
-	if err := reg.AddMachine(m, kind, repro.Options{PreloadPath: path}); err != nil {
-		return "", err
-	}
-	return detail, nil
+type serveConfig struct {
+	machines, kind, addr, autoDir, preload string
+	workers, queue, maxStates, maxMachines int
+	maxTableBytes                          int
+	timeout                                time.Duration
+	shed                                   bool
 }
 
-func run(machines, kind, addr, autoDir, preload string, workers, queue, maxStates, maxMachines int, timeout time.Duration) error {
-	reg := repro.NewRegistry()
-	if autoDir != "" {
-		reg.SetAutomatonDir(autoDir)
+// recipe is how one machine should be served as of the last scan of the
+// artifact directories: the loaded machine, its engine kind and options,
+// and a human-readable note on what was resolved. The same resolution
+// runs at boot (to register) and on SIGHUP (to hot-swap).
+type recipe struct {
+	m      *repro.Machine
+	kind   repro.Kind
+	opt    repro.Options
+	detail string
+}
+
+// resolveRecipe decides how name should be served right now. With a
+// preload blob present, the blob's grammar fingerprint picks the engine:
+// full grammar + dynamic-cost rules → hybrid (fixed operators from the
+// blob, dynamic on-demand); full fixed-only grammar → offline; fixed
+// subset fingerprint → the stripped machine offline under the requested
+// name. Without a blob the machine serves with the fallback kind.
+func resolveRecipe(name, preloadDir, fallback string, maxStates int) (recipe, error) {
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		return recipe{}, err
 	}
-	if maxMachines > 0 {
-		reg.SetMaxMachines(maxMachines)
+	if preloadDir != "" {
+		path := filepath.Join(preloadDir, name+".isel")
+		f, err := os.Open(path)
+		if err == nil {
+			hdr, err := gen.ReadHeader(f)
+			f.Close()
+			if err != nil {
+				return recipe{}, fmt.Errorf("%s: %w", path, err)
+			}
+			kind := repro.KindOffline
+			detail := "offline engine: full grammar, fully warm"
+			if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
+				fixed, err := m.FixedMachine()
+				if err != nil {
+					return recipe{}, err
+				}
+				if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
+					return recipe{}, fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
+						path, hdr.Grammar, name)
+				}
+				m = fixed
+				detail = "offline engine: fixed-cost subset, fully warm"
+			} else if m.Grammar.HasAnyDynRules() {
+				kind = repro.KindHybrid
+				detail = "hybrid engine: fixed operators warm, dynamic on-demand"
+			}
+			m.Name = name // serve under the requested name
+			return recipe{m: m, kind: kind, opt: repro.Options{PreloadPath: path}, detail: detail}, nil
+		} else if !os.IsNotExist(err) {
+			return recipe{}, err
+		}
+	}
+	return recipe{m: m, kind: repro.Kind(fallback), opt: repro.Options{MaxStates: maxStates}}, nil
+}
+
+func run(cfg serveConfig) error {
+	reg := repro.NewRegistry()
+	if cfg.autoDir != "" {
+		reg.SetAutomatonDir(cfg.autoDir)
+	}
+	if cfg.maxMachines > 0 {
+		reg.SetMaxMachines(cfg.maxMachines)
+	}
+	if cfg.maxTableBytes > 0 {
+		reg.SetMaxTableBytes(cfg.maxTableBytes)
 	}
 	var names []string
-	for _, name := range strings.Split(machines, ",") {
+	for _, name := range strings.Split(cfg.machines, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if preload != "" {
-			detail, err := addPreloaded(reg, name, filepath.Join(preload, name+".isel"))
-			if err != nil {
-				return err
-			}
-			if detail != "" {
-				fmt.Printf("iselserver: %s preloaded from %s (%s)\n",
-					name, filepath.Join(preload, name+".isel"), detail)
-				names = append(names, name)
-				continue
-			}
-			fmt.Printf("iselserver: no %s.isel in %s; serving %s with the %s engine\n", name, preload, name, kind)
-		}
-		// Validate the name now even though construction is lazy: with
-		// -max-machines below the machine count not every engine warms at
-		// boot, and a typo must not become a sticky 500 at request time.
-		if _, err := repro.LoadMachine(name); err != nil {
+		rc, err := resolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
+		if err != nil {
 			return err
 		}
-		if err := reg.Add(name, repro.Kind(kind), repro.Options{MaxStates: maxStates}); err != nil {
+		if err := reg.AddMachine(rc.m, rc.kind, rc.opt); err != nil {
 			return err
+		}
+		if rc.detail != "" {
+			fmt.Printf("iselserver: %s preloaded from %s (%s)\n", name, rc.opt.PreloadPath, rc.detail)
+		} else if cfg.preload != "" {
+			fmt.Printf("iselserver: no %s.isel in %s; serving %s with the %s engine\n", name, cfg.preload, name, cfg.kind)
 		}
 		names = append(names, name)
 	}
 	if len(names) == 0 {
-		return fmt.Errorf("no machines to serve (-machines %q)", machines)
+		return fmt.Errorf("no machines to serve (-machines %q)", cfg.machines)
 	}
-	// Construct engines at boot: it surfaces bad machine names and corrupt
-	// automaton files before the listener opens, and it is the moment
-	// persisted/preloaded tables restore so first traffic is already warm.
-	// With -max-machines below the machine count, warming everything would
-	// just construct-and-evict in registration order, so only the first N
-	// (the default machine first) warm eagerly; the rest construct on
-	// their first request.
+	// Construct engines at boot: it surfaces bad machine names before the
+	// listener opens, and it is the moment persisted/preloaded tables
+	// restore so first traffic is already warm. With -max-machines below
+	// the machine count, warming everything would just construct-and-evict
+	// in registration order, so only the first N (the default machine
+	// first) warm eagerly; the rest construct on their first request. The
+	// eagerly warmed set is what /readyz vouches for.
 	warmN := len(names)
-	if maxMachines > 0 && maxMachines < warmN {
-		warmN = maxMachines
+	if cfg.maxMachines > 0 && cfg.maxMachines < warmN {
+		warmN = cfg.maxMachines
 		fmt.Printf("iselserver: -max-machines %d < %d machines; warming %s eagerly, the rest construct on first request\n",
-			maxMachines, len(names), strings.Join(names[:warmN], ","))
+			cfg.maxMachines, len(names), strings.Join(names[:warmN], ","))
 	}
 	for _, name := range names[:warmN] {
 		if err := reg.Warm(name); err != nil {
 			return err
 		}
+		if err := reg.ExpectWarm(name); err != nil {
+			return err
+		}
 	}
-	if autoDir != "" {
+	if cfg.autoDir != "" {
 		for name, snap := range reg.Snapshots() {
 			if snap.States > 0 {
 				fmt.Printf("iselserver: %s restored with %d states, %d transitions\n", name, snap.States, snap.Transitions)
@@ -200,11 +237,14 @@ func run(machines, kind, addr, autoDir, preload string, workers, queue, maxState
 		}
 	}
 
-	srv := server.New(reg, server.Config{Workers: workers, QueueDepth: queue, RequestTimeout: timeout})
-	hs := &http.Server{Addr: addr, Handler: server.NewHandler(srv)}
+	srv := server.New(reg, server.Config{
+		Workers: cfg.workers, QueueDepth: cfg.queue,
+		RequestTimeout: cfg.timeout, ShedOnFull: cfg.shed,
+	})
+	hs := &http.Server{Addr: cfg.addr, Handler: server.NewHandler(srv)}
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	// Engines may differ per machine (preloaded ones serve offline), so
@@ -214,14 +254,22 @@ func run(machines, kind, addr, autoDir, preload string, workers, queue, maxState
 		served = append(served, fmt.Sprintf("%s[%s]", st.Machine, st.Kind))
 	}
 	fmt.Printf("iselserver: serving %s (%d workers) on %s\n",
-		strings.Join(served, ","), srv.Workers(), addr)
+		strings.Join(served, ","), srv.Workers(), cfg.addr)
 
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-stop:
-		fmt.Printf("iselserver: %v, draining...\n", sig)
+	var sig os.Signal
+loop:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig = <-stop:
+			if sig != syscall.SIGHUP {
+				break loop
+			}
+			rescan(reg, names, cfg)
+		}
 	}
+	fmt.Printf("iselserver: %v, draining...\n", sig)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Even if the HTTP drain deadline is exceeded, the compilation server
@@ -229,14 +277,14 @@ func run(machines, kind, addr, autoDir, preload string, workers, queue, maxState
 	// automata must persist, and the final stats must print.
 	httpErr := hs.Shutdown(ctx)
 	srv.Shutdown()
-	if autoDir != "" {
+	if cfg.autoDir != "" {
 		if err := reg.SaveAll(); err != nil {
 			fmt.Fprintln(os.Stderr, "iselserver: saving automata:", err)
 			if httpErr == nil {
 				httpErr = err
 			}
 		} else {
-			fmt.Printf("iselserver: automata saved to %s\n", autoDir)
+			fmt.Printf("iselserver: automata saved to %s\n", cfg.autoDir)
 		}
 	}
 	st := srv.Stats()
@@ -250,4 +298,34 @@ func run(machines, kind, addr, autoDir, preload string, workers, queue, maxState
 			ms.Machine, ms.Warmth.States, ms.Warmth.Transitions, ms.Warmth.MemoryBytes)
 	}
 	return httpErr
+}
+
+// rescan re-resolves every served machine's recipe against the artifact
+// directories and hot-swaps each to it. Per-machine failures (a corrupt
+// new blob, a fingerprint mismatch, a racing swap) are logged and leave
+// that machine's old version serving — a bad re-deploy never takes
+// traffic down.
+func rescan(reg *repro.Registry, names []string, cfg serveConfig) {
+	fmt.Printf("iselserver: SIGHUP, re-scanning artifacts and hot-swapping %s\n", strings.Join(names, ","))
+	for _, name := range names {
+		rc, err := resolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iselserver: %s: %v; the old version keeps serving\n", name, err)
+			continue
+		}
+		if err := reg.SwapMachine(rc.m, rc.kind, rc.opt); err != nil {
+			fmt.Fprintf(os.Stderr, "iselserver: %s: %v\n", name, err)
+			continue
+		}
+		for _, st := range reg.Status() {
+			if st.Machine == name {
+				detail := rc.detail
+				if detail == "" {
+					detail = fmt.Sprintf("%s engine", rc.kind)
+				}
+				fmt.Printf("iselserver: %s now v%d (%s)\n", name, st.Version, detail)
+				break
+			}
+		}
+	}
 }

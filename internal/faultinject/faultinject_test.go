@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisarmedIsInert: with nothing armed, Fire injects nothing (and the
+// fast path never consults the fault table).
+func TestDisarmedIsInert(t *testing.T) {
+	if err := Fire(GenLoad); err != nil {
+		t.Fatalf("disarmed Fire = %v, want nil", err)
+	}
+	if got := Fired(GenLoad); got != 0 {
+		t.Fatalf("Fired = %d, want 0", got)
+	}
+}
+
+// TestErrorFaultScheduling: After skips hits, Count bounds fires, disarm
+// restores inertness, and accounting matches.
+func TestErrorFaultScheduling(t *testing.T) {
+	boom := errors.New("boom")
+	disarm := Arm(GenLoad, Fault{Err: boom, After: 2, Count: 2})
+	defer disarm()
+
+	var fired int
+	for i := 0; i < 6; i++ {
+		if err := Fire(GenLoad); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("hit %d: err = %v", i, err)
+			}
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (After=2 Count=2 over 6 hits)", fired)
+	}
+	if got := Fired(GenLoad); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	disarm()
+	disarm() // idempotent
+	if err := Fire(GenLoad); err != nil {
+		t.Fatalf("after disarm Fire = %v, want nil", err)
+	}
+}
+
+// TestPanicFault: a panic fault panics out of Fire with the armed value.
+func TestPanicFault(t *testing.T) {
+	defer Arm(DynCost, Fault{Panic: "injected", Count: 1})()
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recover = %v, want injected", r)
+		}
+	}()
+	Fire(DynCost)
+	t.Fatal("Fire must panic")
+}
+
+// TestHangFault: a hang fault blocks Fire until the gate closes — the
+// deterministic hold-a-job-mid-compile lever.
+func TestHangFault(t *testing.T) {
+	gate := make(chan struct{})
+	defer Arm(DynCost, Fault{Hang: gate, Count: 1})()
+	done := make(chan struct{})
+	go func() {
+		Fire(DynCost)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Fire returned before the gate opened")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Fire did not return after the gate opened")
+	}
+}
+
+// TestConcurrentFire: concurrent hits race safely and exactly Count fire
+// — the harness must not itself be racy while provoking races.
+func TestConcurrentFire(t *testing.T) {
+	boom := errors.New("boom")
+	defer Arm(GenLoad, Fault{Err: boom, Count: 5})()
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				if Fire(GenLoad) != nil {
+					fired.Store([2]int{i, k}, true)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(any, any) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("fired %d times, want exactly 5", n)
+	}
+	if got := Fired(GenLoad); got != 5 {
+		t.Fatalf("Fired = %d, want 5", got)
+	}
+}
+
+// TestReset: Reset disarms every point at once.
+func TestReset(t *testing.T) {
+	Arm(GenLoad, Fault{Err: errors.New("a")})
+	Arm(DynCost, Fault{Err: errors.New("b")})
+	Reset()
+	if err := Fire(GenLoad); err != nil {
+		t.Fatalf("after Reset, GenLoad Fire = %v", err)
+	}
+	if err := Fire(DynCost); err != nil {
+		t.Fatalf("after Reset, DynCost Fire = %v", err)
+	}
+}

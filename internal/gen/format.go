@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/automaton"
+	"repro/internal/faultinject"
 	"repro/internal/grammar"
 )
 
@@ -226,6 +227,13 @@ func ReadHeader(r io.Reader) (*Header, error) {
 // another grammar, or for another revision of this one — is rejected
 // before any table is decoded.
 func Decode(g *grammar.Grammar, rd io.Reader) (*automaton.TableSet, error) {
+	// Fault-injection seam: inert (one atomic load) unless a robustness
+	// test armed it to simulate a corrupt or truncated blob at load time.
+	// Decode is the one gate every blob load passes — preload, hot-swap
+	// re-read, hybrid overlay, in-process round trip.
+	if err := faultinject.Fire(faultinject.GenLoad); err != nil {
+		return nil, fmt.Errorf("gen: reading blob: %w", err)
+	}
 	data, err := io.ReadAll(io.LimitReader(rd, maxBlobBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("gen: reading blob: %w", err)

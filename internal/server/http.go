@@ -18,8 +18,10 @@ import (
 //
 //	POST /compile?machine=x86   CompileRequest -> CompileResponse
 //	POST /evict?machine=x86     drop the machine's engine (next job rebuilds)
-//	GET  /stats                 -> StatsResponse (every machine's warmth)
-//	GET  /healthz               -> 200 "ok"
+//	POST /swap?machine=x86      hot-swap the machine's table set (zero downtime)
+//	GET  /stats                 -> StatsResponse (every machine's warmth + version)
+//	GET  /healthz               -> 200 "ok" (liveness)
+//	GET  /readyz                -> 200 "ready" | 503 (routability)
 //
 // The machine query parameter selects the machine description; absent, it
 // defaults to the registry's first-registered machine. A compile request
@@ -34,8 +36,13 @@ import (
 // times out — stops paying for queued and in-flight work. Status codes:
 // 400 for malformed requests, 404 for unregistered machines, 500 for a
 // registered machine whose engine failed to construct, 422 for forests
-// with no derivation, 503 for shutdown or an exhausted state budget
+// with no derivation, 429 (+ Retry-After) when Config.ShedOnFull sheds a
+// saturated queue, 503 for shutdown or an exhausted state budget
 // (Options.MaxStates), 504 for jobs that exceeded the request timeout.
+// POST /swap answers 409 while another swap of the same machine is
+// mid-cutover (and for AddSelector machines, which have no rebuild
+// recipe), 500 when the new version failed to construct — the old version
+// keeps serving in every failure case.
 
 // CompileRequest is the body of POST /compile.
 type CompileRequest struct {
@@ -76,19 +83,37 @@ type MachineStats struct {
 	States      int    `json:"states"`
 	Transitions int    `json:"transitions"`
 	MemoryBytes int    `json:"memoryBytes"`
+	// Version is the serving table-set generation (bumped by every swap
+	// and eviction); Swapping marks a cutover in progress and Draining
+	// counts replaced versions still finishing their jobs.
+	Version  int  `json:"version"`
+	Swapping bool `json:"swapping,omitempty"`
+	Draining int  `json:"draining,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	Machines   []MachineStats              `json:"machines"`
-	Workers    int                         `json:"workers"`
-	QueueDepth int                         `json:"queueDepth"`
-	Jobs       int64                       `json:"jobs"`
-	Nodes      int64                       `json:"nodes"`
-	Cancelled  int64                       `json:"cancelled"`
-	Queued     int                         `json:"queued"`
-	Global     metrics.Counters            `json:"global"`
-	Clients    map[string]metrics.Counters `json:"clients"`
+	Machines   []MachineStats `json:"machines"`
+	Workers    int            `json:"workers"`
+	QueueDepth int            `json:"queueDepth"`
+	Jobs       int64          `json:"jobs"`
+	Nodes      int64          `json:"nodes"`
+	Cancelled  int64          `json:"cancelled"`
+	Queued     int            `json:"queued"`
+	// ResidentBytes totals the registry's resident table memory (serving
+	// + draining versions); MaxTableBytes echoes the armed budget.
+	ResidentBytes int                         `json:"residentBytes"`
+	MaxTableBytes int                         `json:"maxTableBytes,omitempty"`
+	Global        metrics.Counters            `json:"global"`
+	Clients       map[string]metrics.Counters `json:"clients"`
+}
+
+// SwapResponse is the body of a successful POST /swap.
+type SwapResponse struct {
+	Machine string `json:"machine"`
+	// Version is the generation now serving (the swapped-in table set).
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
 }
 
 // Handler is the HTTP front end over one Server.
@@ -103,10 +128,12 @@ func NewHandler(srv *Server) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /compile", h.compile)
 	h.mux.HandleFunc("POST /evict", h.evict)
+	h.mux.HandleFunc("POST /swap", h.swap)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	h.mux.HandleFunc("GET /readyz", h.readyz)
 	return h
 }
 
@@ -195,6 +222,12 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 	// RequestTimeout the server config arms per job).
 	futs, err := h.srv.SubmitBatch(r.Context(), client, m.Name, forests)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Shed load is retryable load: tell the client when to come back.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -236,17 +269,63 @@ func (h *Handler) evict(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{"machine": machine, "evicted": true})
 }
 
+// swap hot-swaps one machine's table set (POST /swap?machine=x): the new
+// version is built warm beside the old and traffic cuts over atomically;
+// in-flight jobs drain on the old version. 404 for unregistered names,
+// 409 for a swap already in progress (or an AddSelector machine with no
+// rebuild recipe), 500 when the new version failed to construct — in
+// which case the old version keeps serving untouched.
+func (h *Handler) swap(w http.ResponseWriter, r *http.Request) {
+	machine := r.URL.Query().Get("machine")
+	if err := h.srv.Swap(machine); err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, repro.ErrUnknownMachine):
+			code = http.StatusNotFound
+		case errors.Is(err, repro.ErrSwapInProgress), errors.Is(err, repro.ErrNotSwappable):
+			code = http.StatusConflict
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	if machine == "" {
+		machine = h.srv.Registry().DefaultName()
+	}
+	resp := SwapResponse{Machine: machine}
+	for _, st := range h.srv.Registry().Status() {
+		if st.Machine == machine {
+			resp.Version, resp.Kind = st.Version, string(st.Kind)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// readyz is the routability probe: 200 only when the server is accepting
+// jobs, no machine is mid-swap, and every ExpectWarm machine serves warm.
+// Liveness stays on /healthz — an alive replica mid-cutover answers 503
+// here so load balancers route around the transient.
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if err := h.srv.Ready(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.srv.Stats()
 	resp := StatsResponse{
-		Workers:    st.Workers,
-		QueueDepth: st.QueueDepth,
-		Jobs:       st.Jobs,
-		Nodes:      st.Nodes,
-		Cancelled:  st.Cancelled,
-		Queued:     st.Queued,
-		Global:     st.Global,
-		Clients:    map[string]metrics.Counters{},
+		Workers:       st.Workers,
+		QueueDepth:    st.QueueDepth,
+		Jobs:          st.Jobs,
+		Nodes:         st.Nodes,
+		Cancelled:     st.Cancelled,
+		Queued:        st.Queued,
+		ResidentBytes: st.ResidentBytes,
+		MaxTableBytes: st.MaxTableBytes,
+		Global:        st.Global,
+		Clients:       map[string]metrics.Counters{},
 	}
 	for _, ms := range st.Machines {
 		resp.Machines = append(resp.Machines, MachineStats{
@@ -257,6 +336,9 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 			States:      ms.Warmth.States,
 			Transitions: ms.Warmth.Transitions,
 			MemoryBytes: ms.Warmth.MemoryBytes,
+			Version:     ms.Version,
+			Swapping:    ms.Swapping,
+			Draining:    ms.Draining,
 		})
 	}
 	for _, c := range h.srv.Clients() {

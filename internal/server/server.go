@@ -57,6 +57,12 @@ import (
 // ErrShutdown is returned by Submit variants after Shutdown has begun.
 var ErrShutdown = errors.New("server: shut down")
 
+// ErrQueueFull is returned by Submit variants when Config.ShedOnFull is
+// set and the work queue is saturated: the job was shed, not queued. The
+// HTTP front end maps it to 429 with a Retry-After hint. Match with
+// errors.Is.
+var ErrQueueFull = errors.New("server: work queue full")
+
 // Config tunes a Server.
 type Config struct {
 	// Workers is the worker-pool size (GOMAXPROCS if <= 0). Each worker
@@ -72,6 +78,12 @@ type Config struct {
 	// a job that exceeds it resolves its future with
 	// context.DeadlineExceeded.
 	RequestTimeout time.Duration
+	// ShedOnFull turns a saturated queue from backpressure into load
+	// shedding: Submit fails fast with ErrQueueFull instead of blocking
+	// until a slot frees. The right setting for front ends whose clients
+	// can retry (HTTP answers 429 + Retry-After); leave it off for
+	// harnesses that want every submission to land eventually.
+	ShedOnFull bool
 }
 
 // Future is the pending result of one submitted forest. It resolves
@@ -118,6 +130,12 @@ type job struct {
 	sel    *repro.Selector
 	forest *repro.Forest
 	fut    *Future
+	// lease pins the table-set version the job resolved at submission:
+	// released after the future settles, which is what lets Registry.Swap
+	// retire an old version exactly when its last queued or in-flight job
+	// finishes. Jobs queued before a cutover compile on the version they
+	// resolved; jobs submitted after it ride the new one.
+	lease *repro.Lease
 	// cleanup detaches the cancellation hook and releases the
 	// request-timeout timer; the worker runs it after the future settles
 	// (nil for plain Background submissions).
@@ -197,6 +215,28 @@ func (s *Server) Registry() *repro.Registry { return s.reg }
 // unharmed.
 func (s *Server) Evict(machine string) error { return s.reg.Evict(machine) }
 
+// Swap rebuilds machine's table set (the registry default when empty) and
+// cuts traffic over with zero downtime — see Registry.Swap. Jobs queued
+// or in flight when the cutover lands finish on the version they
+// resolved; the old version retires when the last of them does. Exposed
+// over HTTP as POST /swap.
+func (s *Server) Swap(machine string) error { return s.reg.Swap(machine) }
+
+// Ready reports whether this server should receive routed traffic: it is
+// not shut down, no machine is mid-swap, and every machine the deployment
+// marked ExpectWarm is serving warm — the body of GET /readyz. Distinct
+// from liveness (/healthz): a re-colding or mid-cutover replica is alive
+// but not ready.
+func (s *Server) Ready() error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrShutdown
+	}
+	return s.reg.Ready()
+}
+
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
@@ -219,6 +259,9 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 		// every path below.
 		defer j.cleanup()
 	}
+	// The version lease is held until the future settles: a swapped-out
+	// table set drains on exactly its own jobs. Release is nil-safe.
+	defer j.lease.Release()
 	// A queued job whose context already ended resolves (or has resolved,
 	// via its cancellation hook) with ctx.Err() and is never compiled.
 	if j.fut.isResolved() {
@@ -268,26 +311,28 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 // stops the compile at a cooperative checkpoint. Config.RequestTimeout,
 // when set, arms an additional per-request deadline starting now.
 func (s *Server) Submit(ctx context.Context, client, machine string, f *repro.Forest) (*Future, error) {
-	_, sel, err := s.reg.Get(machine)
+	lease, err := s.reg.Acquire(machine)
 	if err != nil {
 		return nil, err
 	}
-	return s.submit(ctx, client, sel, f)
+	return s.submit(ctx, client, lease, f)
 }
 
-// submit enqueues one job against an already-resolved selector — the
-// shared core of Submit and SubmitBatch (which resolves the machine once
-// for the whole batch).
-func (s *Server) submit(ctx context.Context, client string, sel *repro.Selector, f *repro.Forest) (*Future, error) {
+// submit enqueues one job against an acquired version lease. On every
+// refusal path the lease is released here; once the job is enqueued the
+// worker releases it after the future settles.
+func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, f *repro.Forest) (*Future, error) {
 	if f == nil {
+		lease.Release()
 		return nil, fmt.Errorf("server: nil forest")
 	}
 	if err := ctx.Err(); err != nil {
+		lease.Release()
 		return nil, err
 	}
 	ctx, cancel := s.jobContext(ctx)
 	fut := &Future{done: make(chan struct{})}
-	j := job{ctx: ctx, client: client, sel: sel, forest: f, fut: fut}
+	j := job{ctx: ctx, client: client, sel: lease.Selector, forest: f, fut: fut, lease: lease}
 	if ctx.Done() != nil {
 		// Cancellable jobs arm a context hook that resolves the future
 		// with ctx.Err() the moment the context ends — no parked watcher
@@ -308,7 +353,24 @@ func (s *Server) submit(ctx context.Context, client string, sel *repro.Selector,
 		if j.cleanup != nil {
 			j.cleanup()
 		}
+		lease.Release()
 		return nil, ErrShutdown
+	}
+	if s.cfg.ShedOnFull {
+		// Shedding: take a free slot or refuse now — never park the
+		// submitter behind a saturated queue.
+		select {
+		case s.jobs <- j:
+			s.mu.RUnlock()
+			return fut, nil
+		default:
+			s.mu.RUnlock()
+			if j.cleanup != nil {
+				j.cleanup()
+			}
+			lease.Release()
+			return nil, ErrQueueFull
+		}
 	}
 	select {
 	case s.jobs <- j:
@@ -320,6 +382,7 @@ func (s *Server) submit(ctx context.Context, client string, sel *repro.Selector,
 		if j.cleanup != nil {
 			j.cleanup()
 		}
+		lease.Release()
 		return nil, err
 	}
 }
@@ -339,13 +402,19 @@ func (s *Server) jobContext(ctx context.Context) (context.Context, context.Cance
 // (or ctx ends) mid-batch, the futures enqueued so far remain valid and
 // the error reports how many were accepted.
 func (s *Server) SubmitBatch(ctx context.Context, client, machine string, fs []*repro.Forest) ([]*Future, error) {
-	_, sel, err := s.reg.Get(machine)
-	if err != nil {
-		return nil, err
-	}
 	futs := make([]*Future, 0, len(fs))
 	for _, f := range fs {
-		fut, err := s.submit(ctx, client, sel, f)
+		// One lease per job, acquired at enqueue time: a batch straddling a
+		// hot swap routes its remaining forests to the new version the
+		// instant it is published, like any other new submission.
+		lease, err := s.reg.Acquire(machine)
+		if err != nil {
+			if len(futs) == 0 {
+				return nil, err
+			}
+			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
+		}
+		fut, err := s.submit(ctx, client, lease, f)
 		if err != nil {
 			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
 		}
@@ -465,6 +534,11 @@ type Stats struct {
 	// warmth — the amortization story per machine description: each curve
 	// climbs while its traffic is cold and flattens as the mix is covered.
 	Machines []repro.MachineStatus
+	// ResidentBytes is the total table memory resident in the registry —
+	// every constructed machine plus every swapped-out version still
+	// draining; MaxTableBytes is the armed budget (0 = unlimited).
+	ResidentBytes int
+	MaxTableBytes int
 	// Global is a snapshot of the server-wide work counters.
 	Global metrics.Counters
 }
@@ -475,14 +549,16 @@ func (s *Server) Stats() Stats {
 	nClients := len(s.clients)
 	s.cmu.Unlock()
 	return Stats{
-		Workers:    s.cfg.Workers,
-		QueueDepth: s.cfg.QueueDepth,
-		Jobs:       s.jobsDone.Load(),
-		Nodes:      s.nodesDone.Load(),
-		Cancelled:  s.jobsCancelled.Load(),
-		Queued:     len(s.jobs),
-		Clients:    nClients,
-		Machines:   s.reg.Status(),
-		Global:     s.global.Clone(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Jobs:          s.jobsDone.Load(),
+		Nodes:         s.nodesDone.Load(),
+		Cancelled:     s.jobsCancelled.Load(),
+		Queued:        len(s.jobs),
+		Clients:       nClients,
+		Machines:      s.reg.Status(),
+		ResidentBytes: s.reg.ResidentBytes(),
+		MaxTableBytes: s.reg.MaxTableBytes(),
+		Global:        s.global.Clone(),
 	}
 }

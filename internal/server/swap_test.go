@@ -1,0 +1,239 @@
+package server_test
+
+import (
+	"bytes"
+
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// gateMachine builds a machine whose dynamic cost function blocks on the
+// returned release channel (signalling entered, non-blockingly, each time
+// a worker reaches it) — the lever for holding a job mid-compile.
+func gateMachine(t *testing.T) (m *repro.Machine, entered chan struct{}, release chan struct{}) {
+	t.Helper()
+	entered = make(chan struct{}, 64)
+	release = make(chan struct{})
+	env := repro.DynEnv{"gate": func(n repro.DynNode) repro.Cost {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return 1
+	}}
+	m, err := repro.NewMachine("gate", `%name gate
+%start stmt
+%term Asgn(2) Reg(0) Cnst(0)
+reg: Reg (0)
+reg: Cnst (dyn gate)
+stmt: Asgn(reg, reg) (1) "mov %1, (%0)"
+`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, entered, release
+}
+
+// TestShedOnFull: with Config.ShedOnFull, a job that would block on a
+// saturated queue is refused with ErrQueueFull — surfaced over HTTP as
+// 429 with Retry-After — while every job already accepted (in flight and
+// queued) still completes.
+func TestShedOnFull(t *testing.T) {
+	m, entered, release := gateMachine(t)
+	reg := repro.NewRegistry()
+	if err := reg.AddMachine(m, repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 1, QueueDepth: 1, ShedOnFull: true})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(server.NewHandler(srv))
+	defer ts.Close()
+
+	f, err := m.ParseTree("Asgn(Reg[1], Cnst[7])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the server: one job held mid-compile in the single worker, one
+	// job filling the depth-1 queue.
+	held, err := srv.Submit(bg, "c", "gate", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached the gated cost fn")
+	}
+	queued, err := srv.Submit(bg, "c", "gate", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturated: direct submits shed with the typed error, HTTP submits
+	// answer 429 with a Retry-After hint.
+	if _, err := srv.Submit(bg, "c", "gate", f); !errors.Is(err, server.ErrQueueFull) {
+		t.Fatalf("submit on full queue = %v, want ErrQueueFull", err)
+	}
+	b, _ := json.Marshal(server.CompileRequest{Client: "c", Trees: "Asgn(Reg[1], Cnst[9])"})
+	resp, err := http.Post(ts.URL+"/compile?machine=gate", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("compile on full queue: %d %s, want 429", resp.StatusCode, buf.Bytes())
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("429 must carry a Retry-After header")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("queue")) {
+		t.Fatalf("429 body does not name the queue: %s", buf.Bytes())
+	}
+
+	// Accepted work is a promise shedding must not break: both the held
+	// and the queued job complete once the gate opens.
+	close(release)
+	if out, err := held.Wait(); err != nil || out.Asm == "" {
+		t.Fatalf("held job: out=%v err=%v", out, err)
+	}
+	if out, err := queued.Wait(); err != nil || out.Asm == "" {
+		t.Fatalf("queued job: out=%v err=%v", out, err)
+	}
+	if st := srv.Stats(); st.Jobs != 2 {
+		t.Fatalf("stats jobs = %d, want 2 (shed submissions never became jobs)", st.Jobs)
+	}
+}
+
+// TestReadyzHTTP: /readyz is the scheduling gate, distinct from /healthz
+// (process liveness): 503 until every boot-warmed machine is constructed,
+// 200 while serving, 503 again once shutdown begins.
+func TestReadyzHTTP(t *testing.T) {
+	reg := repro.NewRegistry()
+	if err := reg.Add("x86", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.ExpectWarm("x86"); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 1})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(server.NewHandler(srv))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before warm: %d %s, want 503", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz must be live while unready: %d", code)
+	}
+	if err := reg.Warm("x86"); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after warm: %d %s, want 200", code, body)
+	}
+	srv.Shutdown()
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: %d, want 503", code)
+	}
+}
+
+// TestShutdownDuringSwap: Shutdown while the previous table-set version
+// is still draining a held job. The shutdown must drain both versions —
+// the held job completes on the old tables — and the registry ends with
+// nothing left draining.
+func TestShutdownDuringSwap(t *testing.T) {
+	m, entered, release := gateMachine(t)
+	reg := repro.NewRegistry()
+	reg.SetLogger(func(string, ...any) {})
+	if err := reg.AddMachine(m, repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 1})
+
+	f, err := m.ParseTree("Asgn(Reg[1], Cnst[7])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := srv.Submit(bg, "c", "gate", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached the gated cost fn")
+	}
+
+	// Cut over while the held job is mid-compile on v1: v2 serves, v1
+	// drains with the held job's lease pinned.
+	if err := srv.Swap("gate"); err != nil {
+		t.Fatal(err)
+	}
+	var st repro.MachineStatus
+	for _, s := range reg.Status() {
+		if s.Machine == "gate" {
+			st = s
+		}
+	}
+	if st.Version != 2 || st.Draining != 1 {
+		t.Fatalf("mid-drain status = v%d draining=%d, want v2 draining=1", st.Version, st.Draining)
+	}
+	if err := srv.Ready(); err != nil {
+		t.Fatalf("Ready mid-drain = %v (a completed cutover must not block readiness)", err)
+	}
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		srv.Shutdown()
+	}()
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned with a job still held mid-compile")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-shutdownDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not finish after the held job released")
+	}
+	if out, err := held.Wait(); err != nil || out.Asm == "" {
+		t.Fatalf("held job across shutdown: out=%v err=%v", out, err)
+	}
+	for _, s := range reg.Status() {
+		if s.Machine == "gate" && s.Draining != 0 {
+			t.Fatalf("draining = %d after shutdown drained every job, want 0", s.Draining)
+		}
+	}
+	if _, err := srv.Submit(bg, "c", "gate", f); !errors.Is(err, server.ErrShutdown) {
+		t.Fatalf("submit after shutdown = %v, want ErrShutdown", err)
+	}
+	if err := srv.Ready(); !errors.Is(err, server.ErrShutdown) {
+		t.Fatalf("Ready after shutdown = %v, want ErrShutdown", err)
+	}
+}

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -198,22 +199,42 @@ func TestRegistryPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A corrupt file is a sticky, explicit construction error.
+	// A corrupt file does not break the machine: it is quarantined
+	// (renamed to .bad, logged) and construction falls back to cold
+	// in-process tables.
 	if err := os.WriteFile(filepath.Join(dir, "mips.automaton"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := cold.Add("mips", repro.KindOnDemand, repro.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cold.Get("mips"); err == nil {
-		t.Fatal("corrupt automaton file must fail construction")
+	var logged []string
+	cold.SetLogger(func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	mm, msel, err := cold.Get("mips")
+	if err != nil {
+		t.Fatalf("corrupt automaton file must fall back to cold construction, got %v", err)
 	}
-	if _, _, err := cold.Get("mips"); err == nil {
-		t.Fatal("construction errors must be sticky")
+	mf, err := mm.ParseTree("RET(ADD(REG[1], CNST[2]))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msel.Compile(context.Background(), mf); err != nil {
+		t.Fatalf("cold-fallback selector must compile: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mips.automaton.bad")); err != nil {
+		t.Errorf("corrupt file must be quarantined to mips.automaton.bad: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mips.automaton")); !os.IsNotExist(err) {
+		t.Errorf("corrupt file must be moved aside, still present: %v", err)
+	}
+	if len(logged) == 0 {
+		t.Error("quarantine must be logged")
 	}
 	for _, st := range cold.Status() {
-		if st.Machine == "mips" && st.Err == "" {
-			t.Error("status must surface the construction error")
+		if st.Machine == "mips" && st.Err != "" {
+			t.Errorf("quarantine recovery must not leave a sticky error: %s", st.Err)
 		}
 	}
 }
