@@ -51,6 +51,9 @@ func main() {
 	svWorkers := flag.Int("sv-workers", 0, "server worker-pool size for SV (0 = GOMAXPROCS)")
 	svPasses := flag.Int("sv-passes", 10, "corpus passes per client per SV configuration")
 	swapAt := flag.Int("swap-at", 0, "run the SV mid-traffic-swap scenario instead of the throughput replay, hot-swapping after N resolved jobs (0 = off; negative = swap at the halfway point)")
+	replicas := flag.Int("replicas", 0, "run the SV replay through a fleet of N cluster replicas behind the consistent-hash router instead of one in-process server (0 = off)")
+	replication := flag.Int("replication", 2, "ring owners per machine for the -replicas fleet")
+	killReplica := flag.Int("kill-replica", -1, "halfway through the -replicas replay, hard-kill the primary ring owner of the Nth served machine (asserting zero failed client requests and real failovers; -1 = off)")
 	perfOut := flag.String("perf-out", "", "write the PF experiment's report to this JSON file (e.g. BENCH_PR3.json)")
 	perfPasses := flag.Int("perf-passes", 30, "timed corpus passes per grammar for PF")
 	flag.Parse()
@@ -65,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *gname, *svMachines, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *swapAt, *perfOut, *perfPasses); err != nil {
+	if err := run(*exp, *gname, *svMachines, *ablations, ws, *passes, cs, *svWorkers, *svPasses, *swapAt, *replicas, *replication, *killReplica, *perfOut, *perfPasses); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
@@ -87,7 +90,7 @@ func parseCounts(flagName, s string) ([]int, error) {
 	return ws, nil
 }
 
-func run(exp, gname, svMachines string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses, swapAt int, perfOut string, perfPasses int) error {
+func run(exp, gname, svMachines string, ablations bool, workers []int, passes int, clients []int, svWorkers, svPasses, swapAt, replicas, replication, killReplica int, perfOut string, perfPasses int) error {
 	gnames := []string{gname}
 	if svMachines != "" {
 		gnames = nil
@@ -130,6 +133,20 @@ func run(exp, gname, svMachines string, ablations bool, workers []int, passes in
 		{"E8", func() error { _, t, err := bench.RunE8(); show(t, err); return err }},
 		{"EP", func() error { _, t, err := bench.RunParallel(gname, workers, passes); show(t, err); return err }},
 		{"SV", func() error {
+			if replicas > 0 {
+				// Distributed replay: N replicas behind the router, warm
+				// via the blob exchange, zero-failed-request + exact fleet
+				// accounting asserted (see internal/bench/cluster.go).
+				nClients := 0
+				for _, c := range clients {
+					if c > nClients {
+						nClients = c
+					}
+				}
+				_, t, err := bench.RunClusterSV(gnames, replicas, replication, nClients, svPasses, svWorkers, killReplica)
+				show(t, err)
+				return err
+			}
 			if swapAt != 0 {
 				// Mid-traffic-swap robustness scenario: hot-swap the served
 				// table set after swapAt resolved jobs, under each injected

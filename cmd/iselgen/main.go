@@ -175,8 +175,14 @@ func printStats(s gen.Stats) {
 	fmt.Printf("iselgen: grammar %s (fingerprint %016x)\n", s.Grammar, s.Fingerprint)
 	fmt.Printf("  operators %d, nonterminals %d, rules %d\n", s.Ops, s.Nonterms, s.Rules)
 	fmt.Printf("  states %d, representer classes %d, transition entries %d\n", s.States, s.Representers, s.TransitionEntries)
-	fmt.Printf("  table bytes %d (compact), %d expanded at serve time, blob bytes %d\n",
-		s.TableBytes, s.ExpandedTableBytes, s.BlobBytes)
+	fmt.Printf("  table bytes %d (compact), %d expanded at serve time\n",
+		s.TableBytes, s.ExpandedTableBytes)
+	ratio := 0.0
+	if s.BlobBytes > 0 {
+		ratio = float64(s.BlobBytesFixed) / float64(s.BlobBytes)
+	}
+	fmt.Printf("  blob bytes %d varint/delta-encoded vs %d fixed-width (%.2fx smaller on the wire)\n",
+		s.BlobBytes, s.BlobBytesFixed, ratio)
 	fmt.Printf("  generation time %s\n", s.GenTime)
 }
 

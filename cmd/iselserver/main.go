@@ -71,13 +71,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro"
-	"repro/internal/gen"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -94,6 +93,11 @@ func main() {
 	maxMachines := flag.Int("max-machines", 0, "keep at most N engines constructed, evicting the least recently used (0 = unlimited)")
 	maxTableBytes := flag.Int("max-table-bytes", 0, "byte budget for summed resident table bytes, evicting the least recently used machine when exceeded (0 = unlimited)")
 	shed := flag.Bool("shed", false, "shed load when the work queue is full (429 + Retry-After) instead of blocking the submitter")
+	role := flag.String("role", "standalone", "serving role: standalone, replica (fleet member with blob exchange), or router (fleet front end)")
+	peers := flag.String("peers", "", "comma-separated replica base URLs (the fleet's static membership; required for -role replica|router)")
+	self := flag.String("self", "", "this replica's base URL, exactly as it appears in -peers (required for -role replica)")
+	replication := flag.Int("replication", 2, "ring owners per machine (clamped to the fleet size)")
+	blobCache := flag.String("blob-cache", "", "replica blob-store directory for exchanged .isel artifacts (required for -role replica)")
 	flag.Parse()
 
 	cfg := serveConfig{
@@ -102,8 +106,21 @@ func main() {
 		workers: *workers, queue: *queue,
 		maxStates: *maxStates, maxMachines: *maxMachines, maxTableBytes: *maxTableBytes,
 		timeout: *timeout, shed: *shed,
+		role: *role, peers: splitList(*peers), self: *self,
+		replication: *replication, blobCache: *blobCache,
 	}
-	if err := run(cfg); err != nil {
+	var err error
+	switch cfg.role {
+	case "standalone":
+		err = run(cfg)
+	case "replica":
+		err = runReplica(cfg)
+	case "router":
+		err = runRouter(cfg)
+	default:
+		err = fmt.Errorf("unknown -role %q (standalone, replica, router)", cfg.role)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iselserver:", err)
 		os.Exit(1)
 	}
@@ -115,63 +132,94 @@ type serveConfig struct {
 	maxTableBytes                          int
 	timeout                                time.Duration
 	shed                                   bool
+
+	role, self, blobCache string
+	peers                 []string
+	replication           int
 }
 
-// recipe is how one machine should be served as of the last scan of the
-// artifact directories: the loaded machine, its engine kind and options,
-// and a human-readable note on what was resolved. The same resolution
-// runs at boot (to register) and on SIGHUP (to hot-swap).
-type recipe struct {
-	m      *repro.Machine
-	kind   repro.Kind
-	opt    repro.Options
-	detail string
-}
-
-// resolveRecipe decides how name should be served right now. With a
-// preload blob present, the blob's grammar fingerprint picks the engine:
-// full grammar + dynamic-cost rules → hybrid (fixed operators from the
-// blob, dynamic on-demand); full fixed-only grammar → offline; fixed
-// subset fingerprint → the stripped machine offline under the requested
-// name. Without a blob the machine serves with the fallback kind.
-func resolveRecipe(name, preloadDir, fallback string, maxStates int) (recipe, error) {
-	m, err := repro.LoadMachine(name)
-	if err != nil {
-		return recipe{}, err
-	}
-	if preloadDir != "" {
-		path := filepath.Join(preloadDir, name+".isel")
-		f, err := os.Open(path)
-		if err == nil {
-			hdr, err := gen.ReadHeader(f)
-			f.Close()
-			if err != nil {
-				return recipe{}, fmt.Errorf("%s: %w", path, err)
-			}
-			kind := repro.KindOffline
-			detail := "offline engine: full grammar, fully warm"
-			if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
-				fixed, err := m.FixedMachine()
-				if err != nil {
-					return recipe{}, err
-				}
-				if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
-					return recipe{}, fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
-						path, hdr.Grammar, name)
-				}
-				m = fixed
-				detail = "offline engine: fixed-cost subset, fully warm"
-			} else if m.Grammar.HasAnyDynRules() {
-				kind = repro.KindHybrid
-				detail = "hybrid engine: fixed operators warm, dynamic on-demand"
-			}
-			m.Name = name // serve under the requested name
-			return recipe{m: m, kind: kind, opt: repro.Options{PreloadPath: path}, detail: detail}, nil
-		} else if !os.IsNotExist(err) {
-			return recipe{}, err
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
 	}
-	return recipe{m: m, kind: repro.Kind(fallback), opt: repro.Options{MaxStates: maxStates}}, nil
+	return out
+}
+
+func (cfg serveConfig) machineList() []string { return splitList(cfg.machines) }
+
+// runReplica boots one fleet member: the full standalone serving stack
+// plus the cluster's blob exchange — owned machines are made warm (local
+// or peer blob, else compiled here and published) before the listener
+// opens; see internal/cluster.
+func runReplica(cfg serveConfig) error {
+	if cfg.blobCache == "" {
+		return fmt.Errorf("-role replica requires -blob-cache")
+	}
+	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
+		Self:         cfg.self,
+		Peers:        cfg.peers,
+		Machines:     cfg.machineList(),
+		Replication:  cfg.replication,
+		StoreDir:     cfg.blobCache,
+		PreloadDir:   cfg.preload,
+		FallbackKind: repro.Kind(cfg.kind),
+		MaxStates:    cfg.maxStates,
+		Server: server.Config{
+			Workers: cfg.workers, QueueDepth: cfg.queue,
+			RequestTimeout: cfg.timeout, ShedOnFull: cfg.shed,
+		},
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	rep.StartProbing(2 * time.Second)
+	fmt.Printf("iselserver: replica %s owns %s (fleet %s) on %s\n",
+		cfg.self, strings.Join(rep.Owned(), ","), strings.Join(cfg.peers, ","), cfg.addr)
+	return serveUntilSignal(cfg.addr, rep.Handler(), rep.Shutdown)
+}
+
+// runRouter boots the fleet front end: consistent-hash proxying with
+// failover, aggregated /stats, shard-aware /readyz.
+func runRouter(cfg serveConfig) error {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:         cfg.peers,
+		Machines:      cfg.machineList(),
+		Replication:   cfg.replication,
+		PerTryTimeout: cfg.timeout,
+		Logf:          func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	rt.StartProbing(2 * time.Second)
+	fmt.Printf("iselserver: router over %s (replication %d) on %s\n",
+		strings.Join(cfg.peers, ","), cfg.replication, cfg.addr)
+	return serveUntilSignal(cfg.addr, rt.Handler(), rt.Stop)
+}
+
+// serveUntilSignal runs handler on addr until SIGINT/SIGTERM, then drains
+// the HTTP listener and calls shutdown.
+func serveUntilSignal(addr string, handler http.Handler, shutdown func()) error {
+	hs := &http.Server{Addr: addr, Handler: handler}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("iselserver: %v, draining...\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	shutdown()
+	return err
 }
 
 func run(cfg serveConfig) error {
@@ -191,15 +239,15 @@ func run(cfg serveConfig) error {
 		if name == "" {
 			continue
 		}
-		rc, err := resolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
+		rc, err := cluster.ResolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
 		if err != nil {
 			return err
 		}
-		if err := reg.AddMachine(rc.m, rc.kind, rc.opt); err != nil {
+		if err := reg.AddMachine(rc.M, rc.Kind, rc.Opt); err != nil {
 			return err
 		}
-		if rc.detail != "" {
-			fmt.Printf("iselserver: %s preloaded from %s (%s)\n", name, rc.opt.PreloadPath, rc.detail)
+		if rc.Detail != "" {
+			fmt.Printf("iselserver: %s preloaded from %s (%s)\n", name, rc.Opt.PreloadPath, rc.Detail)
 		} else if cfg.preload != "" {
 			fmt.Printf("iselserver: no %s.isel in %s; serving %s with the %s engine\n", name, cfg.preload, name, cfg.kind)
 		}
@@ -308,20 +356,20 @@ loop:
 func rescan(reg *repro.Registry, names []string, cfg serveConfig) {
 	fmt.Printf("iselserver: SIGHUP, re-scanning artifacts and hot-swapping %s\n", strings.Join(names, ","))
 	for _, name := range names {
-		rc, err := resolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
+		rc, err := cluster.ResolveRecipe(name, cfg.preload, cfg.kind, cfg.maxStates)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iselserver: %s: %v; the old version keeps serving\n", name, err)
 			continue
 		}
-		if err := reg.SwapMachine(rc.m, rc.kind, rc.opt); err != nil {
+		if err := reg.SwapMachine(rc.M, rc.Kind, rc.Opt); err != nil {
 			fmt.Fprintf(os.Stderr, "iselserver: %s: %v\n", name, err)
 			continue
 		}
 		for _, st := range reg.Status() {
 			if st.Machine == name {
-				detail := rc.detail
+				detail := rc.Detail
 				if detail == "" {
-					detail = fmt.Sprintf("%s engine", rc.kind)
+					detail = fmt.Sprintf("%s engine", rc.Kind)
 				}
 				fmt.Printf("iselserver: %s now v%d (%s)\n", name, st.Version, detail)
 				break

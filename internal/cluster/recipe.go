@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// Recipe is how one machine should be served as of the last look at its
+// artifacts: the loaded machine, its engine kind and options, and a
+// human-readable note on what was resolved. cmd/iselserver resolves one
+// at boot and again on SIGHUP; a replica resolves one per owned machine
+// at boot and again on every blob-exchange preload — all through the
+// same election below, so a blob always picks the same engine no matter
+// which surface delivered it.
+type Recipe struct {
+	M      *repro.Machine
+	Kind   repro.Kind
+	Opt    repro.Options
+	Detail string
+}
+
+// ResolveRecipe decides how name should be served right now. With a
+// <name>.isel blob in preloadDir, the blob's grammar fingerprint picks
+// the engine: full grammar + dynamic-cost rules → hybrid (fixed
+// operators from the blob, dynamic on-demand); full fixed-only grammar →
+// offline; fixed-subset fingerprint → the stripped machine offline under
+// the requested name. Without a blob the machine serves with the
+// fallback kind.
+func ResolveRecipe(name, preloadDir, fallback string, maxStates int) (Recipe, error) {
+	if preloadDir != "" {
+		path := filepath.Join(preloadDir, name+".isel")
+		if _, err := os.Stat(path); err == nil {
+			return ResolveBlobRecipe(name, path)
+		} else if !os.IsNotExist(err) {
+			return Recipe{}, err
+		}
+	}
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		return Recipe{}, err
+	}
+	return Recipe{M: m, Kind: repro.Kind(fallback), Opt: repro.Options{MaxStates: maxStates}}, nil
+}
+
+// ResolveBlobRecipe elects the engine for name from the `.isel` artifact
+// at path (which must exist): the blob's fingerprint is matched against
+// the machine's full grammar and its fixed-cost subset exactly as
+// ResolveRecipe describes.
+func ResolveBlobRecipe(name, path string) (Recipe, error) {
+	m, err := repro.LoadMachine(name)
+	if err != nil {
+		return Recipe{}, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Recipe{}, err
+	}
+	hdr, err := gen.ReadHeader(f)
+	f.Close()
+	if err != nil {
+		return Recipe{}, fmt.Errorf("%s: %w", path, err)
+	}
+	kind := repro.KindOffline
+	detail := "offline engine: full grammar, fully warm"
+	if gen.Fingerprint(m.Grammar) != hdr.Fingerprint {
+		fixed, err := m.FixedMachine()
+		if err != nil {
+			return Recipe{}, err
+		}
+		if gen.Fingerprint(fixed.Grammar) != hdr.Fingerprint {
+			return Recipe{}, fmt.Errorf("%s: tables were generated for grammar %q, which matches neither machine %s nor its fixed subset (regenerate with iselgen)",
+				path, hdr.Grammar, name)
+		}
+		m = fixed
+		detail = "offline engine: fixed-cost subset, fully warm"
+	} else if m.Grammar.HasAnyDynRules() {
+		kind = repro.KindHybrid
+		detail = "hybrid engine: fixed operators warm, dynamic on-demand"
+	}
+	m.Name = name // serve under the requested name
+	return Recipe{M: m, Kind: kind, Opt: repro.Options{PreloadPath: path}, Detail: detail}, nil
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+// The fleet's agreement on ownership is exactly the agreement on the
+// member set: order, duplicates, and which participant computes the
+// owners must not matter.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"r1", "r2", "r3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"r3", "r1", "r2", "r1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("machine-%d", i)
+		for n := 1; n <= 3; n++ {
+			oa, ob := a.Owners(key, n), b.Owners(key, n)
+			if !reflect.DeepEqual(oa, ob) {
+				t.Fatalf("key %s n=%d: %v vs %v", key, n, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r, err := NewRing([]string{"r1", "r2", "r3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("m%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("key %s: owners %v", key, owners)
+		}
+		// n beyond the member count clamps to every member, still distinct.
+		all := r.Owners(key, 99)
+		if len(all) != 3 {
+			t.Fatalf("key %s: clamped owners %v", key, all)
+		}
+		seen := map[string]bool{}
+		for _, o := range all {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner in %v", key, all)
+			}
+			seen[o] = true
+		}
+		// n <= 0 means one owner.
+		if one := r.Owners(key, 0); len(one) != 1 || one[0] != owners[0] {
+			t.Fatalf("key %s: n=0 owners %v, want primary %s", key, one, owners[0])
+		}
+	}
+}
+
+func TestRingOwnsMatchesOwners(t *testing.T) {
+	r, err := NewRing([]string{"r1", "r2", "r3", "r4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("m%d", i)
+		owners := map[string]bool{}
+		for _, o := range r.Owners(key, 2) {
+			owners[o] = true
+		}
+		for _, m := range r.Members() {
+			if got := r.Owns(m, key, 2); got != owners[m] {
+				t.Fatalf("key %s member %s: Owns=%v, Owners say %v", key, m, got, owners[m])
+			}
+		}
+	}
+}
+
+// With 64 vnodes per member the key space must split across a small
+// fleet: over a few hundred keys every member should be primary for a
+// healthy share (this is deterministic — FNV over fixed strings).
+func TestRingSpread(t *testing.T) {
+	members := []string{"r1", "r2", "r3"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("machine-%d", i), 1)[0]]++
+	}
+	for _, m := range members {
+		if counts[m] < keys/10 {
+			t.Fatalf("member %s is primary for only %d/%d keys: %v", m, counts[m], keys, counts)
+		}
+	}
+}

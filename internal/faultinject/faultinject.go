@@ -48,9 +48,18 @@ type Point string
 // DynCost is fired by harness-side wrappers around grammar dynamic cost
 // functions (see internal/bench's swap scenario): arming it injects
 // panics or stalls into the middle of a labeling pass.
+// ReplicaDeath fires at a replica's compile intake (the HTTP front
+// end's submit path): arming it makes the replica fail jobs the way a
+// dying process does — the cluster failover tests assert the router
+// retries each such failure on the next replica with zero
+// client-visible errors. PeerSlow fires in the cluster's peer client
+// before every outbound peer call (proxied compile, blob fetch, health
+// probe): a Delay fault simulates a slow peer, an Err a partitioned one.
 const (
-	GenLoad Point = "gen.load"
-	DynCost Point = "dyn.cost"
+	GenLoad      Point = "gen.load"
+	DynCost      Point = "dyn.cost"
+	ReplicaDeath Point = "replica.death"
+	PeerSlow     Point = "peer.slow"
 )
 
 // Fault describes one injected behavior. Exactly the set fields happen,

@@ -13,22 +13,48 @@ import (
 	"repro/internal/grammar"
 )
 
-// The `.isel` wire format, version 1. Everything after the magic is
-// little-endian fixed-width integers, in a fully deterministic order, so
-// the same grammar always serializes to the same bytes (the golden-file
-// guarantee cmd/iselgen's committed outputs rely on).
+// The `.isel` wire format. Everything after the magic is little-endian
+// and fully deterministic, so the same grammar always serializes to the
+// same bytes (the golden-file guarantee cmd/iselgen's committed outputs
+// rely on). Two versions are live:
 //
-//	magic   "ISEL1\n"
+// Version 1 ("ISEL1\n") writes every table entry as a fixed-width u32.
+// Version 2 ("ISEL2\n") keeps the identical header but varint/delta-
+// encodes the table sections: state vectors, representer maps and
+// transition tables are runs of small, strongly correlated integers, so
+// each run is written as zigzag varints of the difference from the
+// previous entry. That is what makes `.isel` blobs cheap enough to be the
+// cluster's warm-state distribution plane — typically 2-4x smaller on the
+// wire than the fixed-width form (iselgen -stats reports both sizes).
+//
+//	magic   "ISEL1\n" or "ISEL2\n"
 //	u64     grammar fingerprint (Fingerprint; name + normal-form dump)
 //	u32     grammar-name length, then the name bytes (diagnostics only)
 //	u32×3   numOps, numNT, numStates
 //	u8×ops  operator arities (structure check against the loading grammar)
+//
+// Version 1 body:
+//
 //	states  numStates × numNT × (u32 delta, u32 rule)
 //	leaf    numOps × u32 state ids (^0 for non-leaf operators)
 //	projs   per operator, per child position < arity:
 //	            u32 nreps, then numStates × u32 representer ids
 //	trans   per unary operator:  u32 len, len × u32 state ids (t1)
 //	        per binary operator: u32 len, len × u32 state ids (t2)
+//
+// Version 2 body (svar = zigzag varint of the difference from the
+// previous entry of the same run, starting from 0; uvar = plain varint):
+//
+//	deltas  numStates × numNT svar (one run)
+//	rules   numStates × numNT svar (one run)
+//	leaf    numOps svar
+//	projs   per operator, per child position < arity:
+//	            uvar nreps, then numStates svar representer ids
+//	trans   per unary operator:  uvar len, len svar state ids (t1)
+//	        per binary operator: uvar len, len svar state ids (t2)
+//
+// Both versions end with:
+//
 //	u32     trailer 0x4c455349 ("ISEL" reversed) — truncation check
 //	u64     FNV-64a checksum of everything before it — content check
 //
@@ -36,13 +62,17 @@ import (
 // validation cannot see (a flipped cost bit still yields a well-formed
 // state vector); Decode verifies it before parsing a single table.
 //
-// Version bumps change the magic ("ISEL2\n", ...): loaders reject
-// unknown magics outright instead of guessing, and a fingerprint mismatch
-// rejects tables generated for any other grammar (or another revision of
-// the same grammar — the fingerprint covers the normal-form dump).
+// Loaders read both versions (a fleet mid-upgrade must keep exchanging
+// blobs); encoders write version 2. Unknown magics are rejected outright
+// instead of guessed at, and a fingerprint mismatch rejects tables
+// generated for any other grammar (or another revision of the same
+// grammar — the fingerprint covers the normal-form dump).
 const (
-	// Magic identifies (and versions) the blob format.
+	// Magic identifies version 1 (fixed-width table entries).
 	Magic = "ISEL1\n"
+	// MagicV2 identifies version 2 (varint/delta table entries) — what
+	// Encode writes.
+	MagicV2 = "ISEL2\n"
 	// trailer terminates a well-formed blob.
 	trailer uint32 = 0x4c455349
 )
@@ -50,6 +80,8 @@ const (
 // Header is the cheap-to-read prefix of a blob: enough to route it to the
 // right grammar (fingerprint matching) without decoding any table.
 type Header struct {
+	// Version is the format version (1 or 2).
+	Version     int
 	Fingerprint uint64
 	// Grammar is the name the tables were generated for (diagnostics; the
 	// fingerprint is the authority).
@@ -69,11 +101,22 @@ func Encode(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) error {
 	return err
 }
 
-// EncodeBytes is the canonical encoder: payload plus the trailing
-// FNV-64a content checksum.
+// EncodeBytes is the canonical encoder: a version-2 (varint/delta)
+// payload plus the trailing FNV-64a content checksum.
 func EncodeBytes(g *grammar.Grammar, ts *automaton.TableSet) ([]byte, error) {
+	return encodeBytes(g, ts, 2)
+}
+
+// EncodeBytesV1 writes the fixed-width version-1 form. Kept for the
+// old-version half of the round-trip suite (loaders must read both) and
+// for the encoded-vs-expanded size report of `iselgen -stats`.
+func EncodeBytesV1(g *grammar.Grammar, ts *automaton.TableSet) ([]byte, error) {
+	return encodeBytes(g, ts, 1)
+}
+
+func encodeBytes(g *grammar.Grammar, ts *automaton.TableSet, version int) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := encodePayload(&buf, g, ts); err != nil {
+	if err := encodePayload(&buf, g, ts, version); err != nil {
 		return nil, err
 	}
 	h := fnv.New64a()
@@ -84,18 +127,17 @@ func EncodeBytes(g *grammar.Grammar, ts *automaton.TableSet) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func encodePayload(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) error {
+func encodePayload(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet, version int) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(Magic); err != nil {
+	magic := Magic
+	if version == 2 {
+		magic = MagicV2
+	}
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	put64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
 	put := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
-	putIDs := func(ids []int32) {
-		for _, id := range ids {
-			put(uint32(id))
-		}
-	}
 	put64(Fingerprint(g))
 	put(uint32(len(g.Name)))
 	bw.WriteString(g.Name)
@@ -106,6 +148,23 @@ func encodePayload(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) erro
 	for op := 0; op < numOps; op++ {
 		bw.WriteByte(byte(g.Ops[op].Arity))
 	}
+	if version == 2 {
+		encodeBodyV2(bw, g, ts)
+	} else {
+		encodeBodyV1(bw, g, ts)
+	}
+	put(trailer)
+	return bw.Flush()
+}
+
+func encodeBodyV1(bw *bufio.Writer, g *grammar.Grammar, ts *automaton.TableSet) {
+	put := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	putIDs := func(ids []int32) {
+		for _, id := range ids {
+			put(uint32(id))
+		}
+	}
+	numOps, numNT, numStates := g.NumOps(), ts.NumNT, ts.NumStates()
 	for i := 0; i < numStates*numNT; i++ {
 		put(uint32(ts.Deltas[i]))
 		put(uint32(ts.Rules[i]))
@@ -127,8 +186,64 @@ func encodePayload(w io.Writer, g *grammar.Grammar, ts *automaton.TableSet) erro
 			putIDs(ts.T2[op])
 		}
 	}
-	put(trailer)
-	return bw.Flush()
+}
+
+// vwriter emits the version-2 varint sections.
+type vwriter struct {
+	bw  *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (v *vwriter) uvar(x uint64) {
+	n := binary.PutUvarint(v.tmp[:], x)
+	v.bw.Write(v.tmp[:n])
+}
+
+func (v *vwriter) svar(x int64) {
+	n := binary.PutVarint(v.tmp[:], x)
+	v.bw.Write(v.tmp[:n])
+}
+
+// run writes one delta-encoded run: each entry as the zigzag varint of
+// its difference from the previous entry (the first from 0).
+func (v *vwriter) run(ids []int32) {
+	prev := int64(0)
+	for _, id := range ids {
+		v.svar(int64(id) - prev)
+		prev = int64(id)
+	}
+}
+
+func encodeBodyV2(bw *bufio.Writer, g *grammar.Grammar, ts *automaton.TableSet) {
+	v := &vwriter{bw: bw}
+	// Deltas and Rules as two separate runs (not interleaved as in v1):
+	// each is self-correlated — normalized deltas repeat across states,
+	// rules repeat per nonterminal — so separating them is what makes the
+	// difference stream small.
+	prev := int64(0)
+	for _, d := range ts.Deltas {
+		v.svar(int64(d) - prev)
+		prev = int64(d)
+	}
+	v.run(ts.Rules)
+	v.run(ts.Leaf)
+	numOps := g.NumOps()
+	for op := 0; op < numOps; op++ {
+		for p := 0; p < g.Ops[op].Arity; p++ {
+			v.uvar(uint64(ts.NReps[op][p]))
+			v.run(ts.Mu[op][p])
+		}
+	}
+	for op := 0; op < numOps; op++ {
+		switch g.Ops[op].Arity {
+		case 1:
+			v.uvar(uint64(len(ts.T1[op])))
+			v.run(ts.T1[op])
+		case 2:
+			v.uvar(uint64(len(ts.T2[op])))
+			v.run(ts.T2[op])
+		}
+	}
 }
 
 // maxPlausible bounds counts read from a blob before any allocation, so a
@@ -173,17 +288,56 @@ func (r *reader) ids(n int) []int32 {
 	return out
 }
 
+func (r *reader) uvar() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.br)
+	r.err = err
+	return v
+}
+
+func (r *reader) svar() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.br)
+	r.err = err
+	return v
+}
+
+// run reads one delta-encoded run of n entries (the inverse of
+// vwriter.run).
+func (r *reader) run(n int) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	prev := int64(0)
+	for i := range out {
+		prev += r.svar()
+		out[i] = int32(prev)
+	}
+	return out
+}
+
 // readHeader consumes the blob prefix through the arity table.
 func readHeader(br *bufio.Reader) (*Header, []int, error) {
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, nil, fmt.Errorf("gen: reading blob header: %w", err)
 	}
-	if string(magic) != Magic {
-		return nil, nil, fmt.Errorf("gen: not a .isel blob (or an unsupported version): magic %q, want %q", magic, Magic)
+	version := 0
+	switch string(magic) {
+	case Magic:
+		version = 1
+	case MagicV2:
+		version = 2
+	default:
+		return nil, nil, fmt.Errorf("gen: not a .isel blob (or an unsupported version): magic %q, want %q or %q", magic, Magic, MagicV2)
 	}
 	r := &reader{br: br}
-	h := &Header{Fingerprint: r.u64()}
+	h := &Header{Version: version, Fingerprint: r.u64()}
 	nameLen := r.u32()
 	if r.err == nil && nameLen > maxPlausible {
 		return nil, nil, fmt.Errorf("gen: implausible grammar-name length %d", nameLen)
@@ -215,22 +369,23 @@ func readHeader(br *bufio.Reader) (*Header, []int, error) {
 
 // ReadHeader reads just the routing prefix of a blob: the front ends use
 // it to match a blob file against a machine's grammar (full vs stripped
-// fingerprint) before paying for a decode.
+// fingerprint) before paying for a decode, and the blob-exchange surface
+// uses its fingerprint as the content-negotiation ETag.
 func ReadHeader(r io.Reader) (*Header, error) {
 	h, _, err := readHeader(bufio.NewReader(r))
 	return h, err
 }
 
 // Decode reads a blob generated for exactly g and returns its table set.
-// The content checksum is verified first (any corruption — header, body
-// or truncation — fails here), then a fingerprint mismatch — tables for
-// another grammar, or for another revision of this one — is rejected
-// before any table is decoded.
+// Both format versions are accepted. The content checksum is verified
+// first (any corruption — header, body or truncation — fails here), then
+// a fingerprint mismatch — tables for another grammar, or for another
+// revision of this one — is rejected before any table is decoded.
 func Decode(g *grammar.Grammar, rd io.Reader) (*automaton.TableSet, error) {
 	// Fault-injection seam: inert (one atomic load) unless a robustness
 	// test armed it to simulate a corrupt or truncated blob at load time.
 	// Decode is the one gate every blob load passes — preload, hot-swap
-	// re-read, hybrid overlay, in-process round trip.
+	// re-read, hybrid overlay, in-process round trip, cluster transfer.
 	if err := faultinject.Fire(faultinject.GenLoad); err != nil {
 		return nil, fmt.Errorf("gen: reading blob: %w", err)
 	}
@@ -277,15 +432,26 @@ func Decode(g *grammar.Grammar, rd io.Reader) (*automaton.TableSet, error) {
 	}
 
 	r := &reader{br: br}
-	ts := &automaton.TableSet{
-		NumNT:  h.NumNT,
-		Deltas: make([]grammar.Cost, h.States*h.NumNT),
-		Rules:  make([]int32, h.States*h.NumNT),
-		NReps:  make([][2]int32, h.NumOps),
-		Mu:     make([][2][]int32, h.NumOps),
-		T1:     make([][]int32, h.NumOps),
-		T2:     make([][]int32, h.NumOps),
+	var ts *automaton.TableSet
+	if h.Version == 2 {
+		ts, err = decodeBodyV2(r, h, arities)
+	} else {
+		ts, err = decodeBodyV1(r, h, arities)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if tr := r.u32(); r.err == nil && tr != trailer {
+		return nil, fmt.Errorf("gen: blob trailer mismatch (%08x): truncated or corrupt", tr)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("gen: decoding blob for %s: %w", g.Name, r.err)
+	}
+	return ts, nil
+}
+
+func decodeBodyV1(r *reader, h *Header, arities []int) (*automaton.TableSet, error) {
+	ts := newTableSet(h)
 	for i := range ts.Deltas {
 		if r.err != nil {
 			break // a short payload fails once below, not per entry
@@ -318,13 +484,58 @@ func Decode(g *grammar.Grammar, rd io.Reader) (*automaton.TableSet, error) {
 			ts.T2[op] = r.ids(int(n))
 		}
 	}
-	if tr := r.u32(); r.err == nil && tr != trailer {
-		return nil, fmt.Errorf("gen: blob trailer mismatch (%08x): truncated or corrupt", tr)
+	return ts, nil
+}
+
+func decodeBodyV2(r *reader, h *Header, arities []int) (*automaton.TableSet, error) {
+	ts := newTableSet(h)
+	prev := int64(0)
+	for i := range ts.Deltas {
+		if r.err != nil {
+			break
+		}
+		prev += r.svar()
+		ts.Deltas[i] = grammar.Cost(int32(prev))
 	}
-	if r.err != nil {
-		return nil, fmt.Errorf("gen: decoding blob for %s: %w", g.Name, r.err)
+	ts.Rules = r.run(h.States * h.NumNT)
+	ts.Leaf = r.run(h.NumOps)
+	for op := 0; op < h.NumOps; op++ {
+		for p := 0; p < arities[op]; p++ {
+			nreps := r.uvar()
+			if r.err == nil && nreps > maxPlausible {
+				return nil, fmt.Errorf("gen: implausible representer count %d", nreps)
+			}
+			ts.NReps[op][p] = int32(nreps)
+			ts.Mu[op][p] = r.run(h.States)
+		}
+	}
+	for op := 0; op < h.NumOps; op++ {
+		if arities[op] == 0 {
+			continue
+		}
+		n := r.uvar()
+		if r.err == nil && n > maxPlausible {
+			return nil, fmt.Errorf("gen: implausible transition count %d", n)
+		}
+		if arities[op] == 1 {
+			ts.T1[op] = r.run(int(n))
+		} else {
+			ts.T2[op] = r.run(int(n))
+		}
 	}
 	return ts, nil
+}
+
+func newTableSet(h *Header) *automaton.TableSet {
+	return &automaton.TableSet{
+		NumNT:  h.NumNT,
+		Deltas: make([]grammar.Cost, h.States*h.NumNT),
+		Rules:  make([]int32, h.States*h.NumNT),
+		NReps:  make([][2]int32, h.NumOps),
+		Mu:     make([][2][]int32, h.NumOps),
+		T1:     make([][]int32, h.NumOps),
+		T2:     make([][]int32, h.NumOps),
+	}
 }
 
 // Load decodes a blob for g and reconstitutes the labeling automaton in

@@ -57,7 +57,11 @@ type Stats struct {
 	Representers      int
 	TransitionEntries int
 	// TableBytes is the in-memory footprint of the compact (compressed)
-	// automaton; BlobBytes the size of the serialized `.isel` form.
+	// automaton; BlobBytes the size of the serialized `.isel` form
+	// (version 2: varint/delta-encoded state vectors — the wire form the
+	// cluster's blob exchange ships). BlobBytesFixed is the same table set
+	// in the fixed-width v1 encoding, so the encoded-vs-expanded ratio the
+	// v2 format buys on the wire is visible in `iselgen -stats`.
 	// ExpandedTableBytes is the footprint a serving process actually pays:
 	// the preloaded offline engine expands the compressed tables into
 	// direct state-indexed arrays at load time (automaton.Static.Expand),
@@ -66,6 +70,7 @@ type Stats struct {
 	TableBytes         int
 	ExpandedTableBytes int
 	BlobBytes          int
+	BlobBytesFixed     int
 	GenTime            time.Duration
 }
 
@@ -109,6 +114,10 @@ func Compile(g *grammar.Grammar, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	fixed, err := EncodeBytesV1(g, ts)
+	if err != nil {
+		return nil, err
+	}
 	elapsed := time.Since(start)
 	st := g.ComputeStats()
 	res := &Result{
@@ -128,6 +137,7 @@ func Compile(g *grammar.Grammar, cfg Config) (*Result, error) {
 			TableBytes:         a.MemoryBytes(),
 			ExpandedTableBytes: a.MemoryBytes() + a.ExpandBytes(),
 			BlobBytes:          len(blob),
+			BlobBytesFixed:     len(fixed),
 			GenTime:            elapsed,
 		},
 	}

@@ -3,6 +3,7 @@ package gen
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/automaton"
@@ -142,6 +143,73 @@ func mustResult(t *testing.T, g *grammar.Grammar) *Result {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// TestFormatVersions: both live wire versions must round-trip — the v2
+// varint/delta form Encode writes and the v1 fixed-width form older
+// fleets still ship — decoding to identical table sets, with v2 strictly
+// smaller (it is the cluster's wire form; size is the point).
+func TestFormatVersions(t *testing.T) {
+	check := func(t *testing.T, g *grammar.Grammar, res *Result) {
+		v1, err := EncodeBytesV1(g, res.Tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := ReadHeader(bytes.NewReader(res.Blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1, err := ReadHeader(bytes.NewReader(v1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h2.Version != 2 || h1.Version != 1 {
+			t.Fatalf("versions: blob %d (want 2), fixed-width %d (want 1)", h2.Version, h1.Version)
+		}
+		if h1.Fingerprint != h2.Fingerprint || h1.States != h2.States {
+			t.Fatalf("headers disagree across versions: %+v vs %+v", h1, h2)
+		}
+		ts2, err := Decode(g, bytes.NewReader(res.Blob))
+		if err != nil {
+			t.Fatalf("decoding v2: %v", err)
+		}
+		ts1, err := Decode(g, bytes.NewReader(v1))
+		if err != nil {
+			t.Fatalf("decoding v1: %v", err)
+		}
+		if !reflect.DeepEqual(ts1, ts2) {
+			t.Fatal("v1 and v2 decode to different table sets")
+		}
+		if len(res.Blob) >= len(v1) {
+			t.Errorf("v2 blob (%d bytes) not smaller than fixed-width v1 (%d bytes)", len(res.Blob), len(v1))
+		}
+		if res.Stats.BlobBytesFixed != len(v1) {
+			t.Errorf("Stats.BlobBytesFixed = %d, v1 encoding is %d bytes", res.Stats.BlobBytesFixed, len(v1))
+		}
+		// Corruption must be rejected in the v1 path too (the shared
+		// content checksum, not the v2 decoder, is the guard).
+		bad := append([]byte(nil), v1...)
+		bad[len(Magic)+20] ^= 0x40
+		if _, err := Decode(g, bytes.NewReader(bad)); err == nil {
+			t.Error("Decode accepted a corrupted v1 blob")
+		}
+	}
+	for _, name := range md.Names() {
+		t.Run(name+".fixed", func(t *testing.T) {
+			g := fixedGrammar(t, name)
+			check(t, g, mustResult(t, g))
+		})
+	}
+	// The hybrid fixed-subset closure ships over the same wire: both
+	// versions must round-trip it too.
+	t.Run("x86.hybrid", func(t *testing.T) {
+		g := md.MustLoad("x86").Grammar
+		res, err := CompileHybrid(g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, g, res)
+	})
 }
 
 // TestCompileRejectsDynamic: grammars with dynamic rules cannot be

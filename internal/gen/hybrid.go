@@ -49,6 +49,10 @@ func CompileHybrid(g *grammar.Grammar, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	fixed, err := EncodeBytesV1(g, ts)
+	if err != nil {
+		return nil, err
+	}
 	// Build the serving overlay once here as a self-check (the same
 	// validation a preloading server will run) and to account the expanded
 	// serving footprint.
@@ -74,6 +78,7 @@ func CompileHybrid(g *grammar.Grammar, cfg Config) (*Result, error) {
 			TableBytes:         gst.TableBytes,
 			ExpandedTableBytes: gst.TableBytes + ov.MemoryBytes(),
 			BlobBytes:          len(blob),
+			BlobBytesFixed:     len(fixed),
 			GenTime:            elapsed,
 		},
 	}, nil

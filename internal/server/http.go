@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 )
 
@@ -161,6 +162,14 @@ func compileErrorCode(err error) int {
 }
 
 func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
+	// Fault-injection seam: inert (one atomic load) in production. Arming
+	// ReplicaDeath makes this replica refuse compile intake the way a
+	// dying process does (503, the router's failover trigger), which is
+	// how the cluster tests kill a replica mid-traffic deterministically.
+	if err := faultinject.Fire(faultinject.ReplicaDeath); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "replica failing: %v", err)
+		return
+	}
 	var req CompileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)

@@ -101,6 +101,63 @@ func TestOfflineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOfflineServesOldFormatVersion: the differential guarantee must hold
+// across wire versions — an offline selector loading a fixed-width v1
+// blob (what an un-upgraded fleet member still ships over the blob
+// exchange) labels and emits identically to one loading the current
+// varint v2 form.
+func TestOfflineServesOldFormatVersion(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range repro.Machines() {
+		t.Run(name, func(t *testing.T) {
+			m, err := repro.LoadMachine(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := m.FixedMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := gen.Compile(fixed.Grammar, gen.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1, err := gen.EncodeBytesV1(fixed.Grammar, res.Tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pathV1 := filepath.Join(dir, name+".v1.isel")
+			pathV2 := filepath.Join(dir, name+".v2.isel")
+			if err := os.WriteFile(pathV1, v1, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(pathV2, res.Blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fromV1, err := fixed.NewSelector(repro.KindOffline, repro.Options{PreloadPath: pathV1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromV2, err := fixed.NewSelector(repro.KindOffline, repro.Options{PreloadPath: pathV2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			roots, inner, leaf := opSplit(fixed.Grammar)
+			for seed := 0; seed < 25; seed++ {
+				f := ir.RandomForest(fixed.Grammar, diffConfig(seed, roots, inner, leaf))
+				out1, err1 := fromV1.Compile(context.Background(), f)
+				out2, err2 := fromV2.Compile(context.Background(), f)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d: v1 err=%v v2 err=%v", seed, err1, err2)
+				}
+				if err1 == nil && (out1.Asm != out2.Asm || out1.Cost != out2.Cost) {
+					t.Fatalf("seed %d: v1-loaded tables compile differently from v2-loaded ones", seed)
+				}
+			}
+		})
+	}
+}
+
 // TestOfflineRejectsDynamicAndWrongBlob: the offline kind refuses
 // dynamic-cost grammars and blobs generated for another grammar.
 func TestOfflineRejectsDynamicAndWrongBlob(t *testing.T) {
