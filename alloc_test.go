@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/md"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -241,6 +242,41 @@ func TestWarmHybridCompileAllocsAreResultOnly(t *testing.T) {
 	}
 	if allocs != float64(len(fs)) {
 		t.Errorf("warm hybrid Compile allocates %.1f per corpus pass, want exactly %d (one *Output per call)",
+			allocs, len(fs))
+	}
+}
+
+// TestWarmCompileObservedAllocsAreResultOnly: the telemetry plane must
+// be paid for — a warm CompileObserved carrying live counters AND a
+// pooled trace allocates exactly what plain Compile does: one *Output
+// per call. Stage marks are monotonic clock reads into a fixed struct;
+// histogram records (done by the server, not here) are atomic adds.
+// This is the "zero-overhead" in the telemetry plane's contract.
+func TestWarmCompileObservedAllocsAreResultOnly(t *testing.T) {
+	sel, fs := warmSelector(t, "x86", true)
+	ctx := context.Background()
+	var jm repro.Counters
+	var pool telemetry.TracePool
+	for _, f := range fs { // warm the emitter pool and intern the asm texts
+		tr := pool.Get("x86", "ondemand", "alloc-test")
+		if _, err := sel.CompileObserved(ctx, f, &jm, tr); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(tr)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, f := range fs {
+			tr := pool.Get("x86", "ondemand", "alloc-test")
+			sel.CompileObserved(ctx, f, &jm, tr)
+			pool.Put(tr)
+		}
+	})
+	t.Logf("warm CompileObserved: %.1f allocs per corpus pass over %d forests", allocs, len(fs))
+	if raceEnabled {
+		return
+	}
+	if allocs != float64(len(fs)) {
+		t.Errorf("warm CompileObserved allocates %.1f per corpus pass, want exactly %d (telemetry must be free)",
 			allocs, len(fs))
 	}
 }

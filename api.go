@@ -84,6 +84,7 @@ import (
 	"repro/internal/md"
 	"repro/internal/metrics"
 	"repro/internal/reduce"
+	"repro/internal/telemetry"
 )
 
 // Re-exported core types, so API users can name them.
@@ -110,6 +111,11 @@ type (
 	// Labeler is the engine interface every selector kind implements:
 	// labeling plus automaton table statistics.
 	Labeler = reduce.Labeler
+	// Trace is a per-request stage timeline (lease, queue, label,
+	// reduce, emit). Compile stamps it at stage boundaries under
+	// WithTrace/CompileObserved; the compilation server pools and
+	// aggregates them (see internal/telemetry).
+	Trace = telemetry.Trace
 )
 
 // Inf is the infinite cost (rule not applicable).
@@ -387,6 +393,9 @@ type compileConfig struct {
 	counters *Counters
 	costOnly bool
 	workers  int
+	// trace, when non-nil, receives stage-boundary stamps (label,
+	// reduce, emit). A nil trace costs one pointer test per boundary.
+	trace *telemetry.Trace
 }
 
 // WithCounters attributes this one call's labeling and reduction events to
@@ -396,6 +405,16 @@ type compileConfig struct {
 // account one shared warm engine's work to individual clients.
 func WithCounters(c *Counters) CompileOption {
 	return func(cfg *compileConfig) { cfg.counters = c }
+}
+
+// WithTrace records this call's stage boundaries into tr, which must
+// have been Begin()-stamped (telemetry.TracePool does). The instrument
+// cost is one monotonic clock read per stage boundary — the warm path
+// stays allocation-free, which alloc_test.go and the PF trajectory's
+// telemetry column gate. Callers on the serving hot path use
+// CompileObserved instead to avoid the option-closure heap allocation.
+func WithTrace(tr *Trace) CompileOption {
+	return func(cfg *compileConfig) { cfg.trace = tr }
 }
 
 // CostOnly skips emission: the call labels and reduces only, and the
@@ -457,7 +476,7 @@ func resolveOpts(opts []CompileOption) compileConfig {
 
 func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (*Output, error) {
 	if cfg.costOnly {
-		cost, err := s.selectCostWorkers(ctx, f, cfg.counters, cfg.workers)
+		cost, err := s.selectCostTraced(ctx, f, cfg.counters, cfg.workers, cfg.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -466,7 +485,9 @@ func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := cfg.trace
 	lab, err := s.labelChecked(f, cfg.counters, cfg.workers)
+	tr.Mark(telemetry.StageLabel)
 	if err != nil {
 		return nil, err
 	}
@@ -474,11 +495,18 @@ func (s *Selector) compile(ctx context.Context, f *Forest, cfg *compileConfig) (
 	em := s.emitters.Get().(*emit.Emitter)
 	defer s.emitters.Put(em)
 	em.Reset()
+	// StageReduce includes the emission visitor callbacks the reducer
+	// interleaves — splitting them out would need a per-node stamp the
+	// warm path can't afford. StageEmit is finalization only: assembly
+	// interning and instruction accounting.
 	cost, err := s.rd.CoverContext(ctx, f, lab, em.Visitor(), cfg.counters)
+	tr.Mark(telemetry.StageReduce)
 	if err != nil {
 		return nil, err
 	}
-	return &Output{Asm: em.Asm(), Instructions: em.Instructions(), Cost: cost}, nil
+	out := &Output{Asm: em.Asm(), Instructions: em.Instructions(), Cost: cost}
+	tr.Mark(telemetry.StageEmit)
+	return out, nil
 }
 
 // selectCost is the shared cost-only path: label + reduce, no emitter and
@@ -489,15 +517,24 @@ func (s *Selector) selectCost(ctx context.Context, f *Forest, m *Counters) (Cost
 
 // selectCostWorkers is selectCost with optional level-parallel labeling.
 func (s *Selector) selectCostWorkers(ctx context.Context, f *Forest, m *Counters, workers int) (Cost, error) {
+	return s.selectCostTraced(ctx, f, m, workers, nil)
+}
+
+// selectCostTraced is the traced form: label and reduce stamps, no
+// emit stage (cost-only calls elide emission).
+func (s *Selector) selectCostTraced(ctx context.Context, f *Forest, m *Counters, workers int, tr *telemetry.Trace) (Cost, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	lab, err := s.labelChecked(f, m, workers)
+	tr.Mark(telemetry.StageLabel)
 	if err != nil {
 		return 0, err
 	}
 	defer s.releaseLabeling(lab)
-	return s.rd.CoverContext(ctx, f, lab, nil, m)
+	cost, err := s.rd.CoverContext(ctx, f, lab, nil, m)
+	tr.Mark(telemetry.StageReduce)
+	return cost, err
 }
 
 // labelChecked labels f, converting the engine's typed state-budget panic
@@ -515,6 +552,17 @@ func (s *Selector) labelChecked(f *Forest, m *Counters, workers int) (lab reduce
 		}
 	}()
 	return s.labelMetered(f, m, workers), nil
+}
+
+// CompileObserved is Compile with per-call counter attribution and
+// trace stage stamps: the compilation server's hot path. Like the
+// deprecated shims it constructs its config directly — no variadic
+// slice, no option closures — which keeps the warm observed Compile at
+// exactly the same allocations as the bare one (its one *Output).
+// Either argument may be nil.
+func (s *Selector) CompileObserved(ctx context.Context, f *Forest, m *Counters, tr *Trace) (*Output, error) {
+	cfg := compileConfig{counters: m, trace: tr}
+	return s.compile(ctx, f, &cfg)
 }
 
 // CompileMetered is Compile with per-call counter attribution.

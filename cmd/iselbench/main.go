@@ -56,7 +56,9 @@ func main() {
 	killReplica := flag.Int("kill-replica", -1, "halfway through the -replicas replay, hard-kill the primary ring owner of the Nth served machine (asserting zero failed client requests and real failovers; -1 = off)")
 	perfOut := flag.String("perf-out", "", "write the PF experiment's report to this JSON file (e.g. BENCH_PR3.json)")
 	perfPasses := flag.Int("perf-passes", 30, "timed corpus passes per grammar for PF")
+	traceOut := flag.String("trace-out", "", "after the SV replay, dump the serving tier's slowlog (slowest requests with per-stage spans; hop chains in -replicas mode) as JSON to this file")
 	flag.Parse()
+	bench.SVTraceDump = *traceOut
 
 	ws, err := parseCounts("-workers", *workers)
 	if err != nil {

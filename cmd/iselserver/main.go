@@ -19,6 +19,16 @@
 //	GET  /stats                every registered machine's warmth, version and drain state
 //	GET  /readyz               200 once every boot machine is warm and no swap is mid-cutover
 //	GET  /healthz              200 while the process accepts work at all
+//	GET  /metrics              Prometheus text exposition: counters, gauges, stage histograms
+//	GET  /version              build identity, uptime, per-machine grammar fingerprints
+//	GET  /debug/slowlog        the N slowest requests with per-stage timings (and, on the
+//	                           router, the failover hop chain naming every owner tried)
+//
+// Every compile response carries an X-Isel-Trace header summarizing the
+// batch's slowest job stage by stage; ?trace=1 adds the full per-output
+// timelines to the body. -pprof mounts net/http/pprof under
+// /debug/pprof/ (all roles); -log-level sets the leveled logger's
+// threshold.
 //
 // The machine query parameter picks the machine description; without it,
 // requests land on the first -machines entry. -timeout bounds each job
@@ -69,6 +79,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +89,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -98,8 +110,15 @@ func main() {
 	self := flag.String("self", "", "this replica's base URL, exactly as it appears in -peers (required for -role replica)")
 	replication := flag.Int("replication", 2, "ring owners per machine (clamped to the fleet size)")
 	blobCache := flag.String("blob-cache", "", "replica blob-store directory for exchanged .isel artifacts (required for -role replica)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling is opt-in)")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn, error")
 	flag.Parse()
 
+	lv, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselserver:", err)
+		os.Exit(2)
+	}
 	cfg := serveConfig{
 		machines: *machines, kind: *kind, addr: *addr,
 		autoDir: *autoDir, preload: *preload,
@@ -108,8 +127,9 @@ func main() {
 		timeout: *timeout, shed: *shed,
 		role: *role, peers: splitList(*peers), self: *self,
 		replication: *replication, blobCache: *blobCache,
+		pprof: *pprofOn,
+		log:   telemetry.NewLogger(os.Stdout, lv),
 	}
-	var err error
 	switch cfg.role {
 	case "standalone":
 		err = run(cfg)
@@ -136,6 +156,27 @@ type serveConfig struct {
 	role, self, blobCache string
 	peers                 []string
 	replication           int
+
+	pprof bool
+	log   *telemetry.Logger
+}
+
+// mount wraps a role's handler with the process-wide debug surface:
+// net/http/pprof under /debug/pprof/ when -pprof is set (opt-in — an
+// open profiler is not a default any fleet wants). Everything else
+// passes through to the role handler.
+func (cfg serveConfig) mount(h http.Handler) http.Handler {
+	if !cfg.pprof {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func splitList(s string) []string {
@@ -171,15 +212,15 @@ func runReplica(cfg serveConfig) error {
 			Workers: cfg.workers, QueueDepth: cfg.queue,
 			RequestTimeout: cfg.timeout, ShedOnFull: cfg.shed,
 		},
-		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		Logf: cfg.log.Printf(telemetry.LevelInfo, "cluster"),
 	})
 	if err != nil {
 		return err
 	}
 	rep.StartProbing(2 * time.Second)
-	fmt.Printf("iselserver: replica %s owns %s (fleet %s) on %s\n",
+	cfg.log.Infof("boot", "replica %s owns %s (fleet %s) on %s",
 		cfg.self, strings.Join(rep.Owned(), ","), strings.Join(cfg.peers, ","), cfg.addr)
-	return serveUntilSignal(cfg.addr, rep.Handler(), rep.Shutdown)
+	return serveUntilSignal(cfg.addr, cfg.mount(rep.Handler()), rep.Shutdown)
 }
 
 // runRouter boots the fleet front end: consistent-hash proxying with
@@ -190,15 +231,15 @@ func runRouter(cfg serveConfig) error {
 		Machines:      cfg.machineList(),
 		Replication:   cfg.replication,
 		PerTryTimeout: cfg.timeout,
-		Logf:          func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		Logf:          cfg.log.Printf(telemetry.LevelInfo, "router"),
 	})
 	if err != nil {
 		return err
 	}
 	rt.StartProbing(2 * time.Second)
-	fmt.Printf("iselserver: router over %s (replication %d) on %s\n",
+	cfg.log.Infof("boot", "router over %s (replication %d) on %s",
 		strings.Join(cfg.peers, ","), cfg.replication, cfg.addr)
-	return serveUntilSignal(cfg.addr, rt.Handler(), rt.Stop)
+	return serveUntilSignal(cfg.addr, cfg.mount(rt.Handler()), rt.Stop)
 }
 
 // serveUntilSignal runs handler on addr until SIGINT/SIGTERM, then drains
@@ -224,6 +265,8 @@ func serveUntilSignal(addr string, handler http.Handler, shutdown func()) error 
 
 func run(cfg serveConfig) error {
 	reg := repro.NewRegistry()
+	// Quarantines and swap fallbacks are operator-actionable: warn level.
+	reg.SetLogger(cfg.log.Printf(telemetry.LevelWarn, "registry"))
 	if cfg.autoDir != "" {
 		reg.SetAutomatonDir(cfg.autoDir)
 	}
@@ -289,7 +332,7 @@ func run(cfg serveConfig) error {
 		Workers: cfg.workers, QueueDepth: cfg.queue,
 		RequestTimeout: cfg.timeout, ShedOnFull: cfg.shed,
 	})
-	hs := &http.Server{Addr: cfg.addr, Handler: server.NewHandler(srv)}
+	hs := &http.Server{Addr: cfg.addr, Handler: cfg.mount(server.NewHandler(srv))}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)

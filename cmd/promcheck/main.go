@@ -1,0 +1,45 @@
+// Command promcheck validates a Prometheus text exposition read from
+// stdin (or the files named as arguments): every line must be a
+// well-formed comment, HELP/TYPE header, or sample. It prints the
+// sample count and exits nonzero on the first malformed line — the CI
+// smoke gate for the serving tier's /metrics endpoints, with no
+// external prometheus dependency.
+//
+// Usage:
+//
+//	curl -s localhost:8931/metrics | promcheck
+//	promcheck scrape1.txt scrape2.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		n, err := telemetry.ParseProm(os.Stdin)
+		report("stdin", n, err)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		n, err := telemetry.ParseProm(f)
+		f.Close()
+		report(path, n, err)
+	}
+}
+
+func report(src string, n int, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: %d samples ok\n", src, n)
+}

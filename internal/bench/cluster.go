@@ -151,6 +151,9 @@ func BootCluster(gnames []string, replicas, replication int, storeRoot string, w
 		Machines:    gnames,
 		Replication: replication,
 		Logf:        func(string, ...any) {},
+		// A deep slowlog: the harness asserts failover hop chains are
+		// retained, and fast normal requests must not evict them.
+		SlowlogSize: 256,
 	})
 	if err != nil {
 		f.Close()
@@ -388,6 +391,20 @@ func RunClusterSV(gnames []string, replicas, replication, clients, passes, worke
 		return nil, nil, fmt.Errorf("killed the primary owner mid-traffic but the router never failed over")
 	}
 
+	// Telemetry-plane acceptance: the fleet is /metrics-scrapable, the
+	// aggregated per-stage histograms carry real latencies, and (in the
+	// kill scenario) the failover is visible as a router hop chain
+	// naming the owners it tried.
+	samples, hopEntry, err := CheckFleetTelemetry(fleet.RouterS.URL, fs, kill >= 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if SVTraceDump != "" {
+		if err := dumpSlowlog(SVTraceDump, "router", fleet.Router.SlowlogEntries()); err != nil {
+			return nil, nil, fmt.Errorf("writing -trace-out: %w", err)
+		}
+	}
+
 	totalNodes := int64(clients * passes * nodesPerPass)
 	ns := float64(elapsed.Nanoseconds()) / float64(totalNodes)
 	label := strings.Join(gnames, "+")
@@ -405,6 +422,17 @@ func RunClusterSV(gnames []string, replicas, replication, clients, passes, worke
 	}
 	t.Note("every shard warm via the blob exchange before the first request: %d AOT compilations for %d machines, %d peer warm-starts", aot, len(gnames), shared)
 	t.Note("aggregated per-client counters verified to sum exactly to the aggregated fleet-global counters")
+	t.Note("router /metrics parsed as well-formed prometheus text (%d samples); fleet-merged stage histograms carry nonzero label-stage p99", samples)
+	if hopEntry != nil {
+		hops := ""
+		for i, h := range hopEntry.Hops {
+			if i > 0 {
+				hops += " -> "
+			}
+			hops += h.Peer
+		}
+		t.Note("failover visible in the router slowlog: request id=%d tried %s", hopEntry.ID, hops)
+	}
 	rows := []SVRow{{
 		Grammar: label, Clients: clients, Workers: workers, Passes: passes,
 		Jobs: fs.Jobs, Nodes: totalNodes, NsPerNode: ns, KNodesPerS: 1e6 / ns,

@@ -124,8 +124,8 @@ func TestMarkdownDiff(t *testing.T) {
 	// Every table line must have the same column count — a malformed GFM
 	// table renders as prose.
 	for _, line := range strings.Split(md, "\n") {
-		if strings.HasPrefix(line, "|") && strings.Count(line, "|") != 9 {
-			t.Errorf("table line has %d pipes, want 9: %q", strings.Count(line, "|"), line)
+		if strings.HasPrefix(line, "|") && strings.Count(line, "|") != 10 {
+			t.Errorf("table line has %d pipes, want 10: %q", strings.Count(line, "|"), line)
 		}
 	}
 }

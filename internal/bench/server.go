@@ -293,6 +293,14 @@ func runServerConfig(ms []*svMachine, label string, clients, workers, passes, no
 			label, clients, &merged, &global)
 	}
 
+	if SVTraceDump != "" {
+		// Each configuration overwrites the dump; the file ends holding
+		// the last (highest-clients) configuration's slowlog.
+		if err := dumpSlowlog(SVTraceDump, fmt.Sprintf("server clients=%d", clients), srv.SlowlogEntries()); err != nil {
+			return SVRow{}, fmt.Errorf("writing -trace-out: %w", err)
+		}
+	}
+
 	nodes := int64(clients * passes * nodesPerPass)
 	ns := float64(elapsed.Nanoseconds()) / float64(nodes)
 	states, trans := 0, 0

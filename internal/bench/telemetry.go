@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// SVTraceDump, when set before an SV replay (cmd/iselbench -trace-out),
+// names a file the serving tier's slowlog is dumped to as JSON after the
+// replay: the slowest requests with their per-stage spans — and, for the
+// -replicas fleet, the router's hop chains showing which owners each
+// failover tried. The in-process replay dumps the last configuration's
+// slowlog (the highest client count).
+var SVTraceDump string
+
+// slowlogDump is the -trace-out file schema.
+type slowlogDump struct {
+	Scope   string            `json:"scope"` // "server clients=8" or "router"
+	Entries []telemetry.Entry `json:"entries"`
+}
+
+func dumpSlowlog(path, scope string, entries []telemetry.Entry) error {
+	b, err := json.MarshalIndent(slowlogDump{Scope: scope, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// CheckFleetTelemetry asserts the telemetry-plane acceptance on a
+// quiescent fleet:
+//
+//   - the router's GET /metrics parses as a well-formed Prometheus text
+//     exposition (via the in-repo checker — the same gate CI's curl
+//     smoke uses);
+//   - the aggregated /stats carries per-stage latency histograms with a
+//     nonzero label-stage p99 (the fleet actually recorded its traffic);
+//   - with expectFailover, the router's slowlog retains at least one
+//     entry whose hop chain names two or more attempted owners — the
+//     failover made visible as router spans.
+//
+// It returns the scrape's sample count and the failover entry (nil when
+// not requested).
+func CheckFleetTelemetry(routerURL string, fs *cluster.FleetStats, expectFailover bool) (int, *telemetry.Entry, error) {
+	resp, err := http.Get(routerURL + "/metrics")
+	if err != nil {
+		return 0, nil, err
+	}
+	samples, perr := telemetry.ParseProm(resp.Body)
+	resp.Body.Close()
+	if perr != nil {
+		return 0, nil, fmt.Errorf("router /metrics is not well-formed prometheus text: %w", perr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("router /metrics answered %d", resp.StatusCode)
+	}
+
+	var labelP99 int64
+	for _, ss := range fs.Latency {
+		if s := ss.Stages[telemetry.StageLabel].Summary(); s.Count > 0 && s.P99Ns > labelP99 {
+			labelP99 = s.P99Ns
+		}
+	}
+	if labelP99 == 0 {
+		return samples, nil, fmt.Errorf("aggregated fleet /stats has no label-stage latency (p99=0): the replicas' histograms did not merge")
+	}
+
+	if !expectFailover {
+		return samples, nil, nil
+	}
+	sresp, err := http.Get(routerURL + "/debug/slowlog")
+	if err != nil {
+		return samples, nil, err
+	}
+	defer sresp.Body.Close()
+	var sl server.SlowlogResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sl); err != nil {
+		return samples, nil, fmt.Errorf("decoding router slowlog: %w", err)
+	}
+	for i := range sl.Entries {
+		e := &sl.Entries[i]
+		if len(e.Hops) < 2 {
+			continue
+		}
+		for _, h := range e.Hops[1:] {
+			if !h.Failover {
+				return samples, nil, fmt.Errorf("slowlog entry id=%d: hop %s after the first is not marked failover", e.ID, h.Peer)
+			}
+			if h.Peer == "" {
+				return samples, nil, fmt.Errorf("slowlog entry id=%d: failover hop does not name its owner", e.ID)
+			}
+		}
+		return samples, e, nil
+	}
+	return samples, nil, fmt.Errorf("killed a replica mid-traffic but no router slowlog entry has a >= 2-hop chain (%d entries retained)", len(sl.Entries))
+}

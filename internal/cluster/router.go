@@ -5,13 +5,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // RouterConfig assembles the fleet front end.
@@ -33,6 +36,10 @@ type RouterConfig struct {
 	Client *http.Client
 	// Logf receives operational messages (nil = silent).
 	Logf func(format string, args ...any)
+	// SlowlogSize bounds the router's own slowlog of slowest proxied
+	// requests — the one place failover hop chains are retained (32 if
+	// <= 0).
+	SlowlogSize int
 }
 
 // Router is the fleet front end: it owns no tables and compiles nothing.
@@ -50,6 +57,14 @@ type Router struct {
 	proxied   atomic.Int64 // client requests accepted for proxying
 	retries   atomic.Int64 // extra attempts beyond each request's first
 	failovers atomic.Int64 // requests answered by a non-first candidate
+
+	// The router's telemetry: request ids minted here follow each proxied
+	// request across replicas (X-Isel-Request-Id), and the slowlog keeps
+	// hop chains — which owners a failover tried, in order — that no
+	// single replica can see.
+	reqIDs  atomic.Uint64
+	slow    *telemetry.Slowlog
+	started time.Time
 }
 
 // NewRouter builds the router over the shared peer list.
@@ -73,6 +88,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ring:    ring,
 		members: NewMembership(cfg.Peers, cfg.Client),
 		logf:    logf,
+		slow:    telemetry.NewSlowlog(cfg.SlowlogSize),
+		started: time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", rt.compile)
@@ -82,6 +99,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /cluster", rt.clusterInfo)
+	mux.HandleFunc("GET /metrics", rt.metrics)
+	mux.HandleFunc("GET /version", rt.version)
+	mux.HandleFunc("GET /debug/slowlog", rt.slowlog)
 	rt.mux = mux
 	return rt, nil
 }
@@ -144,15 +164,31 @@ func (rt *Router) compile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
+	// One request id for the request's whole fleet journey: adopted from
+	// the client when present, minted here otherwise, and stamped on
+	// every replica attempt — so a failover's replica-side traces and
+	// the router's hop chain correlate under one id.
+	reqID, _ := strconv.ParseUint(r.Header.Get(server.RequestIDHeader), 10, 64)
+	if reqID == 0 {
+		reqID = rt.reqIDs.Add(1)
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	start := time.Now()
 	rt.proxied.Add(1)
 	cands := rt.candidates(machine)
+	var hops []telemetry.Hop
 	var lastErr error
 	for i, peer := range cands {
 		if i > 0 {
 			rt.retries.Add(1)
 		}
-		resp, err := rt.tryCompile(r.Context(), peer, machine, body)
+		attempt := time.Now()
+		resp, err := rt.tryCompile(r.Context(), peer, machine, body, reqID, wantTrace)
 		if err != nil {
+			hops = append(hops, telemetry.Hop{
+				Peer: peer, Err: err.Error(),
+				Ns: time.Since(attempt).Nanoseconds(), Failover: i > 0,
+			})
 			rt.members.ReportDown(peer, err)
 			rt.logf("cluster: router: %s via %s: %v (trying next)", machine, peer, err)
 			lastErr = err
@@ -165,6 +201,10 @@ func (rt *Router) compile(w http.ResponseWriter, r *http.Request) {
 			// a fleet-wide 429 is real backpressure the client should see.
 			b, _ := readAllLimited(resp.Body)
 			resp.Body.Close()
+			hops = append(hops, telemetry.Hop{
+				Peer: peer, Status: resp.StatusCode,
+				Ns: time.Since(attempt).Nanoseconds(), Failover: i > 0,
+			})
 			rt.logf("cluster: router: %s via %s answered %d (trying next)", machine, peer, resp.StatusCode)
 			lastErr = fmt.Errorf("%s answered %d: %s", peer, resp.StatusCode, bytes.TrimSpace(b))
 			continue
@@ -172,22 +212,79 @@ func (rt *Router) compile(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			rt.failovers.Add(1)
 		}
+		hops = append(hops, telemetry.Hop{
+			Peer: peer, Status: resp.StatusCode,
+			Ns: time.Since(attempt).Nanoseconds(), Failover: i > 0,
+		})
+		if len(hops) > 1 || wantTrace {
+			w.Header().Set(TraceHopsHeader, renderHops(hops))
+		}
 		relay(w, resp)
+		rt.recordProxied(reqID, machine, r, start, hops, "")
 		return
 	}
 	httpError(w, http.StatusBadGateway, "no replica could serve machine %s: %v", machine, lastErr)
+	errStr := ""
+	if lastErr != nil {
+		errStr = lastErr.Error()
+	}
+	rt.recordProxied(reqID, machine, r, start, hops, errStr)
 }
 
-// tryCompile replays the buffered request against one replica.
-func (rt *Router) tryCompile(ctx context.Context, peer, machine string, body []byte) (*http.Response, error) {
+// recordProxied files one proxied request into the router slowlog: a
+// trace whose spans live in Hops (which owners were tried, in order)
+// rather than pipeline stages.
+func (rt *Router) recordProxied(reqID uint64, machine string, r *http.Request, start time.Time, hops []telemetry.Hop, errStr string) {
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host
+	}
+	rt.slow.Record(telemetry.Entry{
+		ID: reqID, Machine: machine, Client: client, Start: start,
+		TotalNs: time.Since(start).Nanoseconds(), Err: errStr, Hops: hops,
+	})
+}
+
+// TraceHopsHeader is the router's response header naming every replica
+// attempt of a proxied request — present whenever a failover happened,
+// or always under ?trace=1.
+const TraceHopsHeader = "X-Isel-Trace-Hops"
+
+// renderHops renders a hop chain compactly:
+//
+//	http://a:1 status=503 12ms failover=false; http://b:1 status=200 3ms failover=true
+func renderHops(hops []telemetry.Hop) string {
+	var b bytes.Buffer
+	for i, h := range hops {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s ", h.Peer)
+		if h.Err != "" {
+			fmt.Fprintf(&b, "err=%q ", h.Err)
+		} else {
+			fmt.Fprintf(&b, "status=%d ", h.Status)
+		}
+		fmt.Fprintf(&b, "%s failover=%v", time.Duration(h.Ns), h.Failover)
+	}
+	return b.String()
+}
+
+// tryCompile replays the buffered request against one replica, carrying
+// the fleet request id (and the client's trace ask) across the hop.
+func (rt *Router) tryCompile(ctx context.Context, peer, machine string, body []byte, reqID uint64, wantTrace bool) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.PerTryTimeout)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		peer+"/compile?machine="+machine, bytes.NewReader(body))
+	url := peer + "/compile?machine=" + machine
+	if wantTrace {
+		url += "&trace=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.RequestIDHeader, strconv.FormatUint(reqID, 10))
 	resp, err := rt.members.Do(req)
 	if err != nil {
 		cancel()
@@ -274,6 +371,12 @@ type FleetStats struct {
 	ResidentBytes int                         `json:"residentBytes"`
 	Global        metrics.Counters            `json:"global"`
 	Clients       map[string]metrics.Counters `json:"clients"`
+	// Latency is every replica's stage-latency series folded together
+	// with telemetry.MergeSeries — the histogram analogue of the counter
+	// merge above: snapshot-merge is associative, so the fleet p99s here
+	// are what one process observing all traffic would have recorded.
+	Latency          []telemetry.SeriesSnapshot                     `json:"latency,omitempty"`
+	LatencySummaries map[string]map[string]telemetry.LatencySummary `json:"latencySummaries,omitempty"`
 }
 
 // scrape fetches one GET path from every peer concurrently, returning the
@@ -361,6 +464,7 @@ func (rt *Router) fleet() FleetStats {
 					merged.Add(&c)
 					fs.Clients[client] = merged
 				}
+				fs.Latency = telemetry.MergeSeries(fs.Latency, sr.Latency)
 			}
 		}
 		ready[p] = readyBodies[i] != nil
@@ -383,8 +487,71 @@ func (rt *Router) fleet() FleetStats {
 		sh.Ready = len(sh.WarmOwners) > 0
 		fs.Shards = append(fs.Shards, sh)
 	}
+	fs.LatencySummaries = server.SummarizeLatency(fs.Latency)
 	return fs
 }
+
+// metrics is the router's GET /metrics: its own routing counters and
+// per-peer liveness, plus the merged fleet view — same metric names the
+// replicas expose, aggregated, so one scrape of the router sees the
+// fleet.
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	fs := rt.fleet()
+	w.Header().Set("Content-Type", server.PromContentType)
+	p := telemetry.NewPromWriter(w)
+	p.Counter("isel_router_proxied_total", "Client requests accepted for proxying.", nil, float64(fs.Routing.Proxied))
+	p.Counter("isel_router_retries_total", "Extra replica attempts beyond each request's first.", nil, float64(fs.Routing.Retries))
+	p.Counter("isel_router_failovers_total", "Requests answered by a non-first candidate.", nil, float64(fs.Routing.Failovers))
+	for _, rs := range fs.Replicas {
+		var alive float64
+		if rs.Alive {
+			alive = 1
+		}
+		p.Gauge("isel_peer_alive", "1 while the peer is believed alive.", []telemetry.Label{{Name: "peer", Value: rs.Peer}}, alive)
+	}
+	for _, sh := range fs.Shards {
+		var ready float64
+		if sh.Ready {
+			ready = 1
+		}
+		p.Gauge("isel_shard_warm_owners", "Owners currently serving the shard warm.",
+			[]telemetry.Label{{Name: "machine", Value: sh.Machine}}, float64(len(sh.WarmOwners)))
+		p.Gauge("isel_shard_ready", "1 while at least one owner serves the shard warm.",
+			[]telemetry.Label{{Name: "machine", Value: sh.Machine}}, ready)
+	}
+	p.Counter("isel_jobs_total", "Fleet jobs run to completion.", nil, float64(fs.Jobs))
+	p.Counter("isel_nodes_total", "Fleet IR nodes compiled.", nil, float64(fs.Nodes))
+	p.Counter("isel_jobs_cancelled_total", "Fleet jobs cancelled.", nil, float64(fs.Cancelled))
+	p.Gauge("isel_resident_table_bytes", "Fleet resident table memory.", nil, float64(fs.ResidentBytes))
+	server.WritePromCounters(p, fs.Global)
+	server.WritePromLatency(p, fs.Latency)
+	p.Flush()
+}
+
+// version is the router's GET /version: build identity plus the fleet
+// shape it fronts (the per-machine grammar fingerprints live on the
+// replicas' own /version).
+func (rt *Router) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"build":         telemetry.Build(),
+		"started":       rt.started,
+		"uptimeSeconds": time.Since(rt.started).Seconds(),
+		"role":          "router",
+		"peers":         rt.ring.Members(),
+		"machines":      rt.cfg.Machines,
+		"replication":   rt.cfg.Replication,
+	})
+}
+
+// slowlog is the router's GET /debug/slowlog: the slowest proxied
+// requests with their full hop chains — the only view that shows which
+// owners a failover tried before one answered.
+func (rt *Router) slowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, server.SlowlogResponse{Entries: rt.slow.Entries()})
+}
+
+// SlowlogEntries exposes the router slowlog to harnesses.
+func (rt *Router) SlowlogEntries() []telemetry.Entry { return rt.slow.Entries() }
 
 func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rt.fleet())

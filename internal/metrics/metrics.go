@@ -125,7 +125,16 @@ func (c *Counters) Reset() {
 }
 
 // Clone returns a copy (nil-safe). Each field is loaded atomically, so
-// Clone may run concurrently with counting.
+// Clone may run concurrently with counting — a plain struct copy
+// (`*c`) would be a data race under live writers, which is what the
+// seed's Clone was before this.
+//
+// The snapshot is consistent-enough, not cross-field consistent: each
+// field is the value at its own load instant, so invariants that span
+// fields (TableMisses <= TableProbes, say) can be transiently off by
+// in-flight events. Exact cross-field accounting holds on quiescent
+// counters — after workers join, which is when the server and the
+// fleet aggregation read them.
 func (c *Counters) Clone() Counters {
 	var out Counters
 	if c == nil {

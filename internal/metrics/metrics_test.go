@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -80,5 +81,63 @@ func TestMissWeightedHigher(t *testing.T) {
 	miss.CountProbe(true)
 	if miss.WorkUnits() <= hit.WorkUnits() {
 		t.Error("a miss must cost more work than a hit")
+	}
+}
+
+// TestCloneConcurrentWithWriters hammers CountNode (and friends) from
+// several goroutines while Clone, String and Add run against the same
+// Counters. Under -race this pins Clone's atomic-load contract: a plain
+// struct copy here is a data race the race CI job must catch. The final
+// quiescent Clone must also be exact — no torn or lost counts.
+func TestCloneConcurrentWithWriters(t *testing.T) {
+	c := &Counters{}
+	const writers = 4
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: Clone snapshots plus the derived views.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink Counters
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := c.Clone()
+				if snap.NodesLabeled < 0 || snap.TableMisses > snap.TableProbes+int64(writers) {
+					t.Errorf("implausible snapshot: %+v", snap)
+					return
+				}
+				sink.Add(&snap)
+				_ = c.String()
+				_ = c.PerNode()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				c.CountNode()
+				c.CountProbe(i%3 == 0)
+				c.CountReduce()
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	snap := c.Clone()
+	if snap.NodesLabeled != writers*perWriter {
+		t.Fatalf("quiescent NodesLabeled = %d, want %d", snap.NodesLabeled, writers*perWriter)
+	}
+	if snap.TableProbes != writers*perWriter {
+		t.Fatalf("quiescent TableProbes = %d, want %d", snap.TableProbes, writers*perWriter)
 	}
 }

@@ -7,10 +7,22 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 
 	"repro"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// Trace propagation headers.
+const (
+	// RequestIDHeader carries a request's trace identity across tiers:
+	// the router stamps it on proxied requests so replica-side traces
+	// (and failover retries) correlate under one id.
+	RequestIDHeader = "X-Isel-Request-Id"
+	// TraceHeader is the response summary of the batch's slowest job.
+	TraceHeader = "X-Isel-Trace"
 )
 
 // The HTTP/JSON protocol of cmd/iselserver. One handler fronts one
@@ -62,6 +74,8 @@ type CompileOutput struct {
 	Asm          string `json:"asm"`
 	Instructions int    `json:"instructions"`
 	Cost         int64  `json:"cost"`
+	// Trace is the job's stage timeline, present only under ?trace=1.
+	Trace *telemetry.Entry `json:"trace,omitempty"`
 }
 
 // CompileResponse is the body of a successful POST /compile.
@@ -73,6 +87,10 @@ type CompileResponse struct {
 	// request: successive responses show the warmth curve flattening.
 	States      int `json:"states"`
 	Transitions int `json:"transitions"`
+	// RequestID is the request's trace identity — the X-Isel-Request-Id
+	// it arrived with, or one drawn here. All jobs of the batch share
+	// it, and a router's failover hops carry it across replicas.
+	RequestID uint64 `json:"requestId,omitempty"`
 }
 
 // MachineStats is one registered machine's entry in GET /stats.
@@ -107,6 +125,25 @@ type StatsResponse struct {
 	MaxTableBytes int                         `json:"maxTableBytes,omitempty"`
 	Global        metrics.Counters            `json:"global"`
 	Clients       map[string]metrics.Counters `json:"clients"`
+	// Latency carries the raw mergeable machine × kind stage histograms
+	// (the fleet-aggregation plane: a router folds replicas' series
+	// together with telemetry.MergeSeries, exactly as it Adds counters);
+	// LatencySummaries renders the same series as percentiles, keyed
+	// "machine/kind" then stage name (plus "total").
+	Latency          []telemetry.SeriesSnapshot                     `json:"latency,omitempty"`
+	LatencySummaries map[string]map[string]telemetry.LatencySummary `json:"latencySummaries,omitempty"`
+}
+
+// SummarizeLatency renders a series list as the LatencySummaries map.
+func SummarizeLatency(series []telemetry.SeriesSnapshot) map[string]map[string]telemetry.LatencySummary {
+	if len(series) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]telemetry.LatencySummary, len(series))
+	for _, ss := range series {
+		out[ss.Machine+"/"+ss.Kind] = ss.StageSummaries()
+	}
+	return out
 }
 
 // SwapResponse is the body of a successful POST /swap.
@@ -135,6 +172,9 @@ func NewHandler(srv *Server) *Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	h.mux.HandleFunc("GET /readyz", h.readyz)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /version", h.version)
+	h.mux.HandleFunc("GET /debug/slowlog", h.slowlog)
 	return h
 }
 
@@ -226,10 +266,23 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace identity: adopt the router-propagated request id when the
+	// request carries one, so replica-side traces correlate with the
+	// router's hop spans; draw a fresh one otherwise. HTTP requests
+	// always ask for detail — the response allocates regardless, and the
+	// detail copy is what feeds the X-Isel-Trace header (?trace=1 adds
+	// the full per-output timelines to the body).
+	reqID, _ := strconv.ParseUint(r.Header.Get(RequestIDHeader), 10, 64)
+	if reqID == 0 {
+		reqID = h.srv.NextRequestID()
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
 	// The request context covers every job of the batch: a disconnecting
 	// client cancels its queued and in-flight work (plus whatever
 	// RequestTimeout the server config arms per job).
-	futs, err := h.srv.SubmitBatch(r.Context(), client, m.Name, forests)
+	futs, err := h.srv.SubmitBatchTraced(r.Context(), client, m.Name, forests,
+		TraceOptions{RequestID: reqID, Detail: true})
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			// Shed load is retryable load: tell the client when to come back.
@@ -240,7 +293,8 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	resp := CompileResponse{Machine: m.Name, Outputs: make([]CompileOutput, len(futs))}
+	resp := CompileResponse{Machine: m.Name, Outputs: make([]CompileOutput, len(futs)), RequestID: reqID}
+	var slowest *telemetry.Entry
 	for i, fut := range futs {
 		out, err := fut.Wait()
 		if err != nil {
@@ -251,9 +305,22 @@ func (h *Handler) compile(w http.ResponseWriter, r *http.Request) {
 			Name: names[i], Asm: out.Asm,
 			Instructions: out.Instructions, Cost: int64(out.Cost),
 		}
+		if e := fut.TraceEntry(); e != nil {
+			if wantTrace {
+				resp.Outputs[i].Trace = e
+			}
+			if slowest == nil || e.TotalNs > slowest.TotalNs {
+				slowest = e
+			}
+		}
 	}
 	snap := sel.Snapshot()
 	resp.States, resp.Transitions = snap.States, snap.Transitions
+	if slowest != nil {
+		// The summary of the batch's slowest job: enough to spot where a
+		// slow request spent its time without re-asking with ?trace=1.
+		w.Header().Set(TraceHeader, slowest.Summary())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -325,16 +392,18 @@ func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.srv.Stats()
 	resp := StatsResponse{
-		Workers:       st.Workers,
-		QueueDepth:    st.QueueDepth,
-		Jobs:          st.Jobs,
-		Nodes:         st.Nodes,
-		Cancelled:     st.Cancelled,
-		Queued:        st.Queued,
-		ResidentBytes: st.ResidentBytes,
-		MaxTableBytes: st.MaxTableBytes,
-		Global:        st.Global,
-		Clients:       map[string]metrics.Counters{},
+		Workers:          st.Workers,
+		QueueDepth:       st.QueueDepth,
+		Jobs:             st.Jobs,
+		Nodes:            st.Nodes,
+		Cancelled:        st.Cancelled,
+		Queued:           st.Queued,
+		ResidentBytes:    st.ResidentBytes,
+		MaxTableBytes:    st.MaxTableBytes,
+		Global:           st.Global,
+		Clients:          map[string]metrics.Counters{},
+		Latency:          st.Latency,
+		LatencySummaries: SummarizeLatency(st.Latency),
 	}
 	for _, ms := range st.Machines {
 		resp.Machines = append(resp.Machines, MachineStats{

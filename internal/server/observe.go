@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// The observability surface of the HTTP front end:
+//
+//	GET /metrics        Prometheus text exposition (version 0.0.4)
+//	GET /version        build identity + uptime + per-machine fingerprints
+//	GET /debug/slowlog  the N slowest requests, slowest first
+//
+// /metrics renders the same numbers /stats carries — counters, gauges
+// and the machine × kind × stage latency histograms — in the scrape
+// format a fleet dashboard wants. The router exposes the same metric
+// names over its merged fleet view, so one scrape config covers both
+// tiers.
+
+// VersionResponse is the body of GET /version.
+type VersionResponse struct {
+	Build         telemetry.BuildInfo `json:"build"`
+	Started       time.Time           `json:"started"`
+	UptimeSeconds float64             `json:"uptimeSeconds"`
+	Machines      []MachineVersion    `json:"machines"`
+}
+
+// MachineVersion is one machine's identity block in GET /version.
+type MachineVersion struct {
+	Machine     string `json:"machine"`
+	Kind        string `json:"kind"`
+	Constructed bool   `json:"constructed"`
+	// Version is the serving table-set generation (bumped by swaps and
+	// evictions); Fingerprint is the grammar's content hash in hex —
+	// the same identity that names .isel blobs — empty while the
+	// machine is cold (hashing is done at construction, not per scrape).
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// SlowlogResponse is the body of GET /debug/slowlog.
+type SlowlogResponse struct {
+	Entries []telemetry.Entry `json:"entries"`
+}
+
+func (h *Handler) version(w http.ResponseWriter, r *http.Request) {
+	resp := VersionResponse{
+		Build:         telemetry.Build(),
+		Started:       h.srv.Started(),
+		UptimeSeconds: time.Since(h.srv.Started()).Seconds(),
+	}
+	for _, ms := range h.srv.Registry().Status() {
+		mv := MachineVersion{
+			Machine:     ms.Machine,
+			Kind:        string(ms.Kind),
+			Constructed: ms.Constructed,
+			Version:     ms.Version,
+		}
+		if ms.Fingerprint != 0 {
+			mv.Fingerprint = fmt.Sprintf("%016x", ms.Fingerprint)
+		}
+		resp.Machines = append(resp.Machines, mv)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (h *Handler) slowlog(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(SlowlogResponse{Entries: h.srv.SlowlogEntries()})
+}
+
+// PromContentType is the Content-Type of a /metrics response.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	p := telemetry.NewPromWriter(w)
+	WritePromStats(p, h.srv.Stats())
+	p.Flush()
+}
+
+// WritePromStats renders a Stats snapshot as Prometheus metrics — the
+// body of GET /metrics on a standalone server or a replica. The router
+// reuses WritePromLatency and WritePromCounters over its merged fleet
+// snapshot, so both tiers expose the same metric names.
+func WritePromStats(p *telemetry.PromWriter, st Stats) {
+	p.Counter("isel_jobs_total", "Jobs a worker ran to completion.", nil, float64(st.Jobs))
+	p.Counter("isel_nodes_total", "IR nodes compiled.", nil, float64(st.Nodes))
+	p.Counter("isel_jobs_cancelled_total", "Jobs cancelled before or during compilation.", nil, float64(st.Cancelled))
+	p.Gauge("isel_workers", "Worker-pool size.", nil, float64(st.Workers))
+	p.Gauge("isel_queue_depth", "Current work-queue occupancy.", nil, float64(st.Queued))
+	p.Gauge("isel_queue_capacity", "Work-queue bound.", nil, float64(st.QueueDepth))
+	p.Gauge("isel_resident_table_bytes", "Table memory resident across all machines and draining versions.", nil, float64(st.ResidentBytes))
+	p.Gauge("isel_max_table_bytes", "Armed table-memory budget (0 = unlimited).", nil, float64(st.MaxTableBytes))
+	for _, ms := range st.Machines {
+		lab := []telemetry.Label{{Name: "machine", Value: ms.Machine}, {Name: "kind", Value: string(ms.Kind)}}
+		var constructed float64
+		if ms.Constructed {
+			constructed = 1
+		}
+		p.Gauge("isel_machine_constructed", "1 once the machine's engine is built.", lab, constructed)
+		p.Gauge("isel_machine_states", "Automaton states constructed (warmth).", lab, float64(ms.Warmth.States))
+		p.Gauge("isel_machine_transitions", "Automaton transitions constructed (warmth).", lab, float64(ms.Warmth.Transitions))
+		p.Gauge("isel_machine_table_bytes", "Machine table memory.", lab, float64(ms.Warmth.MemoryBytes))
+		p.Gauge("isel_machine_version", "Serving table-set generation.", lab, float64(ms.Version))
+	}
+	WritePromCounters(p, st.Global)
+	WritePromLatency(p, st.Latency)
+}
+
+// WritePromCounters renders engine work counters as one labeled counter
+// family.
+func WritePromCounters(p *telemetry.PromWriter, c metrics.Counters) {
+	events := []struct {
+		name string
+		v    int64
+	}{
+		{"nodes_labeled", c.NodesLabeled},
+		{"rules_examined", c.RulesExamined},
+		{"chain_relaxations", c.ChainRelaxations},
+		{"dyn_evals", c.DynEvals},
+		{"table_probes", c.TableProbes},
+		{"table_misses", c.TableMisses},
+		{"states_built", c.StatesBuilt},
+		{"transitions_added", c.TransitionsAdded},
+		{"nodes_reduced", c.NodesReduced},
+	}
+	for _, ev := range events {
+		p.Counter("isel_engine_events_total", "Engine work events by type (see internal/metrics).",
+			[]telemetry.Label{{Name: "event", Value: ev.name}}, float64(ev.v))
+	}
+}
+
+// WritePromLatency renders latency series as per-stage and end-to-end
+// histogram families.
+func WritePromLatency(p *telemetry.PromWriter, series []telemetry.SeriesSnapshot) {
+	for _, ss := range series {
+		for _, stg := range telemetry.Stages() {
+			lab := []telemetry.Label{
+				{Name: "machine", Value: ss.Machine},
+				{Name: "kind", Value: ss.Kind},
+				{Name: "stage", Value: stg.String()},
+			}
+			p.Histogram("isel_stage_duration_seconds", "Request time in one pipeline stage.", lab, ss.Stages[stg])
+		}
+		lab := []telemetry.Label{{Name: "machine", Value: ss.Machine}, {Name: "kind", Value: ss.Kind}}
+		p.Histogram("isel_request_duration_seconds", "End-to-end request latency.", lab, ss.Total)
+	}
+}

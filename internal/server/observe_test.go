@@ -1,0 +1,195 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// TestObservabilitySurface drives the telemetry endpoints end to end
+// over real traffic: /metrics must parse as well-formed Prometheus text
+// and carry the job counters and latency histograms, /version must name
+// every machine with its post-construction grammar fingerprint,
+// /debug/slowlog must retain the served requests, and each compile
+// response must carry the X-Isel-Trace summary header — with ?trace=1
+// expanding to per-output stage timelines and a router-style
+// X-Isel-Request-Id adopted verbatim.
+func TestObservabilitySurface(t *testing.T) {
+	reg := repro.NewRegistry()
+	if err := reg.Add("x86", repro.KindOnDemand, repro.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{Workers: 2})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(server.NewHandler(srv))
+	defer ts.Close()
+
+	compile := func(path string, hdr map[string]string) (*http.Response, server.CompileResponse) {
+		t.Helper()
+		b, _ := json.Marshal(server.CompileRequest{Client: "obs", MinC: "int main() { return 1 + 2 * 3; }"})
+		req, err := http.NewRequest("POST", ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr server.CompileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile %s: status %d", path, resp.StatusCode)
+		}
+		return resp, cr
+	}
+
+	// Plain compile: the trace summary header is always present and the
+	// response carries a server-minted request id, but no trace bodies.
+	resp, cr := compile("/compile", nil)
+	if hdr := resp.Header.Get(server.TraceHeader); !strings.Contains(hdr, "machine=x86") {
+		t.Errorf("%s header = %q, want a trace summary naming the machine", server.TraceHeader, hdr)
+	}
+	if cr.RequestID == 0 {
+		t.Errorf("compile response carries no request id")
+	}
+	for _, out := range cr.Outputs {
+		if out.Trace != nil {
+			t.Errorf("trace body present without ?trace=1")
+		}
+	}
+
+	// ?trace=1 with a router-propagated request id: the id is adopted
+	// verbatim and every output carries its stage timeline.
+	_, cr = compile("/compile?trace=1", map[string]string{server.RequestIDHeader: "424242"})
+	if cr.RequestID != 424242 {
+		t.Errorf("request id = %d, want the propagated 424242", cr.RequestID)
+	}
+	for i, out := range cr.Outputs {
+		if out.Trace == nil {
+			t.Fatalf("output %d: no trace under ?trace=1", i)
+		}
+		if out.Trace.ID != 424242 {
+			t.Errorf("output %d: trace id = %d, want 424242", i, out.Trace.ID)
+		}
+		if out.Trace.TotalNs <= 0 || out.Trace.SpanNs[telemetry.StageLabel] <= 0 {
+			t.Errorf("output %d: empty trace spans: %+v", i, out.Trace)
+		}
+	}
+
+	// /metrics: well-formed Prometheus text carrying the request counters
+	// and the stage-latency histogram families.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != server.PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, server.PromContentType)
+	}
+	samples, err := telemetry.ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics is not well-formed prometheus text: %v\n%s", err, buf.Bytes())
+	}
+	if samples == 0 {
+		t.Fatal("/metrics exposes no samples")
+	}
+	for _, want := range []string{
+		"isel_jobs_total",
+		`isel_engine_events_total{event="nodes_labeled"}`,
+		`isel_stage_duration_seconds_bucket{machine="x86",kind="ondemand",stage="label",`,
+		`isel_request_duration_seconds_count{machine="x86",kind="ondemand"}`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	// /version: build identity plus the machine's kind and — now that
+	// traffic constructed the engine — its grammar fingerprint in hex.
+	vresp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vr server.VersionResponse
+	if err := json.NewDecoder(vresp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	vresp.Body.Close()
+	if vr.Build.GoVersion == "" || vr.UptimeSeconds < 0 {
+		t.Errorf("version build block: %+v", vr.Build)
+	}
+	if len(vr.Machines) != 1 {
+		t.Fatalf("version lists %d machines, want 1", len(vr.Machines))
+	}
+	mv := vr.Machines[0]
+	if mv.Machine != "x86" || mv.Kind != string(repro.KindOnDemand) || !mv.Constructed {
+		t.Errorf("machine version block: %+v", mv)
+	}
+	if len(mv.Fingerprint) != 16 {
+		t.Errorf("constructed machine fingerprint = %q, want 16 hex digits", mv.Fingerprint)
+	}
+
+	// /debug/slowlog: the served jobs are retained, slowest first, each
+	// naming its machine and carrying a positive total.
+	sresp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sl server.SlowlogResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sl); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(sl.Entries) == 0 {
+		t.Fatal("slowlog is empty after served traffic")
+	}
+	for i, e := range sl.Entries {
+		if e.Machine != "x86" || e.TotalNs <= 0 {
+			t.Errorf("slowlog entry %d: %+v", i, e)
+		}
+		if i > 0 && e.TotalNs > sl.Entries[i-1].TotalNs {
+			t.Errorf("slowlog not sorted slowest-first at %d", i)
+		}
+	}
+
+	// /stats: the raw mergeable latency series plus their percentile
+	// rendering, keyed machine/kind, label stage populated.
+	stresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(stresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stresp.Body.Close()
+	if len(st.Latency) == 0 {
+		t.Fatal("stats carry no latency series")
+	}
+	sum, ok := st.LatencySummaries["x86/ondemand"]
+	if !ok {
+		t.Fatalf("latency summaries lack x86/ondemand: %v", st.LatencySummaries)
+	}
+	if sum["label"].Count == 0 || sum["label"].P99Ns <= 0 {
+		t.Errorf("label-stage summary not populated: %+v", sum["label"])
+	}
+	if sum["total"].Count == 0 || sum["total"].MaxNs <= 0 {
+		t.Errorf("total summary not populated: %+v", sum["total"])
+	}
+}

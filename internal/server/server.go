@@ -52,6 +52,7 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // ErrShutdown is returned by Submit variants after Shutdown has begun.
@@ -84,6 +85,9 @@ type Config struct {
 	// can retry (HTTP answers 429 + Retry-After); leave it off for
 	// harnesses that want every submission to land eventually.
 	ShedOnFull bool
+	// SlowlogSize bounds the ring buffer of slowest requests served by
+	// GET /debug/slowlog (32 if <= 0).
+	SlowlogSize int
 }
 
 // Future is the pending result of one submitted forest. It resolves
@@ -94,6 +98,10 @@ type Future struct {
 	err      error
 	resolved atomic.Bool
 	done     chan struct{}
+	// traceEntry is a copy of the job's finished trace, attached before
+	// resolve when the submission asked for detail (TraceOptions.Detail:
+	// the HTTP ?trace=1 path). The pooled trace itself is recycled.
+	traceEntry *telemetry.Entry
 }
 
 // Wait blocks until the job completes (or is cancelled) and returns its
@@ -107,6 +115,15 @@ func (f *Future) Wait() (*repro.Output, error) {
 // Done returns a channel closed when the future resolves, for select
 // loops.
 func (f *Future) Done() <-chan struct{} { return f.done }
+
+// TraceEntry returns the job's stage timeline, valid after Wait and
+// only for submissions that asked for detail (TraceOptions.Detail);
+// nil otherwise. Cancelled-while-queued jobs may resolve before a
+// worker sees them, in which case the entry is nil too.
+func (f *Future) TraceEntry() *telemetry.Entry {
+	<-f.done
+	return f.traceEntry
+}
 
 // resolve publishes the result exactly once and reports whether this call
 // won. The worker and the cancellation watcher race here by design; the
@@ -140,6 +157,12 @@ type job struct {
 	// request-timeout timer; the worker runs it after the future settles
 	// (nil for plain Background submissions).
 	cleanup func()
+	// trace is the job's pooled stage timeline: lease stamped at submit,
+	// queue at worker pickup, label/reduce/emit inside CompileObserved.
+	// Recorded into the latency collector and slowlog, then recycled.
+	trace *telemetry.Trace
+	// detail asks the worker to copy the finished trace onto the future.
+	detail bool
 }
 
 // Server multiplexes compilation jobs from many concurrent clients onto
@@ -166,6 +189,15 @@ type Server struct {
 	jobsDone      atomic.Int64
 	jobsCancelled atomic.Int64
 	nodesDone     atomic.Int64
+
+	// The telemetry plane: pooled traces, machine × kind × stage latency
+	// histograms, and the slowest-requests ring. Always on — its warm
+	// cost is a handful of monotonic stamps and atomic adds per job,
+	// which the PF trajectory's telemetry column gates.
+	traces  telemetry.TracePool
+	lat     *telemetry.Collector
+	slow    *telemetry.Slowlog
+	started time.Time
 }
 
 // New starts a server over reg. Every registered machine is servable;
@@ -185,6 +217,9 @@ func New(reg *repro.Registry, cfg Config) *Server {
 		cfg:     cfg,
 		jobs:    make(chan job, cfg.QueueDepth),
 		clients: map[string]*metrics.Counters{},
+		lat:     telemetry.NewCollector(),
+		slow:    telemetry.NewSlowlog(cfg.SlowlogSize),
+		started: time.Now(),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -262,15 +297,19 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 	// The version lease is held until the future settles: a swapped-out
 	// table set drains on exactly its own jobs. Release is nil-safe.
 	defer j.lease.Release()
+	// The queue span ends the moment a worker picks the job up.
+	j.trace.Mark(telemetry.StageQueue)
 	// A queued job whose context already ended resolves (or has resolved,
 	// via its cancellation hook) with ctx.Err() and is never compiled.
 	if j.fut.isResolved() {
 		s.jobsCancelled.Add(1)
+		s.finishTrace(&j, nil, context.Cause(j.ctx))
 		return
 	}
 	if err := j.ctx.Err(); err != nil {
 		j.fut.resolve(nil, err)
 		s.jobsCancelled.Add(1)
+		s.finishTrace(&j, nil, err)
 		return
 	}
 	var out *repro.Output
@@ -281,6 +320,7 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 		}
 		s.clientCounters(j.client).Add(jm)
 		s.global.Add(jm)
+		s.finishTrace(&j, j.fut, err)
 		won := j.fut.resolve(out, err)
 		switch {
 		case !won:
@@ -298,7 +338,31 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 			s.nodesDone.Add(int64(j.forest.NumNodes()))
 		}
 	}()
-	out, err = j.sel.Compile(j.ctx, j.forest, repro.WithCounters(jm))
+	out, err = j.sel.CompileObserved(j.ctx, j.forest, jm, j.trace)
+}
+
+// finishTrace closes a job's trace and feeds the telemetry plane:
+// the series histograms (a handful of atomic adds), the slowlog (an
+// atomic floor test for fast requests), and — on the detail path only —
+// a heap copy onto the future. The pooled trace is recycled here; fut
+// must still be unresolved when non-nil so the entry is published
+// before resolve's CAS.
+func (s *Server) finishTrace(j *job, fut *Future, err error) {
+	tr := j.trace
+	if tr == nil {
+		return
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	tr.Finish()
+	s.lat.Set(tr.Machine, tr.Kind).RecordTrace(tr)
+	s.slow.Record(telemetry.EntryOf(tr))
+	if j.detail && fut != nil {
+		e := telemetry.EntryOf(tr)
+		fut.traceEntry = &e
+	}
+	s.traces.Put(tr)
 }
 
 // Submit enqueues one forest for client against machine (the registry's
@@ -311,28 +375,64 @@ func (s *Server) runJob(j job, jm *metrics.Counters) {
 // stops the compile at a cooperative checkpoint. Config.RequestTimeout,
 // when set, arms an additional per-request deadline starting now.
 func (s *Server) Submit(ctx context.Context, client, machine string, f *repro.Forest) (*Future, error) {
+	return s.SubmitTraced(ctx, client, machine, f, TraceOptions{})
+}
+
+// TraceOptions controls the telemetry attached to a submission. The zero
+// value is the hot path: the job is still traced into the histograms and
+// slowlog (pooled, no allocation), but no per-request copy is retained.
+type TraceOptions struct {
+	// RequestID, when nonzero, names the request in traces and the
+	// slowlog instead of a freshly drawn ID — how a router's ID follows
+	// a request across a failover hop (X-Isel-Request-Id). A batch
+	// shares one ID across its jobs: one wire request, one identity.
+	RequestID uint64
+	// Detail asks for a heap copy of the finished stage timeline on the
+	// future (Future.TraceEntry) — the ?trace=1 path. Costs one Entry
+	// allocation per job; leave it off on the steady-state path.
+	Detail bool
+}
+
+// SubmitTraced is Submit with explicit trace options. The trace begins
+// before the version lease is acquired, so StageLease covers exactly the
+// acquire (including a cold machine's lazy construction).
+func (s *Server) SubmitTraced(ctx context.Context, client, machine string, f *repro.Forest, topt TraceOptions) (*Future, error) {
+	id := topt.RequestID
+	if id == 0 {
+		id = s.traces.NextID()
+	}
+	tr := s.traces.GetWithID(id, machine, "", client)
 	lease, err := s.reg.Acquire(machine)
+	tr.Mark(telemetry.StageLease)
 	if err != nil {
+		s.traces.Put(tr)
 		return nil, err
 	}
-	return s.submit(ctx, client, lease, f)
+	// Backfill the resolved identity: an empty machine name resolves to
+	// the registry default, and the engine kind is only known post-lease.
+	tr.Machine = lease.Selector.Machine().Name
+	tr.Kind = string(lease.Selector.Kind())
+	return s.submit(ctx, client, lease, f, tr, topt.Detail)
 }
 
 // submit enqueues one job against an acquired version lease. On every
-// refusal path the lease is released here; once the job is enqueued the
-// worker releases it after the future settles.
-func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, f *repro.Forest) (*Future, error) {
+// refusal path the lease is released and the trace recycled here; once
+// the job is enqueued the worker owns both.
+func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, f *repro.Forest, tr *telemetry.Trace, detail bool) (*Future, error) {
 	if f == nil {
 		lease.Release()
+		s.traces.Put(tr)
 		return nil, fmt.Errorf("server: nil forest")
 	}
 	if err := ctx.Err(); err != nil {
 		lease.Release()
+		s.traces.Put(tr)
 		return nil, err
 	}
 	ctx, cancel := s.jobContext(ctx)
 	fut := &Future{done: make(chan struct{})}
-	j := job{ctx: ctx, client: client, sel: lease.Selector, forest: f, fut: fut, lease: lease}
+	j := job{ctx: ctx, client: client, sel: lease.Selector, forest: f, fut: fut, lease: lease,
+		trace: tr, detail: detail}
 	if ctx.Done() != nil {
 		// Cancellable jobs arm a context hook that resolves the future
 		// with ctx.Err() the moment the context ends — no parked watcher
@@ -354,6 +454,7 @@ func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, 
 			j.cleanup()
 		}
 		lease.Release()
+		s.traces.Put(tr)
 		return nil, ErrShutdown
 	}
 	if s.cfg.ShedOnFull {
@@ -369,6 +470,7 @@ func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, 
 				j.cleanup()
 			}
 			lease.Release()
+			s.traces.Put(tr)
 			return nil, ErrQueueFull
 		}
 	}
@@ -383,6 +485,7 @@ func (s *Server) submit(ctx context.Context, client string, lease *repro.Lease, 
 			j.cleanup()
 		}
 		lease.Release()
+		s.traces.Put(tr)
 		return nil, err
 	}
 }
@@ -402,20 +505,27 @@ func (s *Server) jobContext(ctx context.Context) (context.Context, context.Cance
 // (or ctx ends) mid-batch, the futures enqueued so far remain valid and
 // the error reports how many were accepted.
 func (s *Server) SubmitBatch(ctx context.Context, client, machine string, fs []*repro.Forest) ([]*Future, error) {
+	return s.SubmitBatchTraced(ctx, client, machine, fs, TraceOptions{})
+}
+
+// SubmitBatchTraced is SubmitBatch with explicit trace options. All jobs
+// of the batch share one request ID (topt.RequestID, or one drawn now):
+// one wire request, one identity in traces and the slowlog.
+func (s *Server) SubmitBatchTraced(ctx context.Context, client, machine string, fs []*repro.Forest, topt TraceOptions) ([]*Future, error) {
+	if topt.RequestID == 0 {
+		topt.RequestID = s.traces.NextID()
+	}
 	futs := make([]*Future, 0, len(fs))
 	for _, f := range fs {
-		// One lease per job, acquired at enqueue time: a batch straddling a
-		// hot swap routes its remaining forests to the new version the
-		// instant it is published, like any other new submission.
-		lease, err := s.reg.Acquire(machine)
+		// One lease per job, acquired at enqueue time (inside
+		// SubmitTraced): a batch straddling a hot swap routes its
+		// remaining forests to the new version the instant it is
+		// published, like any other new submission.
+		fut, err := s.SubmitTraced(ctx, client, machine, f, topt)
 		if err != nil {
 			if len(futs) == 0 {
 				return nil, err
 			}
-			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
-		}
-		fut, err := s.submit(ctx, client, lease, f)
-		if err != nil {
 			return futs, fmt.Errorf("server: batch accepted %d of %d: %w", len(futs), len(fs), err)
 		}
 		futs = append(futs, fut)
@@ -541,6 +651,11 @@ type Stats struct {
 	MaxTableBytes int
 	// Global is a snapshot of the server-wide work counters.
 	Global metrics.Counters
+	// Latency is the per-series (machine × engine kind) stage latency
+	// histograms, mergeable across servers with telemetry.MergeSeries —
+	// how a router aggregates a fleet's p99s, exactly as counters merge
+	// with Counters.Add.
+	Latency []telemetry.SeriesSnapshot
 }
 
 // Stats samples the server. Safe to call concurrently with compilation.
@@ -560,5 +675,21 @@ func (s *Server) Stats() Stats {
 		ResidentBytes: s.reg.ResidentBytes(),
 		MaxTableBytes: s.reg.MaxTableBytes(),
 		Global:        s.global.Clone(),
+		Latency:       s.lat.Snapshot(),
 	}
 }
+
+// NextRequestID draws a fresh trace request id — what the HTTP front
+// end uses when a request arrives without an X-Isel-Request-Id.
+func (s *Server) NextRequestID() uint64 { return s.traces.NextID() }
+
+// LatencySnapshots returns the per-series stage latency histograms
+// (sorted by machine, then kind).
+func (s *Server) LatencySnapshots() []telemetry.SeriesSnapshot { return s.lat.Snapshot() }
+
+// SlowlogEntries returns the retained slowest requests, slowest first.
+func (s *Server) SlowlogEntries() []telemetry.Entry { return s.slow.Entries() }
+
+// Started returns when the server was constructed (uptime anchor for
+// GET /version).
+func (s *Server) Started() time.Time { return s.started }

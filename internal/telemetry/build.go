@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the "what exactly is deployed here" identity block every
+// /version endpoint answers with.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion"`
+	Module    string `json:"module,omitempty"`
+	VCSRev    string `json:"vcsRevision,omitempty"`
+	VCSTime   string `json:"vcsTime,omitempty"`
+	Modified  bool   `json:"vcsModified,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Build reads the binary's embedded build metadata (best-effort: a
+// non-module build still reports go version and platform).
+func Build() BuildInfo {
+	bi := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRev = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}

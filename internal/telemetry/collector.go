@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// StageSet is the histogram bundle of one machine × engine-kind series:
+// one histogram per stage plus one for end-to-end request latency.
+type StageSet struct {
+	stages [NumStages]Histogram
+	total  Histogram
+}
+
+// Record adds one stage observation.
+func (s *StageSet) Record(st Stage, ns int64) { s.stages[st].Record(ns) }
+
+// RecordTrace folds a finished trace in: every stage span plus the
+// total. NumStages+1 atomic adds per request; the once-per-request
+// cycles→ns conversions of the trace's raw spans happen here.
+func (s *StageSet) RecordTrace(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	for i := range s.stages {
+		s.stages[i].Record(stampToNs(t.spans[i]))
+	}
+	s.total.Record(stampToNs(t.total))
+}
+
+// SeriesSnapshot is one series' mergeable latency snapshot — the unit
+// /stats carries and the router aggregates fleet-wide.
+type SeriesSnapshot struct {
+	Machine string              `json:"machine"`
+	Kind    string              `json:"kind"`
+	Stages  [NumStages]Snapshot `json:"stages"`
+	Total   Snapshot            `json:"total"`
+}
+
+// StageSummaries renders the snapshot's per-stage percentile map for
+// /stats ("lease", "queue", ... plus "total").
+func (ss SeriesSnapshot) StageSummaries() map[string]LatencySummary {
+	m := make(map[string]LatencySummary, NumStages+1)
+	for _, st := range Stages() {
+		m[st.String()] = ss.Stages[st].Summary()
+	}
+	m["total"] = ss.Total.Summary()
+	return m
+}
+
+// Collector owns the machine × kind histogram series of one process.
+// The warm path does one read-locked map lookup per request (no
+// interface boxing, no allocation); series are created on first use.
+type Collector struct {
+	mu     sync.RWMutex
+	series map[seriesKey]*StageSet
+}
+
+type seriesKey struct{ machine, kind string }
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: make(map[seriesKey]*StageSet)}
+}
+
+// Set returns the series for machine × kind, creating it on first use.
+func (c *Collector) Set(machine, kind string) *StageSet {
+	k := seriesKey{machine, kind}
+	c.mu.RLock()
+	s := c.series[k]
+	c.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s = c.series[k]; s == nil {
+		s = &StageSet{}
+		c.series[k] = s
+	}
+	return s
+}
+
+// Snapshot copies every series, sorted by machine then kind.
+func (c *Collector) Snapshot() []SeriesSnapshot {
+	c.mu.RLock()
+	keys := make([]seriesKey, 0, len(c.series))
+	for k := range c.series {
+		keys = append(keys, k)
+	}
+	sets := make([]*StageSet, len(keys))
+	for i, k := range keys {
+		sets[i] = c.series[k]
+	}
+	c.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].machine != keys[j].machine {
+			return keys[i].machine < keys[j].machine
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	// Re-fetch in sorted order (keys and sets were captured together,
+	// but sorting keys alone would desync them — rebuild by lookup).
+	out := make([]SeriesSnapshot, 0, len(keys))
+	c.mu.RLock()
+	for _, k := range keys {
+		set := c.series[k]
+		ss := SeriesSnapshot{Machine: k.machine, Kind: k.kind, Total: set.total.Snapshot()}
+		for i := range set.stages {
+			ss.Stages[i] = set.stages[i].Snapshot()
+		}
+		out = append(out, ss)
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+// MergeSeries folds src into dst by machine × kind — the router's fleet
+// aggregation, snapshot-merge exactly like its counter merge. Returns
+// dst (possibly grown), sorted.
+func MergeSeries(dst, src []SeriesSnapshot) []SeriesSnapshot {
+	idx := make(map[seriesKey]int, len(dst))
+	for i, ss := range dst {
+		idx[seriesKey{ss.Machine, ss.Kind}] = i
+	}
+	for _, ss := range src {
+		k := seriesKey{ss.Machine, ss.Kind}
+		i, ok := idx[k]
+		if !ok {
+			idx[k] = len(dst)
+			dst = append(dst, ss)
+			continue
+		}
+		for st := range dst[i].Stages {
+			dst[i].Stages[st].Merge(ss.Stages[st])
+		}
+		dst[i].Total.Merge(ss.Total)
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].Machine != dst[j].Machine {
+			return dst[i].Machine < dst[j].Machine
+		}
+		return dst[i].Kind < dst[j].Kind
+	})
+	return dst
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the histogram's bucket count. Bucket 0 holds zero (and
+// sub-nanosecond) values; bucket i holds [2^(i-1), 2^i) ns; the last
+// bucket absorbs everything from 2^(NumBuckets-2) ns (~2.3 min) up —
+// requests that slow are all equally "investigate now".
+const NumBuckets = 38
+
+// Histogram is an HDR-style log-bucketed latency histogram: fixed
+// power-of-two buckets of atomic cells. Record is lock-free — one
+// atomic add into the value's bucket (plus a rarely-taken CAS to track
+// the true max) — so it sits on the serving warm path without a lock
+// or an allocation. Relative bucket error is <= 2x, which is what
+// log-scale latency percentiles need and no more.
+//
+// The zero value is ready to use. Histograms are write-only at runtime;
+// readers take Snapshot()s and merge those (à la Counters.Add) — the
+// router aggregates fleet latency exactly as it aggregates counters.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	max     atomic.Int64
+}
+
+// bucketIndex maps nanoseconds to a bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper is bucket i's inclusive upper bound in nanoseconds
+// (math.MaxInt64 for the overflow bucket).
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return math.MaxInt64
+	default:
+		return int64(1)<<i - 1
+	}
+}
+
+// Record adds one observation of ns nanoseconds.
+func (h *Histogram) Record(ns int64) {
+	h.buckets[bucketIndex(ns)].Add(1)
+	// Track the true max beside the bucketed counts. The load-then-CAS
+	// almost never takes the CAS once the max stabilizes.
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of a histogram, mergeable and
+// JSON-serializable — the unit the router ships and aggregates.
+type Snapshot struct {
+	Count   uint64             `json:"count"`
+	MaxNs   int64              `json:"maxNs"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram. Cells are read individually (each
+// atomically), so a snapshot taken under live writers is
+// consistent-enough per cell, like Counters.Clone.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.MaxNs = h.max.Load()
+	return s
+}
+
+// Merge folds o into s. Merging is associative and commutative —
+// bucket-wise addition plus max-of-max — so fleet aggregation order
+// does not matter.
+func (s *Snapshot) Merge(o Snapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) in
+// nanoseconds: the upper edge of the bucket the q-th observation falls
+// in, tightened by the true max. Zero observations → 0.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= target {
+			up := BucketUpper(i)
+			if s.MaxNs > 0 && up > s.MaxNs {
+				return s.MaxNs
+			}
+			return up
+		}
+	}
+	return s.MaxNs
+}
+
+// LatencySummary is the /stats rendering of one histogram: the
+// percentiles the ISSUE's tradeoff story is told in.
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	P50Ns int64  `json:"p50Ns"`
+	P90Ns int64  `json:"p90Ns"`
+	P99Ns int64  `json:"p99Ns"`
+	MaxNs int64  `json:"maxNs"`
+}
+
+// Summary computes the snapshot's percentile summary.
+func (s Snapshot) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		P50Ns: s.Quantile(0.50),
+		P90Ns: s.Quantile(0.90),
+		P99Ns: s.Quantile(0.99),
+		MaxNs: s.MaxNs,
+	}
+}

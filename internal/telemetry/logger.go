@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return "?"
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Logger is the one leveled, event-tagged logger the serving tier's
+// operational messages flow through — registry swap/evict/quarantine,
+// cluster warm-up and mark-down — replacing the ad-hoc SetLogger
+// printf sinks. Lines render as
+//
+//	2026-08-08T12:00:00.000Z INFO  [registry] swapped x86 to v2
+//
+// A nil *Logger drops everything, so call sites never guard.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+}
+
+// NewLogger writes lines at or above lv to w.
+func NewLogger(w io.Writer, lv Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(lv))
+	return l
+}
+
+// SetLevel changes the threshold at runtime.
+func (l *Logger) SetLevel(lv Level) {
+	if l != nil {
+		l.level.Store(int32(lv))
+	}
+}
+
+// Enabled reports whether lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.level.Load())
+}
+
+func (l *Logger) log(lv Level, event, format string, args ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%s %-5s [%s] %s\n", ts, lv, event, msg)
+	l.mu.Unlock()
+}
+
+// Debugf/Infof/Warnf/Errorf log one event-tagged line at their level.
+func (l *Logger) Debugf(event, format string, args ...any) { l.log(LevelDebug, event, format, args...) }
+func (l *Logger) Infof(event, format string, args ...any)  { l.log(LevelInfo, event, format, args...) }
+func (l *Logger) Warnf(event, format string, args ...any)  { l.log(LevelWarn, event, format, args...) }
+func (l *Logger) Errorf(event, format string, args ...any) { l.log(LevelError, event, format, args...) }
+
+// Printf adapts the logger to the printf-shaped sinks the registry
+// (SetLogger) and cluster (Logf) accept: every line from that sink is
+// tagged with event and logged at lv. A nil logger yields a no-op sink.
+func (l *Logger) Printf(lv Level, event string) func(format string, args ...any) {
+	if l == nil {
+		return func(string, ...any) {}
+	}
+	return func(format string, args ...any) { l.log(lv, event, format, args...) }
+}

@@ -1,0 +1,17 @@
+package telemetry
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// nanotime is the runtime's monotonic clock: the raw reading time.Now
+// composes with a second (wall) clock read. Stage stamps happen several
+// times per request on the warm path, where the wall-clock half — and
+// the time.Time packing — is pure overhead: a span is a difference of
+// monotonic readings, so int64 nanotime is the whole requirement. The
+// linkname pull is the standard one (the runtime keeps it stable for
+// exactly this use); the empty nanotime.s beside this file marks the
+// package as containing assembly so the body-less declaration links.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) writer and checker. The
+// writer is what /metrics renders; the checker is the in-repo
+// well-formedness gate CI's curl smoke pipes a scrape through — no
+// external prometheus dependency, which the build constraints forbid.
+
+// PromWriter renders metrics in Prometheus text format. Not
+// concurrency-safe; build one per scrape.
+type PromWriter struct {
+	w     *bufio.Writer
+	typed map[string]bool
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), typed: map[string]bool{}}
+}
+
+// header emits # HELP / # TYPE once per metric name.
+func (p *PromWriter) header(name, typ, help string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Label is one name="value" pair.
+type Label struct{ Name, Value string }
+
+func writeLabels(w *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, "%s=%q", l.Name, l.Value)
+	}
+	w.WriteByte('}')
+}
+
+func (p *PromWriter) sample(name string, labels []Label, v float64) {
+	p.w.WriteString(name)
+	writeLabels(p.w, labels)
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		fmt.Fprintf(p.w, " %d\n", int64(v))
+	} else {
+		fmt.Fprintf(p.w, " %g\n", v)
+	}
+}
+
+// Counter emits one counter sample.
+func (p *PromWriter) Counter(name, help string, labels []Label, v float64) {
+	p.header(name, "counter", help)
+	p.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, labels []Label, v float64) {
+	p.header(name, "gauge", help)
+	p.sample(name, labels, v)
+}
+
+// Histogram emits a snapshot as a cumulative prometheus histogram in
+// seconds: one {le="..."} bucket per populated power-of-two boundary
+// (empty leading/trailing runs are collapsed to keep scrapes small),
+// plus the +Inf bucket, _sum (approximated from bucket upper bounds —
+// the histogram does not retain an exact sum) and _count.
+func (p *PromWriter) Histogram(name, help string, labels []Label, s Snapshot) {
+	p.header(name, "histogram", help)
+	bname := name + "_bucket"
+	var cum uint64
+	var sumNs float64
+	for i := 0; i < NumBuckets-1; i++ {
+		if s.Buckets[i] == 0 && cum == 0 {
+			continue // skip the empty prefix
+		}
+		cum += s.Buckets[i]
+		sumNs += float64(s.Buckets[i]) * float64(BucketUpper(i))
+		le := strconv.FormatFloat(float64(BucketUpper(i))/1e9, 'g', -1, 64)
+		p.sample(bname, append(labels, Label{"le", le}), float64(cum))
+		if cum == s.Count {
+			break // the suffix is empty; +Inf below closes the series
+		}
+	}
+	over := s.Buckets[NumBuckets-1]
+	if over > 0 && s.MaxNs > 0 {
+		sumNs += float64(over) * float64(s.MaxNs)
+	}
+	p.sample(bname, append(labels, Label{"le", "+Inf"}), float64(s.Count))
+	p.sample(name+"_sum", labels, sumNs/1e9)
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+// Flush flushes the underlying writer.
+func (p *PromWriter) Flush() error { return p.w.Flush() }
+
+var (
+	promName  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseProm validates a Prometheus text exposition: every line is a
+// comment, a well-formed # HELP/# TYPE (known type, name matching the
+// metric name charset), or a sample whose name, labels and value
+// parse. It returns the number of samples. This is a well-formedness
+// check, not a full client library — exactly what a CI smoke needs.
+func ParseProm(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	samples, lineno := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkPromComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := checkPromSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in exposition")
+	}
+	return samples, nil
+}
+
+func checkPromComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !promName.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !promName.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func checkPromSample(line string) error {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return fmt.Errorf("no value: %q", line)
+	}
+	name := rest[:i]
+	if !promName.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	if rest[i] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated labels: %q", line)
+		}
+		if err := checkPromLabels(rest[i+1 : end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want 'value [timestamp]' after name: %q", line)
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		return fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func checkPromLabels(s string) error {
+	// Labels are name="value" pairs; values are Go-quoted by the writer,
+	// so strconv.Unquote validates the escaping.
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		name := s[:eq]
+		if !promLabel.MatchString(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		if _, err := strconv.Unquote(s[:end+1]); err != nil {
+			return fmt.Errorf("bad label value %s", s[:end+1])
+		}
+		s = s[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' between labels")
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}

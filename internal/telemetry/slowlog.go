@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hop is one router attempt against one replica during a proxied
+// request — the span that makes a failover visible: a slowlog entry
+// with two hops names the dead owner and the one that answered.
+type Hop struct {
+	Peer     string `json:"peer"`
+	Status   int    `json:"status,omitempty"`
+	Err      string `json:"err,omitempty"`
+	Ns       int64  `json:"ns"`
+	Failover bool   `json:"failover,omitempty"` // true on every hop after the first
+}
+
+// Entry is one slowlog record: a value copy of a finished trace (plus
+// router hops, when the entry was recorded by a router).
+type Entry struct {
+	ID      uint64           `json:"id"`
+	Machine string           `json:"machine"`
+	Kind    string           `json:"kind,omitempty"`
+	Client  string           `json:"client,omitempty"`
+	Start   time.Time        `json:"start"`
+	TotalNs int64            `json:"totalNs"`
+	SpanNs  [NumStages]int64 `json:"spanNs"`
+	Err     string           `json:"err,omitempty"`
+	Hops    []Hop            `json:"hops,omitempty"`
+}
+
+// EntryOf copies a finished trace into an Entry, converting the raw
+// stamp-unit spans to nanoseconds.
+func EntryOf(t *Trace) Entry {
+	return Entry{
+		ID: t.ID, Machine: t.Machine, Kind: t.Kind, Client: t.Client,
+		Start: t.start, TotalNs: stampToNs(t.total), SpanNs: t.Spans(), Err: t.Err,
+	}
+}
+
+// Summary renders the entry in the one-line X-Isel-Trace header form,
+// matching Trace.Summary:
+//
+//	id=42 machine=x86 kind=ondemand total=1.23ms lease=0s queue=80µs ...
+func (e Entry) Summary() string {
+	s := fmt.Sprintf("id=%d machine=%s kind=%s total=%s",
+		e.ID, e.Machine, e.Kind, time.Duration(e.TotalNs))
+	for _, st := range Stages() {
+		s += fmt.Sprintf(" %s=%s", st, time.Duration(e.SpanNs[st]))
+	}
+	return s
+}
+
+// Slowlog keeps the N slowest requests seen so far: a fixed-capacity
+// ring that evicts its current fastest entry when a slower one arrives.
+// The warm path consults a cached threshold first — once the log is
+// full, a request faster than the slowest retained minimum returns
+// without touching the lock, so steady fast traffic costs one atomic
+// load per request.
+type Slowlog struct {
+	capacity int
+	floor    atomic.Int64 // min TotalNs retained once full; gate for fast requests
+	mu       sync.Mutex
+	entries  []Entry
+}
+
+// NewSlowlog returns a slowlog retaining the n slowest requests
+// (n <= 0 defaults to 32).
+func NewSlowlog(n int) *Slowlog {
+	if n <= 0 {
+		n = 32
+	}
+	return &Slowlog{capacity: n, entries: make([]Entry, 0, n)}
+}
+
+// Record offers an entry. It is kept if the log has room or the entry
+// is slower than the current fastest retained one (which it evicts).
+func (l *Slowlog) Record(e Entry) {
+	if e.TotalNs < l.floor.Load() {
+		return // full, and faster than everything retained
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.capacity {
+		l.entries = append(l.entries, e)
+		if len(l.entries) == l.capacity {
+			l.floor.Store(l.min())
+		}
+		return
+	}
+	// Full: replace the fastest entry iff the newcomer is slower.
+	mi := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].TotalNs < l.entries[mi].TotalNs {
+			mi = i
+		}
+	}
+	if e.TotalNs <= l.entries[mi].TotalNs {
+		return
+	}
+	l.entries[mi] = e
+	l.floor.Store(l.min())
+}
+
+// min returns the smallest retained TotalNs (caller holds mu).
+func (l *Slowlog) min() int64 {
+	m := l.entries[0].TotalNs
+	for _, e := range l.entries[1:] {
+		if e.TotalNs < m {
+			m = e.TotalNs
+		}
+	}
+	return m
+}
+
+// Entries snapshots the log, slowest first.
+func (l *Slowlog) Entries() []Entry {
+	l.mu.Lock()
+	out := append([]Entry(nil), l.entries...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}
+
+// Len reports how many entries are retained.
+func (l *Slowlog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+// The stage-boundary clock. A trace stamps the clock once per stage
+// boundary on the warm serving path, so its cost is the telemetry
+// plane's floor: the vDSO monotonic read behind nanotime costs ~25-65ns
+// depending on the host, which alone can bust the ≤2% overhead budget
+// against a sub-microsecond label stage. On amd64 the TSC is read
+// directly (~10-20ns) and stamps stay in raw cycle units; the cycles→ns
+// conversion (stampToNs) is deferred to the once-per-request edges —
+// histogram fold, slowlog entry, span accessors — so a boundary stamp
+// is one RDTSC and one integer add, nothing else.
+//
+// The ns-per-cycle ratio is calibrated against nanotime at package
+// init. Spans only ever subtract two stamps, so the epoch is arbitrary
+// and a small calibration error (the init window is ~0.2ms) scales both
+// sides of every ratio the trajectory gates — the unit stays honest.
+// The conversion goes through float64: the 53-bit mantissa keeps the
+// rounding error under a cycle for any span under three months, and it
+// cannot overflow like fixed-point can. Hosts whose TSC is unusable
+// (calibration reads a non-advancing or absurdly scaled counter) keep
+// the nanotime fallback end to end; traces additionally clamp negative
+// spans, so even a TSC that steps backwards across a core migration
+// cannot corrupt a histogram.
+
+func rdtsc() int64 // stamp_amd64.s
+
+// tscScale is ns per cycle; 0 = TSC rejected, stamps are nanotime ns.
+// Written once in init, which runs before any importer touches the
+// package, so the plain (non-atomic) variable is safely published.
+var tscScale float64
+
+func init() {
+	c0, n0 := rdtsc(), nanotime()
+	// Spin out a ~0.2ms window. Busy-wait, not sleep: a descheduled
+	// window only lengthens both deltas, so the ratio survives.
+	for nanotime()-n0 < 200_000 {
+	}
+	c1, n1 := rdtsc(), nanotime()
+	dc, dn := c1-c0, n1-n0
+	if dc <= 0 || dn <= 0 {
+		return // TSC not advancing: keep the nanotime fallback
+	}
+	scale := float64(dn) / float64(dc)
+	if scale < 0.01 || scale > 100 {
+		return // absurd frequency reading: keep the nanotime fallback
+	}
+	tscScale = scale
+}
+
+// stampNow is the stage-boundary clock: a monotonic reading in stamp
+// units (TSC cycles, or nanoseconds on the fallback). The epoch is
+// arbitrary; only differences are used, converted by stampToNs.
+func stampNow() int64 {
+	if tscScale != 0 {
+		return rdtsc()
+	}
+	return nanotime()
+}
+
+// stampToNs converts a difference of stampNow readings to nanoseconds.
+func stampToNs(d int64) int64 {
+	if tscScale != 0 {
+		return int64(float64(d) * tscScale)
+	}
+	return d
+}
+
+// stampFromNs is the inverse (to rounding), for tests that construct
+// traces with known nanosecond spans.
+func stampFromNs(ns int64) int64 {
+	if tscScale != 0 {
+		return int64(float64(ns) / tscScale)
+	}
+	return ns
+}

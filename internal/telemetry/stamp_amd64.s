@@ -1,0 +1,13 @@
+#include "textflag.h"
+
+// func rdtsc() int64
+//
+// Plain RDTSC, no serializing fence: stage spans are tens of
+// microseconds, so the few-cycle reorder window is measurement noise,
+// and a fence would cost more than the read.
+TEXT ·rdtsc(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package telemetry
+
+// stampNow is the stage-boundary clock: monotonic stamp units — here,
+// without a TSC fast path, plain runtime nanotime nanoseconds. The
+// epoch is arbitrary; only differences are used, converted by
+// stampToNs.
+func stampNow() int64 { return nanotime() }
+
+// stampToNs converts a difference of stampNow readings to nanoseconds:
+// the identity, stamps already being nanoseconds on this architecture.
+func stampToNs(d int64) int64 { return d }
+
+// stampFromNs is the inverse, for tests that construct traces with
+// known nanosecond spans.
+func stampFromNs(ns int64) int64 { return ns }

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's stage timeline: a fixed-size struct of
+// monotonic span durations, stamped only at stage boundaries. All
+// methods are nil-safe — an untraced call path passes a nil *Trace and
+// pays a pointer test per boundary, nothing more. Traces are pooled
+// (TracePool); the warm serving path never allocates one.
+//
+// Because the stages of a job are strictly sequential, a single running
+// mark suffices: Mark(s) charges the time since the previous boundary
+// to stage s and moves the mark. Spans accumulate, so a stage entered
+// twice (a batch job labeling several forests) sums its visits.
+type Trace struct {
+	// ID is the request id. Router-originated requests propagate theirs
+	// (X-Isel-Request-Id) so a failover's replica-side traces correlate
+	// with the router's hop spans.
+	ID uint64
+	// Machine, Kind and Client identify the histogram series the trace
+	// feeds. They are references to already-interned registry strings —
+	// setting them allocates nothing.
+	Machine string
+	Kind    string
+	Client  string
+	// Err records how the request resolved ("" = success). Set from
+	// err.Error() only on the failure path.
+	Err string
+
+	// The monotonic fields hold raw stamp units (TSC cycles where
+	// available, ns otherwise — see stampNow): a boundary Mark is one
+	// counter read and one add, and the cycles→ns conversion happens
+	// once per request at the export edges (Span/Spans/Total, the
+	// histogram fold, the slowlog entry).
+	start   time.Time // wall clock, for slowlog display only
+	startNs int64     // stamp units; where Begin stamped
+	mark    int64     // stamp units; the previous stage boundary
+	spans   [NumStages]int64
+	total   int64
+}
+
+// Begin stamps the trace's start; the first Mark spans from here. The
+// one wall-clock read of a trace's life happens here (slowlog display);
+// every later boundary is a bare monotonic stamp (TSC where available,
+// nanotime otherwise — see stampNow).
+func (t *Trace) Begin() {
+	if t == nil {
+		return
+	}
+	t.start = time.Now()
+	t.startNs = stampNow()
+	t.mark = t.startNs
+}
+
+// Mark charges the time since the previous boundary to stage s and
+// advances the mark. One monotonic clock read per call; a negative
+// interval (a TSC stepping backwards across a core migration) charges
+// zero rather than corrupting the span.
+func (t *Trace) Mark(s Stage) {
+	if t == nil {
+		return
+	}
+	now := stampNow()
+	if d := now - t.mark; d > 0 {
+		t.spans[s] += d
+	}
+	t.mark = now
+}
+
+// Skip advances the mark without charging anybody — for time between
+// stages that belongs to no stage (e.g. future-resolution bookkeeping).
+func (t *Trace) Skip() {
+	if t == nil {
+		return
+	}
+	t.mark = stampNow()
+}
+
+// Finish totals the trace: everything since Begin.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	if d := stampNow() - t.startNs; d > 0 {
+		t.total = d
+	}
+}
+
+// Span returns stage s's accumulated nanoseconds.
+func (t *Trace) Span(s Stage) int64 {
+	if t == nil {
+		return 0
+	}
+	return stampToNs(t.spans[s])
+}
+
+// Spans returns the full span array in nanoseconds (zero for a nil
+// trace).
+func (t *Trace) Spans() [NumStages]int64 {
+	if t == nil {
+		return [NumStages]int64{}
+	}
+	var ns [NumStages]int64
+	for i, d := range t.spans {
+		ns[i] = stampToNs(d)
+	}
+	return ns
+}
+
+// Total returns the request's end-to-end nanoseconds (valid after
+// Finish).
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return stampToNs(t.total)
+}
+
+// Start returns the wall-clock begin time, for display.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Summary renders the one-line header form:
+//
+//	id=42 machine=x86 kind=ondemand total=1.23ms lease=0s queue=80µs label=500µs reduce=600µs emit=50µs
+//
+// It allocates; it runs only when a caller asked to see the trace.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	s := fmt.Sprintf("id=%d machine=%s kind=%s total=%s",
+		t.ID, t.Machine, t.Kind, time.Duration(t.Total()))
+	for _, st := range Stages() {
+		s += fmt.Sprintf(" %s=%s", st, time.Duration(t.Span(st)))
+	}
+	return s
+}
+
+// reset clears a trace for reuse. The zero mark is fine: Begin stamps
+// it.
+func (t *Trace) reset() {
+	*t = Trace{}
+}
+
+// TracePool recycles traces and issues request ids. The zero value is
+// ready to use; one pool per server.
+type TracePool struct {
+	pool sync.Pool
+	ids  atomic.Uint64
+}
+
+// NextID returns a fresh process-local request id (never 0).
+func (p *TracePool) NextID() uint64 { return p.ids.Add(1) }
+
+// Get returns a zeroed trace with a fresh id, Begin already stamped.
+func (p *TracePool) Get(machine, kind, client string) *Trace {
+	return p.GetWithID(p.NextID(), machine, kind, client)
+}
+
+// GetWithID is Get under a caller-supplied id — the router-propagated
+// request id, so fleet-side traces correlate across hops.
+func (p *TracePool) GetWithID(id uint64, machine, kind, client string) *Trace {
+	t, ok := p.pool.Get().(*Trace)
+	if !ok {
+		t = new(Trace)
+	}
+	t.reset()
+	t.ID = id
+	t.Machine, t.Kind, t.Client = machine, kind, client
+	t.Begin()
+	return t
+}
+
+// Put recycles a trace. The caller must not touch it afterwards.
+func (p *TracePool) Put(t *Trace) {
+	if t == nil {
+		return
+	}
+	p.pool.Put(t)
+}

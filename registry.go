@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // ErrUnknownMachine is the typed error Registry.Get fails with for names
@@ -111,6 +113,9 @@ type regEntry struct {
 	m    *Machine
 	sel  *Selector
 	err  error
+	// fp is the grammar fingerprint, cached at construction (0 while
+	// cold); read behind done like m/sel/err.
+	fp uint64
 	// lastUse orders entries for LRU eviction: the registry clock value of
 	// the entry's most recent Get.
 	lastUse atomic.Int64
@@ -176,7 +181,10 @@ func (r *Registry) AddMachine(m *Machine, kind Kind, opt Options) error {
 // constructed; the automaton directory does not apply to it on load
 // (SaveAll still persists it when capable).
 func (r *Registry) AddSelector(sel *Selector) error {
-	e := &regEntry{name: sel.Machine().Name, kind: sel.Kind(), m: sel.Machine(), sel: sel}
+	e := &regEntry{
+		name: sel.Machine().Name, kind: sel.Kind(), m: sel.Machine(), sel: sel,
+		fp: core.Fingerprint(sel.Machine().Grammar),
+	}
 	e.once.Do(func() {}) // consume: Get must never re-construct this entry
 	e.done.Store(true)
 	return r.add(e)
@@ -702,6 +710,9 @@ func (e *regEntry) construct(dir string, logf func(string, ...any)) {
 		}
 	}
 	e.m, e.sel = m, sel
+	// Cached once per construction: /version reports it on every scrape
+	// and the grammar hash is not free.
+	e.fp = core.Fingerprint(m.Grammar)
 }
 
 // buildSelector constructs the entry's selector, recovering from a bad
@@ -810,6 +821,12 @@ type MachineStatus struct {
 	// Draining counts replaced versions still resident because jobs that
 	// resolved them have not finished.
 	Draining int
+	// Fingerprint is the machine's grammar fingerprint (the identity
+	// .isel blobs and the blob exchange are content-addressed by), once
+	// the machine description has been resolved; 0 while cold with a
+	// lazy-load recipe. GET /version reports it as the "what exactly is
+	// deployed here" answer.
+	Fingerprint uint64
 }
 
 // Status reports every registered machine in registration order,
@@ -835,6 +852,7 @@ func (r *Registry) Status() []MachineStatus {
 		// it are race-free; an entry mid-construction just reads as cold.
 		if e.done.Load() {
 			st.Constructed = e.sel != nil
+			st.Fingerprint = e.fp
 			if e.err != nil {
 				st.Err = e.err.Error()
 			}
